@@ -1,0 +1,32 @@
+# Declares one bench executable per paper table/figure. Included from the
+# top-level CMakeLists so that ${CMAKE_BINARY_DIR}/bench contains only the
+# executables (no CMake bookkeeping files), making
+# `for b in build/bench/*; do $b; done` run cleanly.
+
+set(SCHEMBLE_BENCH_OUTPUT_DIR ${CMAKE_BINARY_DIR}/bench)
+
+function(schemble_add_bench name)
+  add_executable(${name} ${ARGN})
+  target_link_libraries(${name} PRIVATE
+    schemble_serving schemble_baselines schemble_core schemble_workload
+    schemble_models schemble_simcore schemble_nn schemble_common
+    benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${SCHEMBLE_BENCH_OUTPUT_DIR})
+endfunction()
+
+schemble_add_bench(bench_fig1_motivation bench/bench_fig1_motivation.cc bench/bench_util.cc)
+schemble_add_bench(bench_fig4_discrepancy bench/bench_fig4_discrepancy.cc bench/bench_util.cc)
+schemble_add_bench(bench_fig5_preference_corr bench/bench_fig5_preference_corr.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp1_text_matching bench/bench_exp1_text_matching.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp1_vehicle_counting bench/bench_exp1_vehicle_counting.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp1_image_retrieval bench/bench_exp1_image_retrieval.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp2_latency bench/bench_exp2_latency.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp2_segments bench/bench_exp2_segments.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp3_distributions bench/bench_exp3_distributions.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp4_scheduler bench/bench_exp4_scheduler.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp5_overhead bench/bench_exp5_overhead.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp6_budget bench/bench_exp6_budget.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp7_profiling_knn bench/bench_exp7_profiling_knn.cc bench/bench_util.cc)
+schemble_add_bench(bench_exp8_delta bench/bench_exp8_delta.cc bench/bench_util.cc)
+schemble_add_bench(bench_ext_large_ensemble bench/bench_ext_large_ensemble.cc bench/bench_util.cc)

@@ -1,0 +1,30 @@
+// Exp-1 / Fig. 8 + Table I (IR column): image retrieval (two-model DELG
+// ensemble) with Poisson traffic and constant deadlines.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace schemble;
+using namespace schemble::bench;
+
+int main() {
+  std::printf("Exp-1: image retrieval, Poisson traffic, constant "
+              "deadlines\n\n");
+  const double rate = 16.0;
+  BenchContext ctx = MakeContext(TaskKind::kImageRetrieval, rate);
+
+  PoissonTraffic traffic(rate);
+  auto trace_factory = [&](double deadline_ms) {
+    ConstantDeadline deadlines(MillisToSimTime(deadline_ms));
+    TraceOptions options;
+    options.seed = 808;
+    return BuildTrace(*ctx.task, traffic, deadlines, 120 * kSecond, options);
+  };
+  // Static greedy search on a pilot trace at the middle deadline.
+  ctx.static_deployment =
+      ChooseStaticDeploymentByPilot(ctx, trace_factory(180));
+
+  RunDeadlineSweep(ctx, {120, 150, 180, 210, 240}, trace_factory, "mAP");
+  return 0;
+}

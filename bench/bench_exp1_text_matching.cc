@@ -1,0 +1,39 @@
+// Exp-1 / Fig. 6 + Table I (TM column): accuracy and deadline miss rate of
+// all six policies on the text-matching task under the one-day Q&A trace,
+// swept over deadline constraints.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace schemble;
+using namespace schemble::bench;
+
+int main() {
+  std::printf("Exp-1: text matching, one-day Q&A trace (30x burst), "
+              "constant deadlines\n\n");
+  const double peak_rate = 85.0;
+  BenchContext ctx = MakeContext(TaskKind::kTextMatching, 0.45 * peak_rate);
+
+  // Compressed day: 24 segments of 20 s keeps the sweep fast while
+  // preserving the burst shape.
+  DiurnalTraffic traffic = DiurnalTraffic::QaDayShape(
+      peak_rate, /*segment_duration=*/20 * kSecond);
+  auto trace_factory = [&](double deadline_ms) {
+    ConstantDeadline deadlines(MillisToSimTime(deadline_ms));
+    TraceOptions options;
+    options.seed = 606;
+    return BuildTrace(*ctx.task, traffic, deadlines,
+                      traffic.total_duration(), options);
+  };
+  // Static greedy search on a pilot trace at the middle deadline.
+  ctx.static_deployment =
+      ChooseStaticDeploymentByPilot(ctx, trace_factory(100));
+  std::printf("Static deployment chosen: subset=0x%x replicas=[",
+              ctx.static_deployment.subset);
+  for (int r : ctx.static_deployment.replicas) std::printf("%d ", r);
+  std::printf("]\n\n");
+
+  RunDeadlineSweep(ctx, {80, 90, 100, 110, 120}, trace_factory, "Acc");
+  return 0;
+}

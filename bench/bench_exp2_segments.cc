@@ -1,0 +1,97 @@
+// Fig. 9 + Fig. 14: per-time-segment latency, accuracy and deadline miss
+// rate on the one-day text-matching trace, for the policies the paper
+// plots (Original, Static, Gating, DES, Schemble).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace schemble;
+using namespace schemble::bench;
+
+int main() {
+  const double peak_rate = 85.0;
+  BenchContext ctx = MakeContext(TaskKind::kTextMatching, peak_rate * 0.45);
+  DiurnalTraffic traffic = DiurnalTraffic::QaDayShape(
+      peak_rate, /*segment_duration=*/20 * kSecond);
+  ConstantDeadline deadlines(100 * kMillisecond);
+  TraceOptions options;
+  options.seed = 111;
+  const QueryTrace trace = BuildTrace(*ctx.task, traffic, deadlines,
+                                      traffic.total_duration(), options);
+  ctx.static_deployment = ChooseStaticDeploymentByPilot(ctx, trace);
+
+  const auto runs = RunExp1Suite(ctx, trace, /*allow_rejection=*/true,
+                                 traffic.segment_duration());
+
+  std::printf("Fig. 9a/14: per-segment deadline miss rate (%%), one-day "
+              "Q&A trace (1 segment = 1 compressed hour), 100 ms "
+              "deadlines\n");
+  std::vector<std::string> headers = {"Hour", "Arrivals"};
+  for (const auto& run : runs) headers.push_back(run.name);
+  TextTable dmr_table(headers);
+  const size_t segments = runs[0].metrics.segments.size();
+  for (size_t s = 0; s < segments; ++s) {
+    std::vector<std::string> cells = {
+        std::to_string(s),
+        std::to_string(runs[0].metrics.segments[s].arrivals)};
+    for (const auto& run : runs) {
+      cells.push_back(
+          s < run.metrics.segments.size()
+              ? Pct(run.metrics.segments[s].deadline_miss_rate())
+              : "-");
+    }
+    dmr_table.AddRow(std::move(cells));
+  }
+  dmr_table.Print();
+
+  std::printf("\nFig. 9b/14: per-hour accuracy (%%)\n");
+  TextTable acc_table(headers);
+  for (size_t s = 0; s < segments; ++s) {
+    std::vector<std::string> cells = {
+        std::to_string(s),
+        std::to_string(runs[0].metrics.segments[s].arrivals)};
+    for (const auto& run : runs) {
+      cells.push_back(s < run.metrics.segments.size()
+                          ? Pct(run.metrics.segments[s].accuracy())
+                          : "-");
+    }
+    acc_table.AddRow(std::move(cells));
+  }
+  acc_table.Print();
+
+  std::printf("\nFig. 9 (latency): per-hour mean latency of processed "
+              "queries (ms)\n");
+  TextTable lat_table(headers);
+  for (size_t s = 0; s < segments; ++s) {
+    std::vector<std::string> cells = {
+        std::to_string(s),
+        std::to_string(runs[0].metrics.segments[s].arrivals)};
+    for (const auto& run : runs) {
+      cells.push_back(
+          s < run.metrics.segments.size()
+              ? TextTable::Num(run.metrics.segments[s].mean_latency_ms(), 1)
+              : "-");
+    }
+    lat_table.AddRow(std::move(cells));
+  }
+  lat_table.Print();
+
+  std::printf("\nFig. 14 (adaptivity): per-segment mean executed-subset "
+              "size\n");
+  TextTable size_table(headers);
+  for (size_t s = 0; s < segments; ++s) {
+    std::vector<std::string> cells = {
+        std::to_string(s),
+        std::to_string(runs[0].metrics.segments[s].arrivals)};
+    for (const auto& run : runs) {
+      cells.push_back(
+          s < run.metrics.segments.size()
+              ? TextTable::Num(run.metrics.segments[s].mean_subset_size(), 2)
+              : "-");
+    }
+    size_table.AddRow(std::move(cells));
+  }
+  size_table.Print();
+  return 0;
+}

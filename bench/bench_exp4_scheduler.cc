@@ -1,0 +1,133 @@
+// Exp-4 / Fig. 12, 17, 18, 19: scheduling-algorithm comparison with the
+// discrepancy module fixed — Greedy with EDF/FIFO/SJF orders versus the DP
+// scheduler at quantization steps 0.1 / 0.01 / 0.001 — swept over deadlines
+// on all three tasks, plus the bursty-period drill-down (Fig. 19).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace schemble;
+using namespace schemble::bench;
+
+namespace {
+
+std::vector<std::pair<std::string, SchembleConfig>> SchedulerVariants() {
+  std::vector<std::pair<std::string, SchembleConfig>> variants;
+  auto add = [&](const std::string& name, BufferScheduler scheduler,
+                 double delta) {
+    SchembleConfig config;
+    config.name = name;
+    config.scheduler = scheduler;
+    config.dp.delta = delta;
+    variants.emplace_back(name, std::move(config));
+  };
+  add("Greedy+EDF", BufferScheduler::kGreedyEdf, 0.01);
+  add("Greedy+FIFO", BufferScheduler::kGreedyFifo, 0.01);
+  add("Greedy+SJF", BufferScheduler::kGreedySjf, 0.01);
+  add("DP(0.1)", BufferScheduler::kDp, 0.1);
+  add("DP(0.01)", BufferScheduler::kDp, 0.01);
+  add("DP(0.001)", BufferScheduler::kDp, 0.001);
+  return variants;
+}
+
+void RunSweep(const char* figure, BenchContext& ctx,
+              const std::vector<double>& deadlines_ms,
+              const std::function<QueryTrace(double)>& trace_factory) {
+  std::printf("%s: scheduler comparison\n", figure);
+  const auto variants = SchedulerVariants();
+  std::vector<std::string> headers = {"Deadline(ms)"};
+  for (const auto& [name, config] : variants) headers.push_back(name);
+  TextTable acc_table(headers);
+  TextTable dmr_table(headers);
+  for (double deadline_ms : deadlines_ms) {
+    const QueryTrace trace = trace_factory(deadline_ms);
+    std::vector<std::string> acc_cells = {TextTable::Num(deadline_ms, 0)};
+    std::vector<std::string> dmr_cells = {TextTable::Num(deadline_ms, 0)};
+    for (const auto& [name, config] : variants) {
+      auto policy = ctx.pipeline->MakeSchemble(config);
+      const ServingMetrics metrics =
+          RunPolicy(*ctx.task, policy.get(), trace);
+      acc_cells.push_back(Pct(metrics.accuracy()));
+      dmr_cells.push_back(Pct(metrics.deadline_miss_rate()));
+    }
+    acc_table.AddRow(std::move(acc_cells));
+    dmr_table.AddRow(std::move(dmr_cells));
+  }
+  std::printf("Accuracy%%\n");
+  acc_table.Print();
+  std::printf("DMR%%\n");
+  dmr_table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Fig. 12: text matching under the bursty one-day trace.
+  {
+    const double peak_rate = 85.0;
+    BenchContext ctx = MakeContext(TaskKind::kTextMatching, peak_rate * 0.45);
+    DiurnalTraffic traffic = DiurnalTraffic::QaDayShape(
+        peak_rate, /*segment_duration=*/15 * kSecond);
+    auto factory = [&](double deadline_ms) {
+      ConstantDeadline deadlines(MillisToSimTime(deadline_ms));
+      TraceOptions options;
+      options.seed = 333;
+      return BuildTrace(*ctx.task, traffic, deadlines,
+                        traffic.total_duration(), options);
+    };
+    RunSweep("Fig. 12 (text matching)", ctx, {80, 100, 120, 140}, factory);
+
+    // Fig. 19: the bursty window only (hours 10-18 of the day shape).
+    std::printf("Fig. 19: bursty period (hours 10-18), 100 ms deadlines\n");
+    const QueryTrace full = factory(100);
+    QueryTrace burst;
+    const SimTime lo = 10 * 15 * kSecond;
+    const SimTime hi = 18 * 15 * kSecond;
+    for (const TracedQuery& tq : full.items) {
+      if (tq.arrival_time >= lo && tq.arrival_time < hi) {
+        burst.items.push_back(tq);
+      }
+    }
+    TextTable table({"Scheduler", "Acc%", "DMR%"});
+    for (const auto& [name, config] : SchedulerVariants()) {
+      auto policy = ctx.pipeline->MakeSchemble(config);
+      const ServingMetrics metrics = RunPolicy(*ctx.task, policy.get(), burst);
+      table.AddRow({name, Pct(metrics.accuracy()),
+                    Pct(metrics.deadline_miss_rate())});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // Fig. 17: vehicle counting.
+  {
+    BenchContext ctx = MakeContext(TaskKind::kVehicleCounting, 20.0);
+    PoissonTraffic traffic(34.0);
+    auto factory = [&](double deadline_ms) {
+      const SimTime mean = MillisToSimTime(deadline_ms);
+      PerSourceUniformDeadline deadlines(24, mean - 40 * kMillisecond,
+                                         mean + 40 * kMillisecond, 77);
+      TraceOptions options;
+      options.num_sources = 24;
+      options.seed = 444;
+      return BuildTrace(*ctx.task, traffic, deadlines, 90 * kSecond, options);
+    };
+    RunSweep("Fig. 17 (vehicle counting)", ctx, {90, 120, 150}, factory);
+  }
+
+  // Fig. 18: image retrieval.
+  {
+    BenchContext ctx = MakeContext(TaskKind::kImageRetrieval, 10.0);
+    PoissonTraffic traffic(16.0);
+    auto factory = [&](double deadline_ms) {
+      ConstantDeadline deadlines(MillisToSimTime(deadline_ms));
+      TraceOptions options;
+      options.seed = 555;
+      return BuildTrace(*ctx.task, traffic, deadlines, 90 * kSecond, options);
+    };
+    RunSweep("Fig. 18 (image retrieval)", ctx, {120, 170, 220}, factory);
+  }
+  return 0;
+}

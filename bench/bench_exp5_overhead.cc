@@ -1,0 +1,105 @@
+// Exp-5 / Fig. 13: computation and resource overhead of Schemble's added
+// modules — the discrepancy-prediction network and the DP scheduler —
+// relative to the deep ensemble. Includes google-benchmark microbenchmarks
+// of the host-side costs.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/scheduler.h"
+
+using namespace schemble;
+using namespace schemble::bench;
+
+namespace {
+
+BenchContext* g_ctx = nullptr;
+
+void BM_PredictorForward(benchmark::State& state) {
+  const Query query = g_ctx->task->GenerateQuery(424242, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_ctx->pipeline->predictor().Predict(query));
+  }
+}
+BENCHMARK(BM_PredictorForward);
+
+void BM_DiscrepancyScore(benchmark::State& state) {
+  const Query query = g_ctx->task->GenerateQuery(424243, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_ctx->pipeline->scorer().Score(query));
+  }
+}
+BENCHMARK(BM_DiscrepancyScore);
+
+void BM_DpSchedule(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double delta = 1.0 / static_cast<double>(state.range(1));
+  SchedulerEnv env;
+  env.now = 0;
+  for (int k = 0; k < g_ctx->task->num_models(); ++k) {
+    env.model_available_at.push_back(0);
+    env.model_exec_time.push_back(g_ctx->task->profile(k).latency_us);
+  }
+  std::vector<SchedulerQuery> queries;
+  const auto row = g_ctx->pipeline->profile().UtilityRow(0.4);
+  for (int i = 0; i < n; ++i) {
+    SchedulerQuery q;
+    q.id = i;
+    q.deadline = (100 + 13 * i) * kMillisecond;
+    q.utilities = row;
+    queries.push_back(std::move(q));
+  }
+  DpScheduler::Options options;
+  options.delta = delta;
+  DpScheduler dp(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.Schedule(queries, env));
+  }
+  state.counters["dp_ops"] = static_cast<double>(dp.last_ops());
+}
+BENCHMARK(BM_DpSchedule)
+    ->Args({8, 10})
+    ->Args({8, 100})
+    ->Args({8, 1000})
+    ->Args({16, 100})
+    ->Args({24, 100});
+
+void PrintFig13() {
+  std::printf("Fig. 13: overhead of the prediction network vs the deep "
+              "ensemble\n");
+  const auto& predictor = g_ctx->pipeline->predictor();
+  SimTime ensemble_makespan = 0;
+  double ensemble_memory = 0.0;
+  for (int k = 0; k < g_ctx->task->num_models(); ++k) {
+    ensemble_makespan =
+        std::max(ensemble_makespan, g_ctx->task->profile(k).latency_us);
+    ensemble_memory += g_ctx->task->profile(k).memory_mb;
+  }
+  TextTable table({"Component", "Latency (ms)", "Memory (MB)"});
+  table.AddRow({"Deep ensemble",
+                TextTable::Num(SimTimeToMillis(ensemble_makespan), 1),
+                TextTable::Num(ensemble_memory, 0)});
+  table.AddRow({"Prediction network",
+                TextTable::Num(
+                    SimTimeToMillis(predictor.inference_latency_us()), 1),
+                TextTable::Num(predictor.MemoryMb(), 3)});
+  table.Print();
+  std::printf("Relative: %.1f%% of the ensemble's runtime, %.4f%% of its "
+              "memory (paper: 6.5%% runtime, 0.4-2%% memory)\n\n",
+              100.0 * predictor.inference_latency_us() / ensemble_makespan,
+              100.0 * predictor.MemoryMb() / ensemble_memory);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx = MakeContext(TaskKind::kTextMatching, 20.0,
+                                 /*history_size=*/2500);
+  g_ctx = &ctx;
+  PrintFig13();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Exp-8 / Fig. 21: quantization step delta — scheduling overhead versus
+// serving quality. Smaller delta gives plans closer to optimal but the DP
+// table grows ~1/delta, and the charged overhead starts to eat into the
+// inference timeline.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace schemble;
+using namespace schemble::bench;
+
+namespace {
+
+void RunTask(TaskKind kind, double peak_rate, SimTime deadline) {
+  BenchContext ctx = MakeContext(kind, peak_rate * 0.45);
+  DiurnalTraffic traffic = DiurnalTraffic::QaDayShape(
+      peak_rate, /*segment_duration=*/15 * kSecond);
+  ConstantDeadline deadlines(deadline);
+  TraceOptions options;
+  options.seed = 929;
+  const QueryTrace trace = BuildTrace(*ctx.task, traffic, deadlines,
+                                      traffic.total_duration(), options);
+
+  std::printf("Fig. 21 (%s, %.0f ms deadlines)\n", TaskKindName(kind),
+              SimTimeToMillis(deadline));
+  TextTable table({"delta", "Acc%", "DMR%", "Scheduler runs",
+                   "Total overhead (ms)", "Mean overhead/run (us)"});
+  for (double delta : {0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001}) {
+    SchembleConfig config;
+    config.dp.delta = delta;
+    auto policy = ctx.pipeline->MakeSchemble(config);
+    const ServingMetrics metrics = RunPolicy(*ctx.task, policy.get(), trace);
+    const double runs = static_cast<double>(policy->scheduler_runs());
+    table.AddRow(
+        {TextTable::Num(delta, 3), Pct(metrics.accuracy()),
+         Pct(metrics.deadline_miss_rate()),
+         TextTable::Num(runs, 0),
+         TextTable::Num(SimTimeToMillis(policy->total_overhead_us()), 1),
+         TextTable::Num(runs > 0 ? policy->total_overhead_us() / runs : 0.0,
+                        1)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+void RunDeepBufferTask() {
+  // Long deadlines admit deep buffers, so the DP table (~ N^2/delta cells)
+  // gets large; at delta = 0.001 the charged scheduling time becomes
+  // comparable to inter-arrival gaps and starts costing accuracy -- the
+  // paper's overhead-driven degradation.
+  BenchContext ctx = MakeContext(TaskKind::kTextMatching, 30.0);
+  PoissonTraffic traffic(70.0);
+  ConstantDeadline deadlines(250 * kMillisecond);
+  TraceOptions options;
+  options.seed = 939;
+  const QueryTrace trace =
+      BuildTrace(*ctx.task, traffic, deadlines, 30 * kSecond, options);
+
+  std::printf("Fig. 21 (text matching, sustained 70 qps overload, 250 ms "
+              "deadlines, deep buffers, slow scheduling host)\n");
+  TextTable table({"delta", "Acc%", "DMR%", "Scheduler runs",
+                   "Total overhead (ms)", "Mean overhead/run (us)"});
+  for (double delta : {0.1, 0.01, 0.001}) {
+    SchembleConfig config;
+    config.dp.delta = delta;
+    config.dp.max_queries = 12;
+    // A scheduling host ~5x slower than the default, as on the paper's
+    // 2016-era testbed CPU; makes the table-size cost visible.
+    config.scheduler_ops_per_us = 40.0;
+    auto policy = ctx.pipeline->MakeSchemble(config);
+    const ServingMetrics metrics = RunPolicy(*ctx.task, policy.get(), trace);
+    const double runs = static_cast<double>(policy->scheduler_runs());
+    table.AddRow(
+        {TextTable::Num(delta, 3), Pct(metrics.accuracy()),
+         Pct(metrics.deadline_miss_rate()),
+         TextTable::Num(runs, 0),
+         TextTable::Num(SimTimeToMillis(policy->total_overhead_us()), 1),
+         TextTable::Num(runs > 0 ? policy->total_overhead_us() / runs : 0.0,
+                        1)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+int main() {
+  RunTask(TaskKind::kTextMatching, 85.0, 100 * kMillisecond);
+  RunTask(TaskKind::kVehicleCounting, 60.0, 120 * kMillisecond);
+  RunDeepBufferTask();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 4: (a) distribution of the discrepancy score on the three
+// applications; (b) accuracy of every base-model combination per score bin
+// on the text-matching task.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/discrepancy.h"
+#include "core/profiling.h"
+
+using namespace schemble;
+using namespace schemble::bench;
+
+namespace {
+
+void Fig4a() {
+  std::printf("Fig. 4a: discrepancy-score distribution (realistic traffic, "
+              "12k samples per task)\n");
+  struct Row {
+    const char* name;
+    SyntheticTask task;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"Text matching", MakeTextMatchingTask()});
+  rows.push_back({"Vehicle counting", MakeVehicleCountingTask()});
+  rows.push_back({"Image retrieval", MakeImageRetrievalTask()});
+
+  const int bins = 10;
+  std::vector<std::string> headers = {"Task"};
+  for (int b = 0; b < bins; ++b) {
+    headers.push_back("[" + TextTable::Num(b * 0.1, 1) + "," +
+                      TextTable::Num((b + 1) * 0.1, 1) + ")");
+  }
+  TextTable table(headers);
+  for (Row& row : rows) {
+    const auto history = row.task.GenerateDataset(
+        12000, DifficultyDistribution::Realistic(), 404);
+    auto scorer = DiscrepancyScorer::Fit(row.task, history);
+    Histogram hist(0.0, 1.0, bins);
+    for (const Query& q : history) hist.Add(scorer.value().Score(q));
+    std::vector<std::string> cells = {row.name};
+    for (int b = 0; b < bins; ++b) cells.push_back(Pct(hist.Fraction(b)));
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+  std::printf("(row entries are %% of samples per score bin)\n\n");
+}
+
+void Fig4b() {
+  std::printf("Fig. 4b: accuracy (vs ensemble) of model combinations per "
+              "score bin, text matching\n");
+  SyntheticTask task = MakeTextMatchingTask();
+  const auto history = task.GenerateDataset(
+      20000, DifficultyDistribution::UniformFull(), 505);
+  auto scorer = DiscrepancyScorer::Fit(task, history);
+  auto profile = AccuracyProfile::Build(task, history,
+                                        scorer.value().ScoreAll(history));
+
+  std::vector<std::string> headers = {"Combination"};
+  for (int b = 0; b < profile.value().bins(); ++b) {
+    headers.push_back("bin" + std::to_string(b));
+  }
+  TextTable table(headers);
+  const char* names[] = {"",         "{BiL}",      "{RoB}",      "{BiL,RoB}",
+                         "{BERT}",   "{BiL,BERT}", "{RoB,BERT}", "{all}"};
+  for (SubsetMask mask = 1; mask <= FullMask(task.num_models()); ++mask) {
+    std::vector<std::string> cells = {names[mask]};
+    for (int b = 0; b < profile.value().bins(); ++b) {
+      cells.push_back(Pct(profile.value().CellUtility(b, mask)));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  Fig4a();
+  Fig4b();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 5: correlation matrix of models' preference vectors across
+// architectures and training seeds on the CIFAR100-style ensemble, with the
+// discrepancy score added for comparison. The paper's finding: preferences
+// correlate poorly across seeds (deep preferences are noise) while the
+// discrepancy score is stable.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/discrepancy.h"
+
+using namespace schemble;
+using namespace schemble::bench;
+
+int main() {
+  // Two instances of the same six-architecture ensemble trained with
+  // different seeds, evaluated on the same query set.
+  SyntheticTask seed_a = MakeCifar100StyleTask(9, /*model_seed=*/1111);
+  SyntheticTask seed_b = MakeCifar100StyleTask(9, /*model_seed=*/2222);
+  const int n = 4000;
+  const auto data_a =
+      seed_a.GenerateDataset(n, DifficultyDistribution::UniformFull(), 33);
+  const auto data_b =
+      seed_b.GenerateDataset(n, DifficultyDistribution::UniformFull(), 33);
+
+  auto scorer_a = DiscrepancyScorer::Fit(seed_a, data_a);
+  auto scorer_b = DiscrepancyScorer::Fit(seed_b, data_b);
+
+  const int m = seed_a.num_models();
+  // Preference vectors: per model, d(f_k(x_i), E(x_i)) over the dataset;
+  // the last column is the discrepancy score itself.
+  auto preferences = [&](const SyntheticTask&,
+                         const std::vector<Query>& data,
+                         const DiscrepancyScorer& scorer) {
+    std::vector<std::vector<double>> prefs(m + 1, std::vector<double>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < m; ++k) {
+        prefs[k][i] = scorer.ModelDistance(data[i], k);
+      }
+      prefs[m][i] = scorer.Score(data[i]);
+    }
+    return prefs;
+  };
+  const auto prefs_a = preferences(seed_a, data_a, scorer_a.value());
+  const auto prefs_b = preferences(seed_b, data_b, scorer_b.value());
+
+  std::printf("Fig. 5: correlation of per-model preferences across training "
+              "seeds (diagonal of the paper's matrix)\n");
+  TextTable table({"Quantity", "corr(seed1, seed2)"});
+  double mean_model_corr = 0.0;
+  for (int k = 0; k < m; ++k) {
+    const double corr = PearsonCorrelation(prefs_a[k], prefs_b[k]);
+    mean_model_corr += corr / m;
+    table.AddRow({seed_a.profile(k).name, TextTable::Num(corr, 3)});
+  }
+  const double dis_corr = PearsonCorrelation(prefs_a[m], prefs_b[m]);
+  table.AddRow({"Discrepancy score", TextTable::Num(dis_corr, 3)});
+  table.Print();
+  std::printf("Mean per-model preference correlation: %.3f; discrepancy "
+              "score correlation: %.3f\n\n",
+              mean_model_corr, dis_corr);
+
+  std::printf("Cross-architecture preference correlations within one seed "
+              "(off-diagonal of the paper's matrix)\n");
+  std::vector<std::string> headers = {"Model"};
+  for (int k = 0; k < m; ++k) headers.push_back(seed_a.profile(k).name);
+  TextTable matrix(headers);
+  for (int a = 0; a < m; ++a) {
+    std::vector<std::string> cells = {seed_a.profile(a).name};
+    for (int b = 0; b < m; ++b) {
+      cells.push_back(
+          TextTable::Num(PearsonCorrelation(prefs_a[a], prefs_a[b]), 2));
+    }
+    matrix.AddRow(std::move(cells));
+  }
+  matrix.Print();
+  return 0;
+}

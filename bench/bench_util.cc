@@ -1,0 +1,243 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/discrepancy.h"
+#include "core/profiling.h"
+
+namespace schemble {
+namespace bench {
+
+const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kTextMatching:
+      return "Text matching";
+    case TaskKind::kVehicleCounting:
+      return "Vehicle counting";
+    case TaskKind::kImageRetrieval:
+      return "Image retrieval";
+  }
+  return "?";
+}
+
+std::vector<int> BenchContext::StaticExecutors() const {
+  std::vector<int> executors;
+  for (size_t k = 0; k < static_deployment.replicas.size(); ++k) {
+    for (int r = 0; r < static_deployment.replicas[k]; ++r) {
+      executors.push_back(static_cast<int>(k));
+    }
+  }
+  return executors;
+}
+
+BenchContext MakeContext(TaskKind kind, double expected_rate,
+                         int history_size, uint64_t seed) {
+  BenchContext ctx;
+  switch (kind) {
+    case TaskKind::kTextMatching:
+      ctx.task = std::make_unique<SyntheticTask>(MakeTextMatchingTask(seed));
+      break;
+    case TaskKind::kVehicleCounting:
+      ctx.task =
+          std::make_unique<SyntheticTask>(MakeVehicleCountingTask(seed));
+      break;
+    case TaskKind::kImageRetrieval:
+      ctx.task =
+          std::make_unique<SyntheticTask>(MakeImageRetrievalTask(seed));
+      break;
+  }
+
+  PipelineOptions pipeline_options;
+  pipeline_options.history_size = history_size;
+  pipeline_options.with_ensemble_agreement = true;
+  pipeline_options.predictor.trainer.epochs = 25;
+  pipeline_options.seed = seed + 1;
+  auto pipeline = SchemblePipeline::Build(*ctx.task, pipeline_options);
+  SCHEMBLE_CHECK(pipeline.ok()) << pipeline.status().ToString();
+  ctx.pipeline = std::move(pipeline).value();
+
+  auto des = DesPolicy::Train(*ctx.task, ctx.pipeline->history(), DesConfig{});
+  SCHEMBLE_CHECK(des.ok()) << des.status().ToString();
+  ctx.des = std::make_unique<DesPolicy>(std::move(des).value());
+
+  GatingConfig gating_config;
+  gating_config.trainer.epochs = 20;
+  auto gating =
+      GatingPolicy::Train(*ctx.task, ctx.pipeline->history(), gating_config);
+  SCHEMBLE_CHECK(gating.ok()) << gating.status().ToString();
+  ctx.gating = std::make_unique<GatingPolicy>(std::move(gating).value());
+
+  ctx.static_deployment = ChooseStaticDeployment(
+      ctx.task->profiles(), ctx.pipeline->profile(),
+      TotalMemoryMb(ctx.task->profiles()), expected_rate);
+  return ctx;
+}
+
+ServingMetrics RunPolicy(const SyntheticTask& task, ServingPolicy* policy,
+                         const QueryTrace& trace, bool allow_rejection,
+                         std::vector<int> executors,
+                         SimTime segment_duration) {
+  ServerOptions options;
+  options.allow_rejection = allow_rejection;
+  options.executor_models = std::move(executors);
+  options.segment_duration = segment_duration;
+  EnsembleServer server(task, policy, options);
+  return server.Run(trace);
+}
+
+std::vector<PolicySuiteRun> RunExp1Suite(BenchContext& ctx,
+                                         const QueryTrace& trace,
+                                         bool allow_rejection,
+                                         SimTime segment_duration) {
+  std::vector<PolicySuiteRun> runs;
+  {
+    OriginalPolicy original;
+    runs.push_back({original.name(),
+                    RunPolicy(*ctx.task, &original, trace, allow_rejection,
+                              {}, segment_duration)});
+  }
+  {
+    StaticPolicy static_policy(ctx.static_deployment);
+    runs.push_back({static_policy.name(),
+                    RunPolicy(*ctx.task, &static_policy, trace,
+                              allow_rejection, ctx.StaticExecutors(),
+                              segment_duration)});
+  }
+  runs.push_back({ctx.des->name(),
+                  RunPolicy(*ctx.task, ctx.des.get(), trace, allow_rejection,
+                            {}, segment_duration)});
+  runs.push_back({ctx.gating->name(),
+                  RunPolicy(*ctx.task, ctx.gating.get(), trace,
+                            allow_rejection, {}, segment_duration)});
+  {
+    auto ea = ctx.pipeline->MakeSchembleEa(SchembleConfig{});
+    runs.push_back({ea->name(),
+                    RunPolicy(*ctx.task, ea.get(), trace, allow_rejection,
+                              {}, segment_duration)});
+  }
+  {
+    auto schemble = ctx.pipeline->MakeSchemble(SchembleConfig{});
+    runs.push_back({schemble->name(),
+                    RunPolicy(*ctx.task, schemble.get(), trace,
+                              allow_rejection, {}, segment_duration)});
+  }
+  return runs;
+}
+
+std::string Pct(double fraction, int precision) {
+  return TextTable::Num(fraction * 100.0, precision);
+}
+
+StaticDeployment ChooseStaticDeploymentByPilot(const BenchContext& ctx,
+                                               const QueryTrace& pilot) {
+  const auto& profiles = ctx.task->profiles();
+  const double budget = TotalMemoryMb(profiles);
+  StaticDeployment best;
+  double best_accuracy = -1.0;
+  for (SubsetMask subset = 1; subset <= FullMask(ctx.task->num_models());
+       ++subset) {
+    StaticDeployment candidate = PackReplicas(profiles, subset, budget);
+    if (candidate.subset == 0) continue;
+    std::vector<int> executors;
+    for (size_t k = 0; k < candidate.replicas.size(); ++k) {
+      for (int r = 0; r < candidate.replicas[k]; ++r) {
+        executors.push_back(static_cast<int>(k));
+      }
+    }
+    StaticPolicy policy(candidate);
+    const ServingMetrics metrics = RunPolicy(
+        *ctx.task, &policy, pilot, /*allow_rejection=*/true, executors);
+    if (metrics.accuracy() > best_accuracy) {
+      best_accuracy = metrics.accuracy();
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+ScoreSampledPool::ScoreSampledPool(const BenchContext& ctx, int pool_size,
+                                   uint64_t seed)
+    : ctx_(&ctx) {
+  pool_ = ctx.task->GenerateDataset(
+      pool_size, DifficultyDistribution::UniformFull(),
+      HashSeed("score-pool", seed), /*first_id=*/900000);
+  buckets_.assign(50, {});
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    const double s = ctx.pipeline->scorer().Score(pool_[i]);
+    buckets_[std::min<int>(49, static_cast<int>(s * 50))].push_back(
+        static_cast<int>(i));
+  }
+}
+
+QueryTrace ScoreSampledPool::MakeTrace(
+    const DifficultyDistribution& score_distribution, double rate_per_second,
+    SimTime duration, SimTime deadline, uint64_t seed) {
+  Rng rng(HashSeed("score-trace", seed));
+  Rng arrival_rng = rng.Fork(1);
+  PoissonTraffic traffic(rate_per_second);
+  const auto arrivals = traffic.GenerateArrivals(duration, arrival_rng);
+  QueryTrace trace;
+  trace.items.reserve(arrivals.size());
+  for (SimTime when : arrivals) {
+    const double target =
+        std::min(0.999, score_distribution.Sample(rng));
+    int bucket = std::min(49, static_cast<int>(target * 50));
+    // Walk outward to the nearest non-empty bucket.
+    for (int step = 0; buckets_[bucket].empty() && step < 50; ++step) {
+      bucket = (bucket + 1) % 50;
+    }
+    SCHEMBLE_CHECK(!buckets_[bucket].empty());
+    Query query = pool_[buckets_[bucket][rng.UniformInt(
+        0, static_cast<int64_t>(buckets_[bucket].size()) - 1)]];
+    query.id = next_id_++;
+    TracedQuery tq;
+    tq.query = std::move(query);
+    tq.arrival_time = when;
+    tq.deadline = when + deadline;
+    trace.items.push_back(std::move(tq));
+  }
+  return trace;
+}
+
+void RunDeadlineSweep(BenchContext& ctx,
+                      const std::vector<double>& deadline_labels_ms,
+                      const std::function<QueryTrace(double)>& trace_factory,
+                      const char* metric_name) {
+  std::vector<std::string> policy_names;
+  std::vector<double> acc_sums;
+  std::vector<double> dmr_sums;
+
+  for (double deadline_ms : deadline_labels_ms) {
+    const QueryTrace trace = trace_factory(deadline_ms);
+    const auto runs = RunExp1Suite(ctx, trace);
+    std::printf("Deadline %.0f ms (%lld queries)\n", deadline_ms,
+                static_cast<long long>(trace.size()));
+    TextTable table({"Policy", std::string(metric_name) + "%", "DMR%"});
+    for (size_t p = 0; p < runs.size(); ++p) {
+      table.AddRow({runs[p].name, Pct(runs[p].metrics.accuracy()),
+                    Pct(runs[p].metrics.deadline_miss_rate())});
+      if (policy_names.size() <= p) {
+        policy_names.push_back(runs[p].name);
+        acc_sums.push_back(0.0);
+        dmr_sums.push_back(0.0);
+      }
+      acc_sums[p] += runs[p].metrics.accuracy();
+      dmr_sums[p] += runs[p].metrics.deadline_miss_rate();
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf("Table I (averages over deadline settings)\n");
+  TextTable table({"Policy", std::string(metric_name) + "%", "DMR%"});
+  const double n = static_cast<double>(deadline_labels_ms.size());
+  for (size_t p = 0; p < policy_names.size(); ++p) {
+    table.AddRow({policy_names[p], Pct(acc_sums[p] / n),
+                  Pct(dmr_sums[p] / n)});
+  }
+  table.Print();
+}
+
+}  // namespace bench
+}  // namespace schemble

@@ -1,0 +1,108 @@
+#ifndef SCHEMBLE_BENCH_BENCH_UTIL_H_
+#define SCHEMBLE_BENCH_BENCH_UTIL_H_
+
+// Shared setup for the per-table/figure bench harnesses: builds one task's
+// full serving stack (pipeline + all baselines) so every bench reproduces
+// the paper's rows from the same trained components.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/des_policy.h"
+#include "baselines/gating_policy.h"
+#include "baselines/original_policy.h"
+#include "baselines/static_policy.h"
+#include "common/table.h"
+#include "models/task_factory.h"
+#include "serving/pipeline.h"
+#include "serving/server.h"
+#include "workload/trace.h"
+#include "workload/traffic.h"
+
+namespace schemble {
+namespace bench {
+
+enum class TaskKind { kTextMatching, kVehicleCounting, kImageRetrieval };
+
+const char* TaskKindName(TaskKind kind);
+
+/// One task's trained serving stack.
+struct BenchContext {
+  std::unique_ptr<SyntheticTask> task;
+  std::unique_ptr<SchemblePipeline> pipeline;
+  std::unique_ptr<DesPolicy> des;
+  std::unique_ptr<GatingPolicy> gating;
+  StaticDeployment static_deployment;
+
+  /// Executor list implementing the static deployment (replicas included).
+  std::vector<int> StaticExecutors() const;
+};
+
+/// Builds the context; `expected_rate` feeds the static deployment search.
+BenchContext MakeContext(TaskKind kind, double expected_rate,
+                         int history_size = 4000, uint64_t seed = 2024);
+
+/// Runs `policy` on `trace` against the default one-executor-per-model
+/// deployment (or `executors` when non-empty).
+ServingMetrics RunPolicy(const SyntheticTask& task, ServingPolicy* policy,
+                         const QueryTrace& trace, bool allow_rejection = true,
+                         std::vector<int> executors = {},
+                         SimTime segment_duration = 60 * kSecond);
+
+/// The six-policy comparison suite of Exp-1 (fresh Schemble policies per
+/// call so per-run overhead counters start clean).
+struct PolicySuiteRun {
+  std::string name;
+  ServingMetrics metrics;
+};
+std::vector<PolicySuiteRun> RunExp1Suite(BenchContext& ctx,
+                                         const QueryTrace& trace,
+                                         bool allow_rejection = true,
+                                         SimTime segment_duration =
+                                             60 * kSecond);
+
+/// Percentage formatting shorthand.
+std::string Pct(double fraction, int precision = 1);
+
+/// The paper's static greedy search, done honestly: every subset (with
+/// replica packing into the memory budget) is evaluated by a pilot serving
+/// simulation; the deployment with the best overall accuracy wins.
+StaticDeployment ChooseStaticDeploymentByPilot(const BenchContext& ctx,
+                                               const QueryTrace& pilot);
+
+/// A pool of queries bucketed by ground-truth discrepancy score, used to
+/// resample traces whose *score* distribution matches a target (the
+/// protocol of Exp-3: "we sample data based on their true discrepancy
+/// scores").
+class ScoreSampledPool {
+ public:
+  ScoreSampledPool(const BenchContext& ctx, int pool_size, uint64_t seed);
+
+  /// Builds a trace whose queries' true scores follow the given
+  /// distribution, with Poisson arrivals and constant deadlines. Sampled
+  /// queries get fresh unique ids.
+  QueryTrace MakeTrace(const DifficultyDistribution& score_distribution,
+                       double rate_per_second, SimTime duration,
+                       SimTime deadline, uint64_t seed);
+
+ private:
+  const BenchContext* ctx_;
+  std::vector<Query> pool_;
+  std::vector<std::vector<int>> buckets_;
+  int64_t next_id_ = 5000000;
+};
+
+/// Exp-1 driver: sweeps deadline settings, runs the six-policy suite on
+/// each trace, prints the Fig. 6/7/8 series and the Table I averages.
+/// `metric_name` labels the accuracy column ("Acc" or "mAP").
+void RunDeadlineSweep(BenchContext& ctx,
+                      const std::vector<double>& deadline_labels_ms,
+                      const std::function<QueryTrace(double)>& trace_factory,
+                      const char* metric_name);
+
+}  // namespace bench
+}  // namespace schemble
+
+#endif  // SCHEMBLE_BENCH_BENCH_UTIL_H_

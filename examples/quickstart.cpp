@@ -1,0 +1,79 @@
+// Quickstart: serve a deep text-matching ensemble under deadline pressure
+// with Schemble and compare it against the original fan-out pipeline.
+//
+//   $ ./quickstart
+//
+// Walks through the full public API: build a task, train the offline
+// pipeline (calibration + discrepancy scoring + accuracy profiling +
+// predictor), generate a query trace, and run the serving simulation.
+
+#include <cstdio>
+
+#include "baselines/original_policy.h"
+#include "common/table.h"
+#include "models/task_factory.h"
+#include "serving/pipeline.h"
+#include "serving/server.h"
+#include "workload/trace.h"
+#include "workload/traffic.h"
+
+using namespace schemble;
+
+int main() {
+  // 1. The application: a BiLSTM + RoBERTa + BERT text-matching ensemble.
+  SyntheticTask task = MakeTextMatchingTask();
+  std::printf("Ensemble: ");
+  for (int k = 0; k < task.num_models(); ++k) {
+    std::printf("%s(%.0fms) ", task.profile(k).name.c_str(),
+                SimTimeToMillis(task.profile(k).latency_us));
+  }
+  std::printf("\n");
+
+  // 2. Offline phase: historical data -> temperature scaling, discrepancy
+  //    scores, accuracy profile, and the difficulty-prediction network.
+  PipelineOptions pipeline_options;
+  pipeline_options.history_size = 3000;
+  pipeline_options.predictor.trainer.epochs = 15;
+  auto pipeline = SchemblePipeline::Build(task, pipeline_options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Trained predictor: %zu parameters, %.2f MB\n",
+              pipeline.value()->predictor().ParameterCount(),
+              pipeline.value()->predictor().MemoryMb());
+
+  // 3. Online phase: bursty Poisson traffic with 100 ms deadlines, well
+  //    above the slowest model but far beyond the fan-out capacity.
+  PoissonTraffic traffic(/*rate_per_second=*/35.0);
+  ConstantDeadline deadlines(100 * kMillisecond);
+  TraceOptions trace_options;
+  trace_options.seed = 7;
+  const QueryTrace trace =
+      BuildTrace(task, traffic, deadlines, 60 * kSecond, trace_options);
+  std::printf("Trace: %lld queries over %.0f s\n",
+              static_cast<long long>(trace.size()),
+              SimTimeToSeconds(trace.duration()));
+
+  // 4. Serve with the original pipeline and with Schemble.
+  TextTable table({"Policy", "Accuracy", "DMR", "Mean latency (ms)"});
+  {
+    OriginalPolicy original;
+    const ServingMetrics metrics =
+        EnsembleServer(task, &original, ServerOptions{}).Run(trace);
+    table.AddRow({original.name(), TextTable::Num(metrics.accuracy() * 100, 1),
+                  TextTable::Num(metrics.deadline_miss_rate() * 100, 1),
+                  TextTable::Num(metrics.mean_latency_ms(), 1)});
+  }
+  {
+    auto schemble = pipeline.value()->MakeSchemble(SchembleConfig{});
+    const ServingMetrics metrics =
+        EnsembleServer(task, schemble.get(), ServerOptions{}).Run(trace);
+    table.AddRow({schemble->name(), TextTable::Num(metrics.accuracy() * 100, 1),
+                  TextTable::Num(metrics.deadline_miss_rate() * 100, 1),
+                  TextTable::Num(metrics.mean_latency_ms(), 1)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Command-line experiment driver: pick a task, a policy, a traffic level
+// and a deadline, and get the serving metrics — the quickest way to poke at
+// the system without writing code.
+//
+//   $ ./serve_cli --task=tm --policy=schemble --rate=35 --deadline-ms=100
+//   $ ./serve_cli --task=vc --policy=original --rate=30 --duration-s=120
+//   $ ./serve_cli --help
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/des_policy.h"
+#include "baselines/gating_policy.h"
+#include "baselines/original_policy.h"
+#include "common/table.h"
+#include "models/task_factory.h"
+#include "serving/pipeline.h"
+#include "serving/server.h"
+#include "workload/trace.h"
+#include "workload/traffic.h"
+
+using namespace schemble;
+
+namespace {
+
+struct CliOptions {
+  std::string task = "tm";
+  std::string policy = "schemble";
+  double rate = 35.0;
+  double deadline_ms = 100.0;
+  double duration_s = 60.0;
+  uint64_t seed = 42;
+  bool force = false;  // force-processing mode (no rejection)
+};
+
+void PrintUsage() {
+  std::printf(
+      "serve_cli: run one serving experiment\n"
+      "  --task=tm|vc|ir          application (default tm)\n"
+      "  --policy=NAME            original|des|gating|schemble|schemble-ea|\n"
+      "                           schemble-t|schemble-oracle (default schemble)\n"
+      "  --rate=QPS               Poisson arrival rate (default 35)\n"
+      "  --deadline-ms=MS         relative deadline (default 100)\n"
+      "  --duration-s=S           trace duration (default 60)\n"
+      "  --seed=N                 trace seed (default 42)\n"
+      "  --force                  force-processing mode (Exp-2 style)\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage();
+      return 0;
+    } else if (std::strcmp(argv[i], "--force") == 0) {
+      options.force = true;
+    } else if (ParseFlag(argv[i], "--task", &value)) {
+      options.task = value;
+    } else if (ParseFlag(argv[i], "--policy", &value)) {
+      options.policy = value;
+    } else if (ParseFlag(argv[i], "--rate", &value)) {
+      options.rate = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--deadline-ms", &value)) {
+      options.deadline_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--duration-s", &value)) {
+      options.duration_s = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n\n", argv[i]);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  SyntheticTask task = options.task == "vc"   ? MakeVehicleCountingTask()
+                       : options.task == "ir" ? MakeImageRetrievalTask()
+                                              : MakeTextMatchingTask();
+  std::printf("Task %s: ", options.task.c_str());
+  for (int k = 0; k < task.num_models(); ++k) {
+    std::printf("%s(%.0fms) ", task.profile(k).name.c_str(),
+                SimTimeToMillis(task.profile(k).latency_us));
+  }
+  std::printf("\n");
+
+  PipelineOptions pipeline_options;
+  pipeline_options.history_size = 3000;
+  pipeline_options.with_ensemble_agreement = true;
+  pipeline_options.predictor.trainer.epochs = 15;
+  auto pipeline = SchemblePipeline::Build(task, pipeline_options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<ServingPolicy> policy;
+  if (options.policy == "original") {
+    policy = std::make_unique<OriginalPolicy>();
+  } else if (options.policy == "des") {
+    auto des = DesPolicy::Train(task, pipeline.value()->history(),
+                                DesConfig{});
+    if (!des.ok()) {
+      std::fprintf(stderr, "des: %s\n", des.status().ToString().c_str());
+      return 1;
+    }
+    policy = std::make_unique<DesPolicy>(std::move(des).value());
+  } else if (options.policy == "gating") {
+    GatingConfig config;
+    config.trainer.epochs = 15;
+    auto gating = GatingPolicy::Train(task, pipeline.value()->history(),
+                                      config);
+    if (!gating.ok()) {
+      std::fprintf(stderr, "gating: %s\n",
+                   gating.status().ToString().c_str());
+      return 1;
+    }
+    policy = std::make_unique<GatingPolicy>(std::move(gating).value());
+  } else if (options.policy == "schemble") {
+    policy = pipeline.value()->MakeSchemble(SchembleConfig{});
+  } else if (options.policy == "schemble-ea") {
+    policy = pipeline.value()->MakeSchembleEa(SchembleConfig{});
+  } else if (options.policy == "schemble-t") {
+    policy = pipeline.value()->MakeSchembleT(SchembleConfig{});
+  } else if (options.policy == "schemble-oracle") {
+    policy = pipeline.value()->MakeSchembleOracle(SchembleConfig{});
+  } else {
+    std::fprintf(stderr, "unknown policy: %s\n\n", options.policy.c_str());
+    PrintUsage();
+    return 2;
+  }
+
+  PoissonTraffic traffic(options.rate);
+  ConstantDeadline deadlines(MillisToSimTime(options.deadline_ms));
+  TraceOptions trace_options;
+  trace_options.seed = options.seed;
+  const QueryTrace trace = BuildTrace(
+      task, traffic, deadlines,
+      static_cast<SimTime>(options.duration_s * kSecond), trace_options);
+
+  ServerOptions server_options;
+  server_options.allow_rejection = !options.force;
+  const ServingMetrics metrics =
+      EnsembleServer(task, policy.get(), server_options).Run(trace);
+
+  TextTable table({"Metric", "Value"});
+  table.AddRow({"Policy", policy->name()});
+  table.AddRow({"Queries", std::to_string(metrics.total)});
+  table.AddRow({"Accuracy %", TextTable::Num(metrics.accuracy() * 100, 2)});
+  table.AddRow({"Processed accuracy %",
+                TextTable::Num(metrics.processed_accuracy() * 100, 2)});
+  table.AddRow({"Deadline miss rate %",
+                TextTable::Num(metrics.deadline_miss_rate() * 100, 2)});
+  table.AddRow({"Mean latency (ms)",
+                TextTable::Num(metrics.mean_latency_ms(), 2)});
+  table.AddRow({"P95 latency (ms)",
+                TextTable::Num(metrics.p95_latency_ms(), 2)});
+  table.AddRow({"Max latency (ms)",
+                TextTable::Num(metrics.max_latency_ms(), 2)});
+  for (size_t s = 0; s < metrics.subset_size_counts.size(); ++s) {
+    table.AddRow({"Served with " + std::to_string(s) + " models",
+                  std::to_string(metrics.subset_size_counts[s])});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Video-analytics scenario (vehicle counting on a UA-DETRAC-style feed):
+// three object detectors ensembled by weighted averaging, 24 cameras with
+// per-camera deadlines drawn from a uniform distribution, Poisson traffic.
+//
+//   $ ./video_analytics
+
+#include <cstdio>
+
+#include "baselines/des_policy.h"
+#include "baselines/original_policy.h"
+#include "common/table.h"
+#include "models/task_factory.h"
+#include "serving/pipeline.h"
+#include "serving/server.h"
+#include "workload/trace.h"
+#include "workload/traffic.h"
+
+using namespace schemble;
+
+int main() {
+  SyntheticTask task = MakeVehicleCountingTask();
+  std::printf("Detectors: ");
+  for (int k = 0; k < task.num_models(); ++k) {
+    std::printf("%s(%.0fms) ", task.profile(k).name.c_str(),
+                SimTimeToMillis(task.profile(k).latency_us));
+  }
+  std::printf("\n");
+
+  PipelineOptions pipeline_options;
+  pipeline_options.history_size = 3000;
+  pipeline_options.predictor.trainer.epochs = 15;
+  auto pipeline = SchemblePipeline::Build(task, pipeline_options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+
+  // 24 cameras; each camera's priority fixes its relative deadline.
+  PoissonTraffic traffic(/*rate_per_second=*/34.0);
+  PerSourceUniformDeadline deadlines(/*num_sources=*/24,
+                                     90 * kMillisecond, 220 * kMillisecond,
+                                     /*seed=*/5);
+  TraceOptions trace_options;
+  trace_options.num_sources = 24;
+  trace_options.seed = 9;
+  const QueryTrace trace =
+      BuildTrace(task, traffic, deadlines, 60 * kSecond, trace_options);
+  std::printf("Trace: %lld frames from 24 cameras\n",
+              static_cast<long long>(trace.size()));
+
+  TextTable table({"Policy", "Count accuracy%", "DMR%"});
+  auto report = [&](ServingPolicy* policy) {
+    const ServingMetrics metrics =
+        EnsembleServer(task, policy, ServerOptions{}).Run(trace);
+    table.AddRow({policy->name(),
+                  TextTable::Num(metrics.accuracy() * 100, 1),
+                  TextTable::Num(metrics.deadline_miss_rate() * 100, 1)});
+  };
+
+  OriginalPolicy original;
+  report(&original);
+  auto des = DesPolicy::Train(task, pipeline.value()->history(), DesConfig{});
+  if (des.ok()) report(&des.value());
+  auto schemble = pipeline.value()->MakeSchemble(SchembleConfig{});
+  report(schemble.get());
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef SCHEMBLE_BASELINES_DES_POLICY_H_
+#define SCHEMBLE_BASELINES_DES_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/policy.h"
+#include "models/synthetic_task.h"
+#include "nn/kmeans.h"
+
+namespace schemble {
+
+struct DesConfig {
+  /// Regions the feature space is clustered into.
+  int clusters = 16;
+  /// Models whose regional competence is within this margin of the best
+  /// model's competence are selected alongside it.
+  double competence_margin = 0.02;
+  uint64_t seed = 31;
+};
+
+/// Dynamic ensemble selection baseline (§III-B): k-means regions over the
+/// feature space, a per-region per-model competence score (probability of
+/// matching the ensemble), and near-max-competence selection per query.
+/// This is the cluster/competence skeleton shared by FIRE-DES++-style
+/// methods, which the paper argues fails on deep ensembles because deep
+/// models' regional preferences are seed noise.
+class DesPolicy : public ServingPolicy {
+ public:
+  static Result<DesPolicy> Train(const SyntheticTask& task,
+                                 const std::vector<Query>& history,
+                                 const DesConfig& config);
+
+  std::string name() const override { return "DES"; }
+
+  ArrivalDecision OnArrival(const TracedQuery& query,
+                            const ServerView& view) override;
+
+  /// Subset DES would select for a query, ignoring queue state (exposed for
+  /// the offline budget experiments and tests).
+  SubsetMask SelectSubset(const Query& query) const;
+
+  /// Regional competence table (tests): [cluster][model].
+  const std::vector<std::vector<double>>& competence() const {
+    return competence_;
+  }
+
+ private:
+  DesPolicy(DesConfig config, KMeans kmeans,
+            std::vector<std::vector<double>> competence)
+      : config_(config),
+        kmeans_(std::move(kmeans)),
+        competence_(std::move(competence)) {}
+
+  DesConfig config_;
+  KMeans kmeans_;
+  std::vector<std::vector<double>> competence_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_BASELINES_DES_POLICY_H_

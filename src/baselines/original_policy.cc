@@ -1,0 +1,15 @@
+#include "baselines/original_policy.h"
+
+namespace schemble {
+
+ArrivalDecision OriginalPolicy::OnArrival(const TracedQuery& query,
+                                          const ServerView& view) {
+  const SubsetMask full = FullMask(view.num_models());
+  if (view.allow_rejection &&
+      view.EstimateCompletion(full) > query.deadline) {
+    return ArrivalDecision::Reject();
+  }
+  return ArrivalDecision::Assign(full);
+}
+
+}  // namespace schemble

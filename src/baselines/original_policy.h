@@ -1,0 +1,25 @@
+#ifndef SCHEMBLE_BASELINES_ORIGINAL_POLICY_H_
+#define SCHEMBLE_BASELINES_ORIGINAL_POLICY_H_
+
+#include <string>
+
+#include "core/policy.h"
+
+namespace schemble {
+
+/// The unmodified ensemble-serving pipeline (§III-A): every query fans out
+/// one inference task to every base model. With rejection enabled, queries
+/// whose estimated completion exceeds their deadline are skipped.
+class OriginalPolicy : public ServingPolicy {
+ public:
+  OriginalPolicy() = default;
+
+  std::string name() const override { return "Original"; }
+
+  ArrivalDecision OnArrival(const TracedQuery& query,
+                            const ServerView& view) override;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_BASELINES_ORIGINAL_POLICY_H_

@@ -1,0 +1,116 @@
+#include "baselines/static_policy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "simcore/simulation.h"
+
+namespace schemble {
+
+namespace {
+
+/// Bottleneck throughput (queries/sec) of a deployment: every query places
+/// one task on each chosen model, so the slowest per-model pool limits it.
+double BottleneckRate(const std::vector<ModelProfile>& profiles,
+                      const StaticDeployment& deployment) {
+  double bottleneck = 1e18;
+  for (size_t k = 0; k < profiles.size(); ++k) {
+    if (!(deployment.subset & (SubsetMask{1} << k))) continue;
+    const double per_instance =
+        static_cast<double>(kSecond) /
+        static_cast<double>(profiles[k].latency_us);
+    bottleneck =
+        std::min(bottleneck, per_instance * deployment.replicas[k]);
+  }
+  return bottleneck;
+}
+
+/// Expected per-processed-query accuracy of a subset, weighted by the
+/// profiling data's score distribution.
+double ExpectedUtility(const AccuracyProfile& profile, SubsetMask subset) {
+  double total = 0.0;
+  int64_t count = 0;
+  for (int bin = 0; bin < profile.bins(); ++bin) {
+    total += profile.CellUtility(bin, subset) *
+             static_cast<double>(profile.BinCount(bin));
+    count += profile.BinCount(bin);
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
+
+StaticDeployment PackReplicas(const std::vector<ModelProfile>& profiles,
+                              SubsetMask subset, double memory_budget_mb) {
+  const int m = static_cast<int>(profiles.size());
+  StaticDeployment candidate;
+  candidate.subset = subset;
+  candidate.replicas.assign(m, 0);
+  double memory = 0.0;
+  for (int k = 0; k < m; ++k) {
+    if (!(subset & (SubsetMask{1} << k))) continue;
+    candidate.replicas[k] = 1;
+    memory += profiles[k].memory_mb;
+  }
+  if (memory > memory_budget_mb) return StaticDeployment{};
+  // Pack leftover memory with replicas of whichever chosen model is the
+  // throughput bottleneck.
+  while (true) {
+    int bottleneck_model = -1;
+    double bottleneck_rate = 1e18;
+    for (int k = 0; k < m; ++k) {
+      if (!(subset & (SubsetMask{1} << k))) continue;
+      const double rate = candidate.replicas[k] *
+                          static_cast<double>(kSecond) /
+                          static_cast<double>(profiles[k].latency_us);
+      if (rate < bottleneck_rate &&
+          memory + profiles[k].memory_mb <= memory_budget_mb) {
+        bottleneck_rate = rate;
+        bottleneck_model = k;
+      }
+    }
+    if (bottleneck_model < 0) break;
+    ++candidate.replicas[bottleneck_model];
+    memory += profiles[bottleneck_model].memory_mb;
+  }
+  return candidate;
+}
+
+StaticDeployment ChooseStaticDeployment(
+    const std::vector<ModelProfile>& profiles, const AccuracyProfile& profile,
+    double memory_budget_mb, double expected_rate_per_sec) {
+  const int m = static_cast<int>(profiles.size());
+  StaticDeployment best;
+  double best_score = -1.0;
+  for (SubsetMask subset = 1; subset <= FullMask(m); ++subset) {
+    StaticDeployment candidate =
+        PackReplicas(profiles, subset, memory_budget_mb);
+    if (candidate.subset == 0) continue;
+    const double capacity = BottleneckRate(profiles, candidate);
+    const double processed_fraction =
+        std::min(1.0, capacity / std::max(expected_rate_per_sec, 1e-9));
+    const double score = ExpectedUtility(profile, subset) * processed_fraction;
+    if (score > best_score) {
+      best_score = score;
+      best = candidate;
+    }
+  }
+  SCHEMBLE_CHECK_NE(best.subset, 0u);
+  return best;
+}
+
+StaticPolicy::StaticPolicy(StaticDeployment deployment)
+    : deployment_(std::move(deployment)) {
+  SCHEMBLE_CHECK_NE(deployment_.subset, 0u);
+}
+
+ArrivalDecision StaticPolicy::OnArrival(const TracedQuery& query,
+                                        const ServerView& view) {
+  if (view.allow_rejection &&
+      view.EstimateCompletion(deployment_.subset) > query.deadline) {
+    return ArrivalDecision::Reject();
+  }
+  return ArrivalDecision::Assign(deployment_.subset);
+}
+
+}  // namespace schemble

@@ -1,0 +1,56 @@
+#ifndef SCHEMBLE_BASELINES_STATIC_POLICY_H_
+#define SCHEMBLE_BASELINES_STATIC_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/profiling.h"
+#include "models/model_profile.h"
+
+namespace schemble {
+
+/// A static-selection deployment: the chosen subset plus replica counts per
+/// base model (unchosen models are undeployed; their memory hosts replicas
+/// of chosen models, §III-B).
+struct StaticDeployment {
+  SubsetMask subset = 0;
+  /// replicas[k] = number of deployed instances of model k (0 if k is not
+  /// in `subset`).
+  std::vector<int> replicas;
+};
+
+/// Packs leftover memory with replicas of the bottleneck model; the base
+/// deployment has one instance of each subset member. Returns an empty
+/// (subset == 0) deployment when the subset alone exceeds the budget.
+StaticDeployment PackReplicas(const std::vector<ModelProfile>& profiles,
+                              SubsetMask subset, double memory_budget_mb);
+
+/// Greedy search over deployments (the paper: "we are able to find an
+/// optimal deployment plan for static selection by greedy search"):
+/// enumerate all subsets; pack leftover memory with replicas that raise the
+/// bottleneck throughput; score by expected accuracy x expected processed
+/// fraction under the given arrival rate.
+StaticDeployment ChooseStaticDeployment(
+    const std::vector<ModelProfile>& profiles, const AccuracyProfile& profile,
+    double memory_budget_mb, double expected_rate_per_sec);
+
+/// Serves every query with the deployment's fixed subset.
+class StaticPolicy : public ServingPolicy {
+ public:
+  explicit StaticPolicy(StaticDeployment deployment);
+
+  std::string name() const override { return "Static"; }
+
+  ArrivalDecision OnArrival(const TracedQuery& query,
+                            const ServerView& view) override;
+
+  const StaticDeployment& deployment() const { return deployment_; }
+
+ private:
+  StaticDeployment deployment_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_BASELINES_STATIC_POLICY_H_

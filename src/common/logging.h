@@ -1,0 +1,66 @@
+#ifndef SCHEMBLE_COMMON_LOGGING_H_
+#define SCHEMBLE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace schemble {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+/// Accumulates a log message with streaming syntax and emits it (to stderr)
+/// on destruction. A kFatal message aborts the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Minimum level that is actually emitted; defaults to kInfo.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+}  // namespace schemble
+
+#define SCHEMBLE_LOG(level)                                              \
+  ::schemble::internal_logging::LogMessage(::schemble::LogLevel::level, \
+                                           __FILE__, __LINE__)
+
+/// CHECK aborts with a message when `cond` is false. It is always on; use it
+/// for invariants whose violation means a programming error.
+#define SCHEMBLE_CHECK(cond)                                       \
+  if (!(cond))                                                     \
+  SCHEMBLE_LOG(kFatal) << "Check failed: " #cond " "
+
+#define SCHEMBLE_CHECK_EQ(a, b) SCHEMBLE_CHECK((a) == (b))
+#define SCHEMBLE_CHECK_NE(a, b) SCHEMBLE_CHECK((a) != (b))
+#define SCHEMBLE_CHECK_LT(a, b) SCHEMBLE_CHECK((a) < (b))
+#define SCHEMBLE_CHECK_LE(a, b) SCHEMBLE_CHECK((a) <= (b))
+#define SCHEMBLE_CHECK_GT(a, b) SCHEMBLE_CHECK((a) > (b))
+#define SCHEMBLE_CHECK_GE(a, b) SCHEMBLE_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SCHEMBLE_DCHECK(cond) \
+  if (false) SCHEMBLE_LOG(kFatal)
+#else
+#define SCHEMBLE_DCHECK(cond) SCHEMBLE_CHECK(cond)
+#endif
+
+#endif  // SCHEMBLE_COMMON_LOGGING_H_

@@ -1,0 +1,171 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& lane : state_) lane = SplitMix64(s);
+}
+
+Rng Rng::Fork(uint64_t stream_tag) {
+  // Mix the child tag with fresh draws from this stream.
+  uint64_t mix = NextU64() ^ (stream_tag * 0x9e3779b97f4a7c15ull);
+  return Rng(mix);
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t* s = state_;
+  const uint64_t result = Rotl(s[0] + s[3], 23) + s[0];
+  const uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = Rotl(s[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SCHEMBLE_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full range
+  return lo + static_cast<int64_t>(NextU64() % span);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::Exponential(double rate) {
+  SCHEMBLE_CHECK_GT(rate, 0.0);
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+double Rng::Gamma(double shape, double scale) {
+  SCHEMBLE_CHECK_GT(shape, 0.0);
+  SCHEMBLE_CHECK_GT(scale, 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and apply the standard power correction.
+    const double u = NextDouble();
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 1e-300 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+int Rng::Poisson(double mean) {
+  SCHEMBLE_CHECK_GE(mean, 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    double product = NextDouble();
+    int count = 0;
+    while (product > limit) {
+      ++count;
+      product *= NextDouble();
+    }
+    return count;
+  }
+  const double draw = Normal(mean, std::sqrt(mean));
+  return draw < 0.0 ? 0 : static_cast<int>(draw + 0.5);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  SCHEMBLE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SCHEMBLE_DCHECK(w >= 0.0);
+    total += w;
+  }
+  SCHEMBLE_CHECK_GT(total, 0.0);
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const int j = static_cast<int>(UniformInt(0, i));
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+uint64_t HashSeed(std::string_view name, uint64_t seed) {
+  // FNV-1a over the name, then mixed with the seed through splitmix64.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  uint64_t x = h ^ seed;
+  return SplitMix64(x);
+}
+
+}  // namespace schemble

@@ -1,0 +1,160 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  if (count_ == 1) {
+    mean_ = x;
+    min_ = x;
+    max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::Add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleSet::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double SampleSet::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  SCHEMBLE_CHECK_GE(q, 0.0);
+  SCHEMBLE_CHECK_LE(q, 1.0);
+  EnsureSorted();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const size_t idx = static_cast<size_t>(pos);
+  if (idx + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = pos - static_cast<double>(idx);
+  return sorted_[idx] * (1.0 - frac) + sorted_[idx + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), counts_(bins, 0) {
+  SCHEMBLE_CHECK_GT(bins, 0);
+  SCHEMBLE_CHECK_GT(hi, lo);
+}
+
+int Histogram::BucketOf(double x) const {
+  if (x < lo_) return 0;
+  const int bucket = static_cast<int>((x - lo_) / width_);
+  return std::min(bucket, bins() - 1);
+}
+
+void Histogram::Add(double x) {
+  ++counts_[BucketOf(x)];
+  ++total_;
+}
+
+double Histogram::BucketLow(int bucket) const { return lo_ + width_ * bucket; }
+double Histogram::BucketHigh(int bucket) const {
+  return lo_ + width_ * (bucket + 1);
+}
+double Histogram::BucketCenter(int bucket) const {
+  return lo_ + width_ * (bucket + 0.5);
+}
+
+double Histogram::Fraction(int bucket) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bucket]) / static_cast<double>(total_);
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  SCHEMBLE_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+namespace {
+
+std::vector<double> Ranks(const std::vector<double>& v) {
+  const size_t n = v.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return v[x] < v[y]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  SCHEMBLE_CHECK_EQ(a.size(), b.size());
+  if (a.size() < 2) return 0.0;
+  return PearsonCorrelation(Ranks(a), Ranks(b));
+}
+
+}  // namespace schemble

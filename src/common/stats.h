@@ -1,0 +1,97 @@
+#ifndef SCHEMBLE_COMMON_STATS_H_
+#define SCHEMBLE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace schemble {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample and answers exact quantile queries. Used for the
+/// latency metrics (mean / P95 / max) reported in the paper's Table II.
+class SampleSet {
+ public:
+  void Add(double x);
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact quantile by linear interpolation between order statistics;
+  /// q in [0, 1]. Returns 0 for an empty set.
+  double Quantile(double q) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// samples clamp to the edge buckets. Used for discrepancy-score
+/// distributions (Fig. 4a) and per-bin accuracy profiling.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x);
+  /// Bucket index for `x` (clamped to [0, bins-1]).
+  int BucketOf(double x) const;
+  double BucketLow(int bucket) const;
+  double BucketHigh(int bucket) const;
+  double BucketCenter(int bucket) const;
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  int64_t count(int bucket) const { return counts_[bucket]; }
+  int64_t total() const { return total_; }
+  /// Fraction of samples in `bucket` (0 when the histogram is empty).
+  double Fraction(int bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Pearson correlation between two equal-length vectors; 0 when either
+/// has zero variance or fewer than two points.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_COMMON_STATS_H_

@@ -1,0 +1,54 @@
+#include "common/table.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  SCHEMBLE_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += (c == 0) ? "| " : " ";
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  emit_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += (c == 0) ? "|" : "";
+    out.append(widths[c] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace schemble

@@ -1,0 +1,34 @@
+#ifndef SCHEMBLE_COMMON_TABLE_H_
+#define SCHEMBLE_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace schemble {
+
+/// Minimal fixed-width text table used by the bench harnesses to print the
+/// paper's tables and figure series in a diff-friendly format.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+
+  /// Renders with one space padding and a header separator line.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_COMMON_TABLE_H_

@@ -1,0 +1,118 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/prob.h"
+
+namespace schemble {
+
+std::vector<double> Aggregator::ConcatOutputs(const Query& query) const {
+  std::vector<double> concat;
+  concat.reserve(task_->num_models() * task_->output_dim());
+  for (int k = 0; k < task_->num_models(); ++k) {
+    concat.insert(concat.end(), query.model_outputs[k].begin(),
+                  query.model_outputs[k].end());
+  }
+  return concat;
+}
+
+Result<Aggregator> Aggregator::Build(const SyntheticTask& task,
+                                     const std::vector<Query>& history,
+                                     const AggregatorConfig& config) {
+  Aggregator agg(&task, config);
+  if (config.kind != AggregationKind::kStacking) return agg;
+
+  if (task.spec().type != TaskType::kClassification) {
+    return Status::InvalidArgument(
+        "stacking aggregation is implemented for classification tasks");
+  }
+  if (history.empty()) {
+    return Status::InvalidArgument("stacking needs history data");
+  }
+  if (config.knn_k <= 0) {
+    return Status::InvalidArgument("stacking needs knn_k > 0");
+  }
+
+  // KNN fill index over historical full-output records.
+  const int records =
+      std::min<int>(config.max_fill_records, static_cast<int>(history.size()));
+  std::vector<std::vector<double>> fill_records;
+  fill_records.reserve(records);
+  for (int i = 0; i < records; ++i) {
+    fill_records.push_back(agg.ConcatOutputs(history[i]));
+  }
+  auto index = KnnIndex::Build(std::move(fill_records));
+  if (!index.ok()) return index.status();
+  agg.fill_index_ = std::make_unique<KnnIndex>(std::move(index).value());
+
+  // Meta-classifier trained on full outputs against the ensemble decision.
+  std::vector<std::vector<double>> inputs;
+  std::vector<int> labels;
+  inputs.reserve(history.size());
+  labels.reserve(history.size());
+  for (const Query& q : history) {
+    inputs.push_back(agg.ConcatOutputs(q));
+    labels.push_back(Argmax(q.ensemble_output));
+  }
+  agg.meta_ = std::make_unique<SoftmaxRegression>(
+      task.num_models() * task.output_dim(), task.output_dim(), config.seed);
+  TrainerOptions trainer;
+  trainer.epochs = 30;
+  Rng rng(HashSeed("stacking-train", config.seed));
+  agg.meta_->Train(inputs, labels, trainer, rng);
+  return agg;
+}
+
+std::vector<double> Aggregator::Vote(const Query& query,
+                                     SubsetMask executed) const {
+  // Missing models are simply excluded from the vote; weights follow the
+  // ensemble weights.
+  std::vector<double> votes(task_->output_dim(), 0.0);
+  const std::vector<double>& weights = task_->ensemble_weights();
+  for (int k = 0; k < task_->num_models(); ++k) {
+    if (!(executed & (SubsetMask{1} << k))) continue;
+    votes[Argmax(query.model_outputs[k])] += weights[k];
+  }
+  NormalizeInPlace(votes);
+  return votes;
+}
+
+std::vector<double> Aggregator::Average(const Query& query,
+                                        SubsetMask executed) const {
+  return task_->AggregateSubset(query, SubsetModels(executed));
+}
+
+std::vector<double> Aggregator::Stack(const Query& query,
+                                      SubsetMask executed) const {
+  const int dim = task_->output_dim();
+  std::vector<double> concat(task_->num_models() * dim, 0.0);
+  std::vector<bool> mask(concat.size(), false);
+  for (int k = 0; k < task_->num_models(); ++k) {
+    if (!(executed & (SubsetMask{1} << k))) continue;
+    for (int d = 0; d < dim; ++d) {
+      concat[k * dim + d] = query.model_outputs[k][d];
+      mask[k * dim + d] = true;
+    }
+  }
+  if (executed != FullMask(task_->num_models())) {
+    concat = fill_index_->FillMissing(concat, mask, config_.knn_k);
+  }
+  return meta_->PredictProba(concat);
+}
+
+std::vector<double> Aggregator::Aggregate(const Query& query,
+                                          SubsetMask executed) const {
+  SCHEMBLE_CHECK_NE(executed, 0u);
+  switch (config_.kind) {
+    case AggregationKind::kVoting:
+      return Vote(query, executed);
+    case AggregationKind::kWeightedAverage:
+      return Average(query, executed);
+    case AggregationKind::kStacking:
+      return Stack(query, executed);
+  }
+  return Average(query, executed);
+}
+
+}  // namespace schemble

@@ -1,0 +1,69 @@
+#ifndef SCHEMBLE_CORE_AGGREGATION_H_
+#define SCHEMBLE_CORE_AGGREGATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/profiling.h"
+#include "models/synthetic_task.h"
+#include "nn/knn.h"
+#include "nn/softmax_regression.h"
+
+namespace schemble {
+
+/// Aggregation mechanisms from §VII; each pairs with its missing-value
+/// strategy:
+///  - voting: missing models simply do not vote;
+///  - weighted averaging: missing weights are zeroed and the rest re-scaled;
+///  - stacking: a meta-classifier over the concatenated base outputs, with
+///    missing outputs imputed by KNN over historical full-output records.
+enum class AggregationKind { kVoting, kWeightedAverage, kStacking };
+
+struct AggregatorConfig {
+  AggregationKind kind = AggregationKind::kWeightedAverage;
+  /// KNN fill parameter (stacking only). The paper shows robustness for
+  /// k in [1, 100] (Fig. 20b).
+  int knn_k = 10;
+  /// Historical records used to build the KNN fill index (stacking only).
+  int max_fill_records = 2000;
+  uint64_t seed = 23;
+};
+
+/// Aggregates the outputs of an executed model subset into a final result
+/// vector comparable with the full ensemble's output.
+class Aggregator {
+ public:
+  /// Builds the aggregator; stacking additionally trains the meta-classifier
+  /// on `history` (classification tasks only) and indexes fill records.
+  static Result<Aggregator> Build(const SyntheticTask& task,
+                                  const std::vector<Query>& history,
+                                  const AggregatorConfig& config = {});
+
+  /// Final output for `query` given that only the models in `executed` ran.
+  /// `executed` must be non-empty.
+  std::vector<double> Aggregate(const Query& query, SubsetMask executed) const;
+
+  AggregationKind kind() const { return config_.kind; }
+
+ private:
+  Aggregator(const SyntheticTask* task, AggregatorConfig config)
+      : task_(task), config_(std::move(config)) {}
+
+  std::vector<double> Vote(const Query& query, SubsetMask executed) const;
+  std::vector<double> Average(const Query& query, SubsetMask executed) const;
+  std::vector<double> Stack(const Query& query, SubsetMask executed) const;
+
+  /// Concatenated model outputs of one query.
+  std::vector<double> ConcatOutputs(const Query& query) const;
+
+  const SyntheticTask* task_;
+  AggregatorConfig config_;
+  std::unique_ptr<KnnIndex> fill_index_;
+  std::unique_ptr<SoftmaxRegression> meta_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_CORE_AGGREGATION_H_

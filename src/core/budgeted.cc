@@ -1,0 +1,128 @@
+#include "core/budgeted.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+namespace {
+
+struct HullPoint {
+  SubsetMask mask;
+  double cost;
+  double utility;
+};
+
+/// Efficiency frontier of one sample's options: increasing cost, increasing
+/// utility, decreasing marginal density.
+std::vector<HullPoint> ConvexHull(const std::vector<double>& utilities,
+                                  const std::vector<double>& subset_cost) {
+  std::vector<HullPoint> points;
+  points.push_back({0, 0.0, 0.0});
+  std::vector<SubsetMask> order;
+  for (SubsetMask mask = 1; mask < utilities.size(); ++mask) {
+    order.push_back(mask);
+  }
+  std::sort(order.begin(), order.end(), [&](SubsetMask a, SubsetMask b) {
+    if (subset_cost[a] != subset_cost[b]) {
+      return subset_cost[a] < subset_cost[b];
+    }
+    return utilities[a] > utilities[b];
+  });
+  for (SubsetMask mask : order) {
+    const double cost = subset_cost[mask];
+    const double utility = utilities[mask];
+    if (utility <= points.back().utility) continue;
+    points.push_back({mask, cost, utility});
+    // Restore concavity: drop middle points with inferior density.
+    while (points.size() >= 3) {
+      const HullPoint& a = points[points.size() - 3];
+      const HullPoint& b = points[points.size() - 2];
+      const HullPoint& c = points.back();
+      const double d_ab = (b.utility - a.utility) / (b.cost - a.cost + 1e-12);
+      const double d_ac = (c.utility - a.utility) / (c.cost - a.cost + 1e-12);
+      if (d_ab <= d_ac) {
+        points.erase(points.end() - 2);
+      } else {
+        break;
+      }
+    }
+  }
+  return points;
+}
+
+struct Upgrade {
+  double density;
+  int sample;
+  int hull_index;  // upgrade to this hull point
+
+  bool operator<(const Upgrade& other) const {
+    return density < other.density;  // max-heap by density
+  }
+};
+
+}  // namespace
+
+std::vector<SubsetMask> BudgetedSelector::Select(
+    const std::vector<std::vector<double>>& utilities,
+    const std::vector<double>& subset_cost, double budget) {
+  SCHEMBLE_CHECK(!utilities.empty());
+  const int n = static_cast<int>(utilities.size());
+  std::vector<std::vector<HullPoint>> hulls;
+  hulls.reserve(n);
+  for (const auto& row : utilities) {
+    SCHEMBLE_CHECK_EQ(row.size(), subset_cost.size());
+    hulls.push_back(ConvexHull(row, subset_cost));
+  }
+
+  std::vector<int> level(n, 0);  // current hull point per sample
+  std::priority_queue<Upgrade> heap;
+  auto push_next = [&](int i) {
+    const int next = level[i] + 1;
+    if (next >= static_cast<int>(hulls[i].size())) return;
+    const HullPoint& cur = hulls[i][level[i]];
+    const HullPoint& nxt = hulls[i][next];
+    heap.push({(nxt.utility - cur.utility) / (nxt.cost - cur.cost + 1e-12),
+               i, next});
+  };
+  for (int i = 0; i < n; ++i) push_next(i);
+
+  double spent = 0.0;
+  while (!heap.empty()) {
+    const Upgrade up = heap.top();
+    heap.pop();
+    if (up.hull_index != level[up.sample] + 1) continue;  // stale entry
+    const HullPoint& cur = hulls[up.sample][level[up.sample]];
+    const HullPoint& nxt = hulls[up.sample][up.hull_index];
+    const double extra = nxt.cost - cur.cost;
+    if (spent + extra > budget) continue;  // skip; cheaper upgrades may fit
+    spent += extra;
+    level[up.sample] = up.hull_index;
+    push_next(up.sample);
+  }
+
+  std::vector<SubsetMask> assignment(n, 0);
+  for (int i = 0; i < n; ++i) assignment[i] = hulls[i][level[i]].mask;
+  return assignment;
+}
+
+double BudgetedSelector::TotalCost(const std::vector<SubsetMask>& assignment,
+                                   const std::vector<double>& subset_cost) {
+  double total = 0.0;
+  for (SubsetMask mask : assignment) total += subset_cost[mask];
+  return total;
+}
+
+double BudgetedSelector::TotalUtility(
+    const std::vector<SubsetMask>& assignment,
+    const std::vector<std::vector<double>>& utilities) {
+  double total = 0.0;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    total += utilities[i][assignment[i]];
+  }
+  return total;
+}
+
+}  // namespace schemble

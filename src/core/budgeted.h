@@ -1,0 +1,36 @@
+#ifndef SCHEMBLE_CORE_BUDGETED_H_
+#define SCHEMBLE_CORE_BUDGETED_H_
+
+#include <vector>
+
+#include "core/profiling.h"
+
+namespace schemble {
+
+/// Offline budgeted subset selection (the appendix's Schemble*): choose one
+/// model subset per sample so that the summed utilities are maximized under
+/// a total cumulative-runtime budget. This is a multiple-choice knapsack;
+/// following the paper we solve the LP relaxation, which the classic
+/// convex-hull greedy does exactly (each sample's options are reduced to
+/// their efficiency frontier and upgrades are applied in decreasing
+/// marginal-utility-per-cost order).
+class BudgetedSelector {
+ public:
+  /// `utilities[i][mask]`: reward of running subset `mask` on sample i
+  /// (index 0 = empty subset = 0 reward). `subset_cost[mask]`: runtime cost
+  /// of the subset. Returns the chosen mask per sample (possibly 0) with
+  /// total cost <= budget.
+  static std::vector<SubsetMask> Select(
+      const std::vector<std::vector<double>>& utilities,
+      const std::vector<double>& subset_cost, double budget);
+
+  /// Total cost / utility of an assignment (bench reporting helpers).
+  static double TotalCost(const std::vector<SubsetMask>& assignment,
+                          const std::vector<double>& subset_cost);
+  static double TotalUtility(const std::vector<SubsetMask>& assignment,
+                             const std::vector<std::vector<double>>& utilities);
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_CORE_BUDGETED_H_

@@ -1,0 +1,77 @@
+#ifndef SCHEMBLE_CORE_DISCREPANCY_PREDICTOR_H_
+#define SCHEMBLE_CORE_DISCREPANCY_PREDICTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/discrepancy.h"
+#include "models/synthetic_task.h"
+#include "nn/mlp.h"
+#include "simcore/simulation.h"
+
+namespace schemble {
+
+/// Configuration of the lightweight difficulty-prediction network (§V-C).
+struct PredictorConfig {
+  /// Hidden widths of the shared trunk (the stand-in for MV-LSTM /
+  /// MobileNet feature extractors).
+  std::vector<int> hidden = {32, 16};
+  /// Weight of the discrepancy head in the loss (Eq. 2's lambda).
+  double lambda = 0.2;
+  TrainerOptions trainer;
+  /// Simulated inference latency charged when the predictor runs in the
+  /// serving pipeline; the paper measures ~6.5% of ensemble runtime.
+  SimTime inference_latency_us = 2 * kMillisecond;
+  uint64_t seed = 17;
+};
+
+/// Two-headed network predicting a newly arrived query's discrepancy score
+/// from its features (Eq. 2): the first head reproduces the original task's
+/// output (trained against the *ensemble's* output, which serves as the
+/// label) and the second regresses the discrepancy score. Only the second
+/// head is used at serving time; the paper found the auxiliary task head
+/// improves score prediction.
+class DiscrepancyPredictor {
+ public:
+  /// Trains on historical queries and their ground-truth scores (from a
+  /// DiscrepancyScorer). `task` must outlive the predictor.
+  static Result<DiscrepancyPredictor> Train(const SyntheticTask& task,
+                                            const std::vector<Query>& history,
+                                            const std::vector<double>& scores,
+                                            const PredictorConfig& config = {});
+
+  /// Predicted difficulty in [0, 1] from query features only.
+  double Predict(const Query& query) const;
+
+  /// The auxiliary task-head output (exposed for tests; unused at serving
+  /// time).
+  std::vector<double> TaskHead(const Query& query) const;
+
+  /// Mean squared error of predictions against `scores`.
+  double EvaluateMse(const std::vector<Query>& queries,
+                     const std::vector<double>& scores) const;
+
+  size_t ParameterCount() const { return mlp_->ParameterCount(); }
+  /// Memory footprint estimate (parameters as fp32, Fig. 13's comparison).
+  double MemoryMb() const;
+  SimTime inference_latency_us() const {
+    return config_.inference_latency_us;
+  }
+
+ private:
+  DiscrepancyPredictor(const SyntheticTask* task, PredictorConfig config,
+                       std::unique_ptr<Mlp> mlp)
+      : task_(task), config_(std::move(config)), mlp_(std::move(mlp)) {}
+
+  int task_head_dim() const;
+
+  const SyntheticTask* task_;
+  PredictorConfig config_;
+  std::unique_ptr<Mlp> mlp_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_CORE_DISCREPANCY_PREDICTOR_H_

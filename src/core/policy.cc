@@ -1,0 +1,26 @@
+#include "core/policy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+SimTime ServerView::EstimateCompletion(SubsetMask subset) const {
+  SCHEMBLE_CHECK_NE(subset, 0u);
+  SimTime completion = 0;
+  for (int k = 0; k < num_models(); ++k) {
+    if (!(subset & (SubsetMask{1} << k))) continue;
+    const SimTime start = std::max(model_available_at[k], now);
+    completion = std::max(completion, start + model_exec_time[k]);
+  }
+  return completion;
+}
+
+PolicyOutput ServingPolicy::OnIdle(
+    const ServerView& /*view*/,
+    const std::vector<const TracedQuery*>& /*buffer*/) {
+  return {};
+}
+
+}  // namespace schemble

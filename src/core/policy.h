@@ -1,0 +1,97 @@
+#ifndef SCHEMBLE_CORE_POLICY_H_
+#define SCHEMBLE_CORE_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/profiling.h"
+#include "simcore/simulation.h"
+#include "workload/trace.h"
+
+namespace schemble {
+
+/// State of one deployed executor (a model instance with its own task
+/// queue) as exposed to policies.
+struct ExecutorView {
+  int executor_id = 0;
+  int model_index = 0;
+  /// Time at which a task enqueued now would start executing (== now when
+  /// the executor is idle).
+  SimTime available_at = 0;
+  int queue_length = 0;
+};
+
+/// Snapshot of the server a policy decides against.
+struct ServerView {
+  SimTime now = 0;
+  std::vector<ExecutorView> executors;
+  /// Mean service time per base model (the scheduler's T_k).
+  std::vector<SimTime> model_exec_time;
+  /// Earliest availability per base model (min over its executors).
+  std::vector<SimTime> model_available_at;
+  bool allow_rejection = true;
+
+  int num_models() const { return static_cast<int>(model_exec_time.size()); }
+
+  /// Estimated completion time of running `subset` starting now, using the
+  /// least-loaded executor of each member model.
+  SimTime EstimateCompletion(SubsetMask subset) const;
+};
+
+/// Immediate decision at query arrival.
+struct ArrivalDecision {
+  enum class Action {
+    kAssign,  // enqueue `subset` tasks now
+    kBuffer,  // hold in the central query buffer (Schemble)
+    kReject,  // count as a deadline miss immediately
+  };
+  Action action = Action::kAssign;
+  SubsetMask subset = 0;
+
+  static ArrivalDecision Assign(SubsetMask subset) {
+    return {Action::kAssign, subset};
+  }
+  static ArrivalDecision Buffer() { return {Action::kBuffer, 0}; }
+  static ArrivalDecision Reject() { return {Action::kReject, 0}; }
+};
+
+/// A commitment produced while draining the buffer.
+struct BufferedAssignment {
+  int64_t query_id = 0;
+  SubsetMask subset = 0;
+};
+
+struct PolicyOutput {
+  std::vector<BufferedAssignment> assignments;
+  /// Simulated scheduling cost; the server delays the dispatched tasks'
+  /// start by this much (how small delta values hurt in Fig. 12/21).
+  SimTime overhead_us = 0;
+};
+
+/// Decision interface between the serving simulator and a selection/
+/// scheduling strategy. The server owns queues, executors, aggregation and
+/// metrics; policies only decide which tasks run where and when.
+class ServingPolicy {
+ public:
+  virtual ~ServingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Decision for a newly arrived query.
+  virtual ArrivalDecision OnArrival(const TracedQuery& query,
+                                    const ServerView& view) = 0;
+
+  /// Called whenever an executor becomes idle while the buffer is
+  /// non-empty. `buffer` is ordered by arrival. Returning an empty output
+  /// leaves the buffer untouched.
+  virtual PolicyOutput OnIdle(const ServerView& view,
+                              const std::vector<const TracedQuery*>& buffer);
+
+  /// Per-query latency charged before an arriving query becomes visible to
+  /// OnArrival (the difficulty predictor's inference time in Schemble).
+  virtual SimTime ArrivalProcessingDelay() const { return 0; }
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_CORE_POLICY_H_

@@ -1,0 +1,116 @@
+#ifndef SCHEMBLE_CORE_SCHEDULER_H_
+#define SCHEMBLE_CORE_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profiling.h"
+#include "simcore/simulation.h"
+
+namespace schemble {
+
+/// One buffered query as the scheduler sees it.
+struct SchedulerQuery {
+  int64_t id = 0;
+  SimTime arrival = 0;
+  SimTime deadline = 0;  // absolute
+  /// Predicted discrepancy score (SJF ordering key).
+  double predicted_score = 0.0;
+  /// Reward of executing each model subset for this query, indexed by
+  /// SubsetMask (size 2^m); utilities[0] must be 0.
+  std::vector<double> utilities;
+};
+
+/// Scheduler-visible resource state.
+struct SchedulerEnv {
+  SimTime now = 0;
+  /// Absolute time each base model's executor frees up (>= now when busy).
+  std::vector<SimTime> model_available_at;
+  /// Per-task service time of each base model.
+  std::vector<SimTime> model_exec_time;
+
+  int num_models() const {
+    return static_cast<int>(model_available_at.size());
+  }
+};
+
+/// Chosen subset per query, in execution (consistent) order. subset == 0
+/// means the query is skipped/rejected.
+struct ScheduleDecision {
+  int64_t query_id = 0;
+  SubsetMask subset = 0;
+  /// Projected completion time under the plan (0 when skipped).
+  SimTime completion = 0;
+};
+
+struct SchedulePlan {
+  std::vector<ScheduleDecision> decisions;
+  /// Sum of (unquantized) utilities of the scheduled subsets.
+  double total_utility = 0.0;
+};
+
+/// Applies `subset` for one query on top of `avail` (per-model next-free
+/// times, already clamped to >= now), mutating avail; returns the query's
+/// completion time (the latest finishing task), or 0 for the empty subset.
+SimTime ApplySubset(SubsetMask subset, const std::vector<SimTime>& exec_time,
+                    std::vector<SimTime>& avail);
+
+/// The paper's Alg. 1: dynamic programming over (queries x quantized
+/// utility) with per-cell Pareto pruning of model-load vectors, queries
+/// processed in EDF order (Theorems 1-2 justify the consistent EDF order).
+class DpScheduler {
+ public:
+  struct Options {
+    /// Utility quantization step (delta). Smaller = closer to optimal but
+    /// more work (Theorem 3: (1 - eps)-approximation with delta = eps/N).
+    double delta = 0.01;
+    /// Only the max_queries earliest-deadline buffered queries enter the
+    /// DP; later ones are deferred to the next run (keeps bursts bounded).
+    int max_queries = 24;
+    /// Pareto-set cap per cell; overflow drops the largest total load.
+    int max_solutions_per_cell = 8;
+  };
+
+  DpScheduler() : options_(Options{}) {}
+  explicit DpScheduler(Options options) : options_(options) {}
+
+  /// Computes a near-optimal plan for the buffered queries. Queries may be
+  /// passed in any order; the plan lists them in EDF order.
+  SchedulePlan Schedule(const std::vector<SchedulerQuery>& queries,
+                        const SchedulerEnv& env) const;
+
+  /// DP transitions examined by the last Schedule call (the overhead proxy
+  /// charged into the serving timeline).
+  int64_t last_ops() const { return last_ops_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  mutable int64_t last_ops_ = 0;
+};
+
+/// Greedy baselines of Exp-4: fix an execution order, then give each query
+/// the highest-reward subset that still meets its deadline.
+class GreedyScheduler {
+ public:
+  enum class Order {
+    kEdf,   // earliest deadline first
+    kFifo,  // earliest arrival first
+    kSjf,   // smallest predicted discrepancy score first
+  };
+
+  explicit GreedyScheduler(Order order) : order_(order) {}
+
+  SchedulePlan Schedule(const std::vector<SchedulerQuery>& queries,
+                        const SchedulerEnv& env) const;
+
+  Order order() const { return order_; }
+
+ private:
+  Order order_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_CORE_SCHEDULER_H_

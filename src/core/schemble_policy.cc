@@ -1,0 +1,199 @@
+#include "core/schemble_policy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+SchemblePolicy::SchemblePolicy(const SyntheticTask& task,
+                               const AccuracyProfile& profile,
+                               const DiscrepancyPredictor* predictor,
+                               const DiscrepancyScorer* scorer,
+                               SchembleConfig config)
+    : task_(&task),
+      profile_(&profile),
+      predictor_(predictor),
+      scorer_(scorer),
+      config_(std::move(config)),
+      dp_(config_.dp) {
+  if (config_.score_source == ScoreSource::kPredictor) {
+    SCHEMBLE_CHECK(predictor_ != nullptr);
+  }
+  if (config_.score_source == ScoreSource::kOracle) {
+    SCHEMBLE_CHECK(scorer_ != nullptr);
+  }
+}
+
+double SchemblePolicy::ComputeScore(const Query& query) {
+  auto it = score_cache_.find(query.id);
+  if (it != score_cache_.end()) return it->second;
+  double score = config_.constant_score;
+  switch (config_.score_source) {
+    case ScoreSource::kPredictor:
+      score = predictor_->Predict(query);
+      break;
+    case ScoreSource::kOracle:
+      score = scorer_->Score(query);
+      break;
+    case ScoreSource::kConstant:
+      break;
+  }
+  score_cache_.emplace(query.id, score);
+  return score;
+}
+
+double SchemblePolicy::ScoreOf(int64_t query_id) const {
+  auto it = score_cache_.find(query_id);
+  return it == score_cache_.end() ? config_.constant_score : it->second;
+}
+
+SimTime SchemblePolicy::ArrivalProcessingDelay() const {
+  if (config_.score_source == ScoreSource::kPredictor &&
+      predictor_ != nullptr) {
+    return predictor_->inference_latency_us();
+  }
+  return 0;
+}
+
+SubsetMask SchemblePolicy::BestImmediateSubset(double score, SimTime deadline,
+                                               const ServerView& view) const {
+  const std::vector<double> utilities = profile_->UtilityRow(score);
+  SubsetMask best = 0;
+  double best_utility = -1.0;
+  int best_size = -1;
+  for (SubsetMask mask = 1; mask < utilities.size(); ++mask) {
+    if (view.EstimateCompletion(mask) > deadline) continue;
+    // Utility first; on ties prefer the larger subset — with idle capacity
+    // the extra executions are free accuracy insurance (the paper's
+    // light-traffic behaviour of running all three models).
+    const int size = SubsetSize(mask);
+    if (utilities[mask] > best_utility ||
+        (utilities[mask] == best_utility && size > best_size)) {
+      best = mask;
+      best_utility = utilities[mask];
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+ArrivalDecision SchemblePolicy::OnArrival(const TracedQuery& query,
+                                          const ServerView& view) {
+  const double score = ComputeScore(query.query);
+  // Fast path (§VIII implementation notes): with every model idle there is
+  // nothing to schedule against; assign the best feasible subset directly.
+  bool all_idle = true;
+  for (int k = 0; k < view.num_models(); ++k) {
+    all_idle &= view.model_available_at[k] <= view.now;
+  }
+  if (all_idle || !config_.use_buffer) {
+    const SubsetMask best = BestImmediateSubset(score, query.deadline, view);
+    if (best != 0) return ArrivalDecision::Assign(best);
+    if (view.allow_rejection) return ArrivalDecision::Reject();
+    if (!config_.use_buffer) {
+      // No buffer to fall back to: run the fastest model regardless.
+      int fastest = 0;
+      for (int k = 1; k < view.num_models(); ++k) {
+        if (view.model_exec_time[k] < view.model_exec_time[fastest]) {
+          fastest = k;
+        }
+      }
+      return ArrivalDecision::Assign(SubsetMask{1} << fastest);
+    }
+    return ArrivalDecision::Buffer();
+  }
+  return ArrivalDecision::Buffer();
+}
+
+PolicyOutput SchemblePolicy::OnIdle(
+    const ServerView& view, const std::vector<const TracedQuery*>& buffer) {
+  PolicyOutput output;
+  if (buffer.empty()) return output;
+
+  std::vector<SchedulerQuery> queries;
+  queries.reserve(buffer.size());
+  for (const TracedQuery* tq : buffer) {
+    SchedulerQuery sq;
+    sq.id = tq->query.id;
+    sq.arrival = tq->arrival_time;
+    sq.deadline = tq->deadline;
+    sq.predicted_score = ComputeScore(tq->query);
+    sq.utilities = profile_->UtilityRow(sq.predicted_score);
+    queries.push_back(std::move(sq));
+  }
+
+  SchedulerEnv env;
+  env.now = view.now;
+  env.model_available_at = view.model_available_at;
+  env.model_exec_time = view.model_exec_time;
+
+  SchedulePlan plan;
+  ++scheduler_runs_;
+  switch (config_.scheduler) {
+    case BufferScheduler::kDp:
+      plan = dp_.Schedule(queries, env);
+      output.overhead_us = static_cast<SimTime>(
+          static_cast<double>(dp_.last_ops()) / config_.scheduler_ops_per_us);
+      break;
+    case BufferScheduler::kGreedyEdf:
+      plan = GreedyScheduler(GreedyScheduler::Order::kEdf)
+                 .Schedule(queries, env);
+      break;
+    case BufferScheduler::kGreedyFifo:
+      plan = GreedyScheduler(GreedyScheduler::Order::kFifo)
+                 .Schedule(queries, env);
+      break;
+    case BufferScheduler::kGreedySjf:
+      plan = GreedyScheduler(GreedyScheduler::Order::kSjf)
+                 .Schedule(queries, env);
+      break;
+  }
+  total_overhead_us_ += output.overhead_us;
+
+  // Commit plan entries, in plan (EDF) order, while idle capacity remains:
+  // a query is dispatched when at least one of its models can start it now.
+  // Everything else stays buffered so later arrivals can reshape the plan.
+  std::vector<SimTime> avail = env.model_available_at;
+  for (SimTime& t : avail) t = std::max(t, view.now);
+  bool any_idle = false;
+  for (int k = 0; k < view.num_models(); ++k) {
+    any_idle |= avail[k] <= view.now;
+  }
+  // Force-processing mode: a query the plan leaves unscheduled (deadline
+  // infeasible) still has to run; fall back to the fastest single model.
+  SubsetMask fallback = 0;
+  if (!view.allow_rejection) {
+    int fastest = 0;
+    for (int k = 1; k < view.num_models(); ++k) {
+      if (view.model_exec_time[k] < view.model_exec_time[fastest]) {
+        fastest = k;
+      }
+    }
+    fallback = SubsetMask{1} << fastest;
+  }
+  for (ScheduleDecision decision : plan.decisions) {
+    if (!any_idle) break;
+    if (decision.subset == 0) {
+      if (fallback == 0) continue;
+      decision.subset = fallback;
+    }
+    bool starts_now = false;
+    for (int k = 0; k < view.num_models(); ++k) {
+      if ((decision.subset & (SubsetMask{1} << k)) && avail[k] <= view.now) {
+        starts_now = true;
+        break;
+      }
+    }
+    if (!starts_now) continue;
+    ApplySubset(decision.subset, env.model_exec_time, avail);
+    output.assignments.push_back({decision.query_id, decision.subset});
+    any_idle = false;
+    for (int k = 0; k < view.num_models(); ++k) {
+      any_idle |= avail[k] <= view.now;
+    }
+  }
+  return output;
+}
+
+}  // namespace schemble

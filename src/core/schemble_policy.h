@@ -1,0 +1,92 @@
+#ifndef SCHEMBLE_CORE_SCHEMBLE_POLICY_H_
+#define SCHEMBLE_CORE_SCHEMBLE_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/discrepancy.h"
+#include "core/discrepancy_predictor.h"
+#include "core/policy.h"
+#include "core/profiling.h"
+#include "core/scheduler.h"
+
+namespace schemble {
+
+/// Where per-query difficulty comes from.
+enum class ScoreSource {
+  kPredictor,  // the trained discrepancy-prediction network (Schemble)
+  kOracle,     // ground-truth scores from recorded outputs (Schemble*(Oracle))
+  kConstant,   // one score for everything (Schemble(t) ablation)
+};
+
+/// Which scheduling algorithm drains the query buffer (Exp-4 ablations).
+enum class BufferScheduler { kDp, kGreedyEdf, kGreedyFifo, kGreedySjf };
+
+struct SchembleConfig {
+  std::string name = "Schemble";
+  ScoreSource score_source = ScoreSource::kPredictor;
+  double constant_score = 0.5;
+  BufferScheduler scheduler = BufferScheduler::kDp;
+  DpScheduler::Options dp;
+  /// Simulated scheduling throughput: DP transitions per microsecond. The
+  /// resulting overhead delays dispatched tasks (Fig. 12/21's small-delta
+  /// penalty).
+  double scheduler_ops_per_us = 200.0;
+  /// Ablation of the central query buffer (DESIGN.md decision 5): when
+  /// false the policy commits a subset immediately at arrival, like the
+  /// selection-only baselines, instead of deferring to the scheduler.
+  bool use_buffer = true;
+};
+
+/// The full Schemble serving policy (§IV): discrepancy-score prediction +
+/// profiled utility rewards + DP task scheduling over the query buffer,
+/// with the paper's fast path (all models idle -> assign directly, skipping
+/// the scheduler).
+class SchemblePolicy : public ServingPolicy {
+ public:
+  /// `predictor` is required for kPredictor, `scorer` for kOracle; both may
+  /// otherwise be null. All referenced objects must outlive the policy.
+  SchemblePolicy(const SyntheticTask& task, const AccuracyProfile& profile,
+                 const DiscrepancyPredictor* predictor,
+                 const DiscrepancyScorer* scorer, SchembleConfig config);
+
+  std::string name() const override { return config_.name; }
+
+  ArrivalDecision OnArrival(const TracedQuery& query,
+                            const ServerView& view) override;
+
+  PolicyOutput OnIdle(const ServerView& view,
+                      const std::vector<const TracedQuery*>& buffer) override;
+
+  SimTime ArrivalProcessingDelay() const override;
+
+  /// The score this policy used for a query (tests/diagnostics); returns
+  /// the constant when unseen.
+  double ScoreOf(int64_t query_id) const;
+
+  /// Cumulative simulated scheduling overhead charged so far.
+  SimTime total_overhead_us() const { return total_overhead_us_; }
+  int64_t scheduler_runs() const { return scheduler_runs_; }
+
+ private:
+  double ComputeScore(const Query& query);
+  /// Highest-utility subset meeting `deadline` from an idle start.
+  SubsetMask BestImmediateSubset(double score, SimTime deadline,
+                                 const ServerView& view) const;
+
+  const SyntheticTask* task_;
+  const AccuracyProfile* profile_;
+  const DiscrepancyPredictor* predictor_;
+  const DiscrepancyScorer* scorer_;
+  SchembleConfig config_;
+  DpScheduler dp_;
+  std::unordered_map<int64_t, double> score_cache_;
+  SimTime total_overhead_us_ = 0;
+  int64_t scheduler_runs_ = 0;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_CORE_SCHEMBLE_POLICY_H_

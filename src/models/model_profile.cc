@@ -1,0 +1,130 @@
+#include "models/model_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace schemble {
+
+double ModelProfile::CorrectProbability(double difficulty) const {
+  // Sigmoid transition: deep models are reliably right on clearly-easy
+  // inputs and fail mostly inside a hard regime, rather than degrading
+  // linearly. The steep transition is what makes difficulty *predictable*:
+  // knowing a query sits in the hard regime almost determines that small
+  // subsets will disagree with the ensemble.
+  const double h = std::clamp(difficulty, 0.0, 1.0);
+  auto logistic = [](double z) { return 1.0 / (1.0 + std::exp(-z)); };
+  const double lo = logistic((0.55 - 1.0) / 0.13);
+  const double hi = logistic((0.55 - 0.0) / 0.13);
+  const double t = (logistic((0.55 - h) / 0.13) - lo) / (hi - lo);
+  return hard_accuracy + (base_accuracy - hard_accuracy) * t;
+}
+
+std::vector<ModelProfile> TextMatchingProfiles(uint64_t seed) {
+  // Latencies/accuracies shaped after Fig. 1b: the ensemble is a bit more
+  // accurate than BERT, BiLSTM is ~3x faster and noticeably weaker.
+  std::vector<ModelProfile> profiles(3);
+  profiles[0].name = "BiLSTM";
+  profiles[0].latency_us = 15 * kMillisecond;
+  profiles[0].memory_mb = 400.0;
+  profiles[0].base_accuracy = 0.91;
+  profiles[0].hard_accuracy = 0.35;
+  profiles[0].overconfidence = 2.6;
+  profiles[0].seed = seed + 1;
+
+  profiles[1].name = "RoBERTa";
+  profiles[1].latency_us = 45 * kMillisecond;
+  profiles[1].memory_mb = 1300.0;
+  profiles[1].base_accuracy = 0.95;
+  profiles[1].hard_accuracy = 0.46;
+  profiles[1].overconfidence = 1.8;
+  profiles[1].seed = seed + 2;
+
+  profiles[2].name = "BERT";
+  profiles[2].latency_us = 50 * kMillisecond;
+  profiles[2].memory_mb = 1250.0;
+  profiles[2].base_accuracy = 0.96;
+  profiles[2].hard_accuracy = 0.50;
+  profiles[2].overconfidence = 1.5;
+  profiles[2].seed = seed + 3;
+  return profiles;
+}
+
+std::vector<ModelProfile> VehicleCountingProfiles(uint64_t seed) {
+  std::vector<ModelProfile> profiles(3);
+  profiles[0].name = "EfficientDet-0";
+  profiles[0].latency_us = 28 * kMillisecond;
+  profiles[0].memory_mb = 700.0;
+  profiles[0].base_accuracy = 0.85;
+  profiles[0].hard_accuracy = 0.45;
+  profiles[0].regression_bias = -0.8;
+  profiles[0].regression_noise = 1.6;
+  profiles[0].seed = seed + 1;
+
+  profiles[1].name = "YOLOv5l6";
+  profiles[1].latency_us = 42 * kMillisecond;
+  profiles[1].memory_mb = 1100.0;
+  profiles[1].base_accuracy = 0.92;
+  profiles[1].hard_accuracy = 0.52;
+  profiles[1].regression_bias = 0.3;
+  profiles[1].regression_noise = 1.0;
+  profiles[1].seed = seed + 2;
+
+  profiles[2].name = "YOLOX";
+  profiles[2].latency_us = 36 * kMillisecond;
+  profiles[2].memory_mb = 950.0;
+  profiles[2].base_accuracy = 0.90;
+  profiles[2].hard_accuracy = 0.50;
+  profiles[2].regression_bias = 0.5;
+  profiles[2].regression_noise = 1.2;
+  profiles[2].seed = seed + 3;
+  return profiles;
+}
+
+std::vector<ModelProfile> ImageRetrievalProfiles(uint64_t seed) {
+  std::vector<ModelProfile> profiles(2);
+  profiles[0].name = "DELG-R50";
+  profiles[0].latency_us = 60 * kMillisecond;
+  profiles[0].memory_mb = 1500.0;
+  profiles[0].base_accuracy = 0.88;
+  profiles[0].hard_accuracy = 0.45;
+  profiles[0].retrieval_quality = 0.85;
+  profiles[0].seed = seed + 1;
+
+  profiles[1].name = "DELG-R101";
+  profiles[1].latency_us = 95 * kMillisecond;
+  profiles[1].memory_mb = 2200.0;
+  profiles[1].base_accuracy = 0.92;
+  profiles[1].hard_accuracy = 0.52;
+  profiles[1].retrieval_quality = 1.0;
+  profiles[1].seed = seed + 2;
+  return profiles;
+}
+
+std::vector<ModelProfile> Cifar100StyleProfiles(uint64_t seed) {
+  const char* names[6] = {"VGG16",       "ResNet18",    "ResNet101",
+                          "DenseNet121", "InceptionV3", "ResNeXt50"};
+  const double base[6] = {0.80, 0.83, 0.88, 0.87, 0.85, 0.88};
+  const double hard[6] = {0.30, 0.34, 0.42, 0.40, 0.37, 0.42};
+  const SimTime lat[6] = {9 * kMillisecond,  7 * kMillisecond,
+                          22 * kMillisecond, 18 * kMillisecond,
+                          15 * kMillisecond, 20 * kMillisecond};
+  std::vector<ModelProfile> profiles(6);
+  for (int i = 0; i < 6; ++i) {
+    profiles[i].name = names[i];
+    profiles[i].latency_us = lat[i];
+    profiles[i].memory_mb = 500.0 + 150.0 * i;
+    profiles[i].base_accuracy = base[i];
+    profiles[i].hard_accuracy = hard[i];
+    profiles[i].overconfidence = 1.6 + 0.15 * i;
+    profiles[i].seed = seed + 10 * (i + 1);
+  }
+  return profiles;
+}
+
+double TotalMemoryMb(const std::vector<ModelProfile>& profiles) {
+  double total = 0.0;
+  for (const auto& p : profiles) total += p.memory_mb;
+  return total;
+}
+
+}  // namespace schemble

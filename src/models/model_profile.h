@@ -1,0 +1,67 @@
+#ifndef SCHEMBLE_MODELS_MODEL_PROFILE_H_
+#define SCHEMBLE_MODELS_MODEL_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/simulation.h"
+
+namespace schemble {
+
+/// Static description of one synthetic base model: everything the serving
+/// stack and the output generator need to stand in for a real deep model.
+///
+/// The accuracy pair (base_accuracy, hard_accuracy) defines a per-difficulty
+/// correctness curve: on the easiest inputs the model matches the true label
+/// with probability base_accuracy, decaying linearly to hard_accuracy on the
+/// hardest. `overconfidence` is the model's true mis-calibration factor: raw
+/// logits are scaled by it, so the matching calibration temperature is the
+/// same value (recovered by TemperatureScaler in the pipeline).
+struct ModelProfile {
+  std::string name;
+  SimTime latency_us = 20 * kMillisecond;
+  /// Relative stddev of the service time (deep model execution time is
+  /// "approximately constant" per the paper; a few percent of jitter).
+  double latency_jitter = 0.03;
+  double memory_mb = 1000.0;
+  double base_accuracy = 0.9;
+  double hard_accuracy = 0.5;
+  double overconfidence = 2.0;
+  /// Regression tasks: systematic bias and noise scale of predictions.
+  double regression_bias = 0.0;
+  double regression_noise = 1.0;
+  /// Retrieval tasks: multiplier on the relevance signal.
+  double retrieval_quality = 1.0;
+  /// Identity of the trained weights. Two profiles with equal settings but
+  /// different seeds behave like the same architecture retrained with a
+  /// different random seed (high-variance "preferences", Fig. 5).
+  uint64_t seed = 0;
+
+  /// P(prediction == true label | difficulty), linear in difficulty.
+  double CorrectProbability(double difficulty) const;
+};
+
+/// The text-matching ensemble from the paper's intelligent Q&A system
+/// (Fig. 1b): BiLSTM + RoBERTa + BERT, binary classification.
+std::vector<ModelProfile> TextMatchingProfiles(uint64_t seed = 101);
+
+/// The vehicle-counting ensemble (UA-DETRAC): EfficientDet-0 + YOLOv5l6 +
+/// YOLOX, regression on counts.
+std::vector<ModelProfile> VehicleCountingProfiles(uint64_t seed = 202);
+
+/// The image-retrieval ensemble (R1M): DELG with two backbones.
+std::vector<ModelProfile> ImageRetrievalProfiles(uint64_t seed = 303);
+
+/// Six heterogeneous image classifiers mirroring the CIFAR100 study used in
+/// Fig. 5 and Exp-7 (VGG16, ResNet18, ResNet101, DenseNet121, InceptionV3,
+/// ResNeXt50). `seed` shifts the training seed of every architecture.
+std::vector<ModelProfile> Cifar100StyleProfiles(uint64_t seed = 404);
+
+/// Total memory of a set of profiles; the deployment budget of the paper's
+/// server equals the full ensemble's footprint.
+double TotalMemoryMb(const std::vector<ModelProfile>& profiles);
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_MODELS_MODEL_PROFILE_H_

@@ -1,0 +1,154 @@
+#ifndef SCHEMBLE_MODELS_SYNTHETIC_TASK_H_
+#define SCHEMBLE_MODELS_SYNTHETIC_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/model_profile.h"
+
+namespace schemble {
+
+/// Application families from the paper's evaluation.
+enum class TaskType {
+  kClassification,  // text matching (binary), CIFAR100-style (100-way)
+  kRegression,      // vehicle counting
+  kRetrieval,       // image retrieval over a candidate pool
+};
+
+/// Task-level knobs of the synthetic application.
+struct TaskSpec {
+  TaskType type = TaskType::kClassification;
+  int num_classes = 2;
+  /// Query feature vector layout: label-informative dims, then
+  /// difficulty-informative dims, then pure-noise dims.
+  int label_dims = 8;
+  int difficulty_dims = 4;
+  int noise_dims = 4;
+  double feature_noise = 0.35;
+  /// Regression: mean of the true value distribution and the tolerance that
+  /// defines agreement with the ensemble output.
+  double value_scale = 10.0;
+  double regression_tolerance = 1.0;
+  /// Retrieval: candidate-pool size and size of the relevant set.
+  int num_candidates = 16;
+  int relevant_top = 4;
+
+  int feature_dim() const { return label_dims + difficulty_dims + noise_dims; }
+};
+
+/// Distribution of the latent difficulty h in [0,1] used when sampling
+/// datasets and traces. kRealistic matches Fig. 4a's shape (most samples
+/// easy, a long hard tail); the others feed Exp-3's distribution sweeps.
+struct DifficultyDistribution {
+  enum class Kind { kRealistic, kNormal, kGamma, kUniform, kConstant };
+  Kind kind = Kind::kRealistic;
+  /// kNormal/kConstant: the mean; kGamma: the mean (with `param` as scale);
+  /// kUniform: the centre.
+  double mean = 0.30;
+  /// kNormal: stddev; kGamma: scale; kUniform: half-width.
+  double param = 0.03;
+
+  /// Draws a difficulty, clipped to [0, 1].
+  double Sample(Rng& rng) const;
+
+  static DifficultyDistribution Realistic();
+  static DifficultyDistribution NormalWithMean(double mean,
+                                               double stddev = 0.03);
+  static DifficultyDistribution GammaWithMean(double mean, double scale = 0.1);
+  static DifficultyDistribution UniformFull();
+  static DifficultyDistribution Constant(double value);
+};
+
+/// One query with every base model's (pre-generated) behaviour on it.
+///
+/// Synthetic model inference = wait the model's latency, then look up the
+/// stored output, which makes simulation cheap and perfectly reproducible
+/// while preserving all the cross-model agreement structure Schemble
+/// exploits.
+struct Query {
+  int64_t id = 0;
+  /// Latent difficulty in [0,1]; hidden from all serving-time components
+  /// (only the oracle baselines may read it).
+  double difficulty = 0.0;
+  /// Observable feature vector (input to predictors / DES / gating).
+  std::vector<double> features;
+  /// Classification ground truth (class index); unused otherwise.
+  int true_label = 0;
+  /// Regression ground truth; unused otherwise.
+  double true_value = 0.0;
+  /// Retrieval ground truth: indices of truly relevant candidates.
+  std::vector<int> relevant;
+  /// Per model: calibrated output vector (probabilities / {value} / scores).
+  std::vector<std::vector<double>> model_outputs;
+  /// Per model: raw (uncalibrated) logits; classification only, empty
+  /// otherwise. Feeds the temperature-scaling stage.
+  std::vector<std::vector<double>> model_logits;
+  /// Cached full-ensemble reference output (the paper's "ground truth").
+  std::vector<double> ensemble_output;
+};
+
+/// Generator and scorer for one synthetic application: the base models, the
+/// reference (full-ensemble) aggregation, and the agreement metric used as
+/// "accuracy" throughout the evaluation.
+class SyntheticTask {
+ public:
+  SyntheticTask(TaskSpec spec, std::vector<ModelProfile> profiles,
+                uint64_t seed);
+
+  const TaskSpec& spec() const { return spec_; }
+  int num_models() const { return static_cast<int>(profiles_.size()); }
+  const ModelProfile& profile(int k) const { return profiles_[k]; }
+  const std::vector<ModelProfile>& profiles() const { return profiles_; }
+
+  /// Dimension of a model/ensemble output vector for this task.
+  int output_dim() const;
+
+  /// Ensemble aggregation weights (normalized, proportional to base
+  /// accuracy, as a stand-in for the learned aggregators in the paper).
+  const std::vector<double>& ensemble_weights() const { return weights_; }
+
+  /// Deterministically generates the query with the given id and difficulty:
+  /// the same (task seed, model seeds, id) always yields the same query.
+  Query GenerateQuery(int64_t id, double difficulty) const;
+
+  /// Samples `n` queries with difficulties from `dist`. Ids start at
+  /// `first_id`.
+  std::vector<Query> GenerateDataset(int n, const DifficultyDistribution& dist,
+                                     uint64_t dataset_seed,
+                                     int64_t first_id = 0) const;
+
+  /// Reference aggregation (weighted average) over a subset of model
+  /// outputs; `model_indices` must be non-empty and sorted ascending.
+  std::vector<double> AggregateSubset(const Query& query,
+                                      const std::vector<int>& model_indices)
+      const;
+
+  /// Agreement of `produced` with `reference` on this task: 1/0 for
+  /// classification (argmax match) and regression (within tolerance), and
+  /// average precision in [0,1] for retrieval (the mAP column).
+  double MatchScore(const std::vector<double>& produced,
+                    const std::vector<double>& reference) const;
+
+  /// Agreement of `produced` with the *true* label/value/relevance (used for
+  /// reporting true accuracy rather than ensemble-relative accuracy).
+  double TrueScore(const std::vector<double>& produced,
+                   const Query& query) const;
+
+ private:
+  TaskSpec spec_;
+  std::vector<ModelProfile> profiles_;
+  uint64_t seed_;
+  std::vector<double> weights_;
+  /// Class centres for the label-informative feature dims
+  /// [num_classes][label_dims].
+  std::vector<std::vector<double>> class_centers_;
+};
+
+/// Average precision of ranking `scores` against the `relevant` index set.
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& relevant);
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_MODELS_SYNTHETIC_TASK_H_

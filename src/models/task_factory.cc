@@ -1,0 +1,47 @@
+#include "models/task_factory.h"
+
+namespace schemble {
+
+SyntheticTask MakeTextMatchingTask(uint64_t seed) {
+  TaskSpec spec;
+  spec.type = TaskType::kClassification;
+  spec.num_classes = 2;
+  spec.label_dims = 8;
+  spec.difficulty_dims = 4;
+  spec.noise_dims = 4;
+  return SyntheticTask(spec, TextMatchingProfiles(seed + 100), seed);
+}
+
+SyntheticTask MakeVehicleCountingTask(uint64_t seed) {
+  TaskSpec spec;
+  spec.type = TaskType::kRegression;
+  spec.value_scale = 10.0;
+  spec.regression_tolerance = 1.0;
+  spec.label_dims = 6;
+  spec.difficulty_dims = 4;
+  spec.noise_dims = 6;
+  return SyntheticTask(spec, VehicleCountingProfiles(seed + 200), seed);
+}
+
+SyntheticTask MakeImageRetrievalTask(uint64_t seed) {
+  TaskSpec spec;
+  spec.type = TaskType::kRetrieval;
+  spec.num_candidates = 16;
+  spec.relevant_top = 4;
+  spec.label_dims = 6;
+  spec.difficulty_dims = 4;
+  spec.noise_dims = 6;
+  return SyntheticTask(spec, ImageRetrievalProfiles(seed + 300), seed);
+}
+
+SyntheticTask MakeCifar100StyleTask(uint64_t seed, uint64_t model_seed) {
+  TaskSpec spec;
+  spec.type = TaskType::kClassification;
+  spec.num_classes = 100;
+  spec.label_dims = 12;
+  spec.difficulty_dims = 4;
+  spec.noise_dims = 4;
+  return SyntheticTask(spec, Cifar100StyleProfiles(model_seed), seed);
+}
+
+}  // namespace schemble

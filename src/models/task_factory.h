@@ -1,0 +1,31 @@
+#ifndef SCHEMBLE_MODELS_TASK_FACTORY_H_
+#define SCHEMBLE_MODELS_TASK_FACTORY_H_
+
+#include <cstdint>
+
+#include "models/synthetic_task.h"
+
+namespace schemble {
+
+/// Canonical task instances matching the paper's three applications plus the
+/// CIFAR100-style study. Each bundles the TaskSpec with the corresponding
+/// model profiles so benches, tests and examples agree on the setup.
+
+/// Text matching (binary classification): BiLSTM + RoBERTa + BERT.
+SyntheticTask MakeTextMatchingTask(uint64_t seed = 1001);
+
+/// Vehicle counting (regression): EfficientDet-0 + YOLOv5l6 + YOLOX.
+SyntheticTask MakeVehicleCountingTask(uint64_t seed = 2002);
+
+/// Image retrieval (ranking over a candidate pool): DELG x 2 backbones.
+SyntheticTask MakeImageRetrievalTask(uint64_t seed = 3003);
+
+/// CIFAR100-style 100-way classification with six architectures (Fig. 5,
+/// Exp-7). `model_seed` shifts every architecture's training seed so two
+/// instances model "the same ensemble retrained with different seeds".
+SyntheticTask MakeCifar100StyleTask(uint64_t seed = 4004,
+                                    uint64_t model_seed = 404);
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_MODELS_TASK_FACTORY_H_

@@ -1,0 +1,49 @@
+#ifndef SCHEMBLE_NN_KNN_H_
+#define SCHEMBLE_NN_KNN_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace schemble {
+
+/// Brute-force k-nearest-neighbour index with support for *masked* queries:
+/// distances are computed only over the observed coordinates. This is the
+/// engine behind the paper's KNN missing-value filling (§VII): given the
+/// outputs of the executed base models, find the k most similar historical
+/// full-output records and fill the missing outputs with their
+/// distance-weighted average.
+class KnnIndex {
+ public:
+  /// Builds an index over `records`, all of equal dimension.
+  static Result<KnnIndex> Build(std::vector<std::vector<double>> records);
+
+  struct Neighbor {
+    int index = 0;
+    double distance = 0.0;
+  };
+
+  /// k nearest records by Euclidean distance over coordinates where
+  /// mask[d] == true. Requires at least one observed coordinate.
+  std::vector<Neighbor> Query(const std::vector<double>& point,
+                              const std::vector<bool>& mask, int k) const;
+
+  /// Fills coordinates where mask[d] == false with the inverse-distance
+  /// weighted average of the k nearest records' values at d; observed
+  /// coordinates are returned unchanged.
+  std::vector<double> FillMissing(const std::vector<double>& point,
+                                  const std::vector<bool>& mask, int k) const;
+
+  int size() const { return static_cast<int>(records_.size()); }
+  int dim() const { return records_.empty() ? 0 : static_cast<int>(records_[0].size()); }
+
+ private:
+  explicit KnnIndex(std::vector<std::vector<double>> records)
+      : records_(std::move(records)) {}
+
+  std::vector<std::vector<double>> records_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_NN_KNN_H_

@@ -1,0 +1,72 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, fill) {
+  SCHEMBLE_CHECK_GE(rows, 0);
+  SCHEMBLE_CHECK_GE(cols, 0);
+}
+
+Matrix Matrix::Randn(int rows, int cols, double stddev, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Normal(0.0, stddev);
+  return m;
+}
+
+std::vector<double> Matrix::Apply(const std::vector<double>& x) const {
+  SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), cols_);
+  std::vector<double> y(rows_, 0.0);
+  const double* row = data_.data();
+  for (int r = 0; r < rows_; ++r, row += cols_) {
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::ApplyTransposed(const std::vector<double>& x) const {
+  SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), rows_);
+  std::vector<double> y(cols_, 0.0);
+  const double* row = data_.data();
+  for (int r = 0; r < rows_; ++r, row += cols_) {
+    const double xr = x[r];
+    for (int c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::AddOuterProduct(const std::vector<double>& a,
+                             const std::vector<double>& b, double scale) {
+  SCHEMBLE_CHECK_EQ(static_cast<int>(a.size()), rows_);
+  SCHEMBLE_CHECK_EQ(static_cast<int>(b.size()), cols_);
+  double* row = data_.data();
+  for (int r = 0; r < rows_; ++r, row += cols_) {
+    const double ar = scale * a[r];
+    for (int c = 0; c < cols_; ++c) row[c] += ar * b[c];
+  }
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  SCHEMBLE_CHECK_EQ(rows_, other.rows_);
+  SCHEMBLE_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Matrix::Fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+double Matrix::Norm() const {
+  double sq = 0.0;
+  for (double v : data_) sq += v * v;
+  return std::sqrt(sq);
+}
+
+}  // namespace schemble

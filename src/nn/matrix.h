@@ -1,0 +1,62 @@
+#ifndef SCHEMBLE_NN_MATRIX_H_
+#define SCHEMBLE_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace schemble {
+
+/// Dense row-major matrix of doubles. This is the minimal numeric core the
+/// neural-network substrate needs: the ensemble-serving workloads are small
+/// (feature dims ~16-64, hidden dims ~32-128), so a straightforward
+/// cache-friendly implementation is plenty.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  /// Gaussian-initialized matrix (used for weight init; He-style scaling is
+  /// applied by the caller via `stddev`).
+  static Matrix Randn(int rows, int cols, double stddev, Rng& rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& at(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// y = this * x  (matrix-vector product). Requires x.size() == cols().
+  std::vector<double> Apply(const std::vector<double>& x) const;
+
+  /// y = this^T * x (used by backprop). Requires x.size() == rows().
+  std::vector<double> ApplyTransposed(const std::vector<double>& x) const;
+
+  /// this += scale * (a outer b), where a has rows() entries and b cols().
+  void AddOuterProduct(const std::vector<double>& a,
+                       const std::vector<double>& b, double scale = 1.0);
+
+  /// this += scale * other (same shape).
+  void AddScaled(const Matrix& other, double scale);
+
+  void Fill(double v);
+
+  /// Frobenius norm.
+  double Norm() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_NN_MATRIX_H_

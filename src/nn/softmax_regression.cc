@@ -1,0 +1,37 @@
+#include "nn/softmax_regression.h"
+
+#include "common/logging.h"
+#include "common/prob.h"
+
+namespace schemble {
+
+SoftmaxRegression::SoftmaxRegression(int input_dim, int classes, uint64_t seed)
+    : mlp_(MlpConfig{{input_dim, classes}, Activation::kIdentity}, seed) {}
+
+double SoftmaxRegression::Train(const std::vector<std::vector<double>>& inputs,
+                                const std::vector<int>& labels,
+                                const TrainerOptions& options, Rng& rng) {
+  SCHEMBLE_CHECK_EQ(inputs.size(), labels.size());
+  SCHEMBLE_CHECK(!inputs.empty());
+  std::vector<TrainExample> examples;
+  examples.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    std::vector<double> one_hot(classes(), 0.0);
+    SCHEMBLE_CHECK_GE(labels[i], 0);
+    SCHEMBLE_CHECK_LT(labels[i], classes());
+    one_hot[labels[i]] = 1.0;
+    examples.push_back({inputs[i], std::move(one_hot)});
+  }
+  return TrainMlp(&mlp_, examples, SoftmaxCrossEntropyLossGrad, options, rng);
+}
+
+std::vector<double> SoftmaxRegression::PredictProba(
+    const std::vector<double>& input) const {
+  return Softmax(mlp_.Forward(input));
+}
+
+int SoftmaxRegression::Predict(const std::vector<double>& input) const {
+  return Argmax(mlp_.Forward(input));
+}
+
+}  // namespace schemble

@@ -1,0 +1,41 @@
+#ifndef SCHEMBLE_NN_SOFTMAX_REGRESSION_H_
+#define SCHEMBLE_NN_SOFTMAX_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/mlp.h"
+
+namespace schemble {
+
+/// Multinomial logistic regression: a single linear layer trained with
+/// softmax cross-entropy. Used as the stacking meta-classifier that
+/// aggregates base-model outputs (the paper's stacking aggregation uses "a
+/// meta-classifier with no restrictions on architecture"; a calibrated
+/// linear stacker is the classic choice and keeps inference cheap).
+class SoftmaxRegression {
+ public:
+  SoftmaxRegression(int input_dim, int classes, uint64_t seed);
+
+  /// Trains on (features, class index) pairs; returns final mean loss.
+  double Train(const std::vector<std::vector<double>>& inputs,
+               const std::vector<int>& labels, const TrainerOptions& options,
+               Rng& rng);
+
+  /// Class-probability vector for one input.
+  std::vector<double> PredictProba(const std::vector<double>& input) const;
+
+  /// Most likely class.
+  int Predict(const std::vector<double>& input) const;
+
+  int input_dim() const { return mlp_.input_dim(); }
+  int classes() const { return mlp_.output_dim(); }
+
+ private:
+  Mlp mlp_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_NN_SOFTMAX_REGRESSION_H_

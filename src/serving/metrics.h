@@ -1,0 +1,71 @@
+#ifndef SCHEMBLE_SERVING_METRICS_H_
+#define SCHEMBLE_SERVING_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "simcore/simulation.h"
+
+namespace schemble {
+
+/// Per-time-window serving statistics (the per-segment curves of
+/// Fig. 1a / 9 / 14).
+struct SegmentStats {
+  int64_t arrivals = 0;
+  int64_t processed = 0;
+  int64_t missed = 0;
+  double accuracy_sum = 0.0;
+  double latency_ms_sum = 0.0;
+  /// Sum of executed-subset sizes over processed queries: mean subset size
+  /// per segment shows adaptive shrinking during bursts (Fig. 14).
+  int64_t subset_size_sum = 0;
+
+  double deadline_miss_rate() const {
+    return arrivals > 0 ? static_cast<double>(missed) / arrivals : 0.0;
+  }
+  double accuracy() const {
+    return arrivals > 0 ? accuracy_sum / arrivals : 0.0;
+  }
+  double mean_latency_ms() const {
+    return processed > 0 ? latency_ms_sum / processed : 0.0;
+  }
+  double mean_subset_size() const {
+    return processed > 0
+               ? static_cast<double>(subset_size_sum) / processed
+               : 0.0;
+  }
+};
+
+/// Aggregate results of one serving run. "Accuracy" is agreement with the
+/// full ensemble's output (the paper's ground truth); queries that miss
+/// their deadline count as incorrect.
+struct ServingMetrics {
+  int64_t total = 0;
+  int64_t processed = 0;
+  int64_t missed = 0;
+  /// subset_size_counts[s] = queries whose final result aggregated s model
+  /// outputs (0 = missed); shows how policies shrink ensembles under load.
+  std::vector<int64_t> subset_size_counts;
+  double accuracy_sum = 0.0;            // over all queries (missed -> 0)
+  double processed_accuracy_sum = 0.0;  // over processed queries only
+  SampleSet latency_ms;                 // processed queries
+  std::vector<SegmentStats> segments;
+
+  double accuracy() const {
+    return total > 0 ? accuracy_sum / total : 0.0;
+  }
+  double deadline_miss_rate() const {
+    return total > 0 ? static_cast<double>(missed) / total : 0.0;
+  }
+  double processed_accuracy() const {
+    return processed > 0 ? processed_accuracy_sum / processed : 0.0;
+  }
+  double mean_latency_ms() const { return latency_ms.mean(); }
+  double p95_latency_ms() const { return latency_ms.Quantile(0.95); }
+  double max_latency_ms() const { return latency_ms.max(); }
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_SERVING_METRICS_H_

@@ -1,0 +1,129 @@
+#include "serving/pipeline.h"
+
+#include "common/logging.h"
+
+namespace schemble {
+
+Result<std::unique_ptr<SchemblePipeline>> SchemblePipeline::Build(
+    const SyntheticTask& task, const PipelineOptions& options) {
+  auto pipeline = std::unique_ptr<SchemblePipeline>(new SchemblePipeline());
+  pipeline->task_ = &task;
+  pipeline->history_ = task.GenerateDataset(
+      options.history_size, options.history_difficulty,
+      HashSeed("pipeline-history", options.seed));
+
+  auto scorer = DiscrepancyScorer::Fit(task, pipeline->history_);
+  if (!scorer.ok()) return scorer.status();
+  pipeline->scorer_ =
+      std::make_unique<DiscrepancyScorer>(std::move(scorer).value());
+  const std::vector<double> scores =
+      pipeline->scorer_->ScoreAll(pipeline->history_);
+
+  AccuracyProfile::Options profile_options;
+  profile_options.bins = options.profile_bins;
+  auto profile = AccuracyProfile::Build(task, pipeline->history_, scores,
+                                        profile_options);
+  if (!profile.ok()) return profile.status();
+  pipeline->profile_ =
+      std::make_unique<AccuracyProfile>(std::move(profile).value());
+
+  auto predictor = DiscrepancyPredictor::Train(task, pipeline->history_,
+                                               scores, options.predictor);
+  if (!predictor.ok()) return predictor.status();
+  pipeline->predictor_ =
+      std::make_unique<DiscrepancyPredictor>(std::move(predictor).value());
+
+  // Serving-time utility table: bin the history by the score the online
+  // policy will actually see (the network's prediction) so that the reward
+  // function is calibrated to serving conditions.
+  std::vector<double> predicted_scores;
+  predicted_scores.reserve(pipeline->history_.size());
+  for (const Query& q : pipeline->history_) {
+    predicted_scores.push_back(pipeline->predictor_->Predict(q));
+  }
+  auto predicted_profile = AccuracyProfile::Build(
+      task, pipeline->history_, predicted_scores, profile_options);
+  if (!predicted_profile.ok()) return predicted_profile.status();
+  pipeline->predicted_profile_ = std::make_unique<AccuracyProfile>(
+      std::move(predicted_profile).value());
+
+  // Single-bin marginal table for the no-prediction ablation Schemble(t).
+  AccuracyProfile::Options marginal_options = profile_options;
+  marginal_options.bins = 1;
+  auto marginal_profile = AccuracyProfile::Build(task, pipeline->history_,
+                                                 scores, marginal_options);
+  if (!marginal_profile.ok()) return marginal_profile.status();
+  pipeline->marginal_profile_ = std::make_unique<AccuracyProfile>(
+      std::move(marginal_profile).value());
+
+  if (options.with_ensemble_agreement) {
+    DiscrepancyConfig ea_config;
+    ea_config.metric = DifficultyMetric::kEnsembleAgreement;
+    auto ea_scorer = DiscrepancyScorer::Fit(task, pipeline->history_,
+                                            ea_config);
+    if (!ea_scorer.ok()) return ea_scorer.status();
+    pipeline->ea_scorer_ =
+        std::make_unique<DiscrepancyScorer>(std::move(ea_scorer).value());
+    const std::vector<double> ea_scores =
+        pipeline->ea_scorer_->ScoreAll(pipeline->history_);
+    auto ea_profile = AccuracyProfile::Build(task, pipeline->history_,
+                                             ea_scores, profile_options);
+    if (!ea_profile.ok()) return ea_profile.status();
+    pipeline->ea_profile_ =
+        std::make_unique<AccuracyProfile>(std::move(ea_profile).value());
+    PredictorConfig ea_predictor_config = options.predictor;
+    ea_predictor_config.seed = options.predictor.seed + 1;
+    auto ea_predictor = DiscrepancyPredictor::Train(
+        task, pipeline->history_, ea_scores, ea_predictor_config);
+    if (!ea_predictor.ok()) return ea_predictor.status();
+    pipeline->ea_predictor_ = std::make_unique<DiscrepancyPredictor>(
+        std::move(ea_predictor).value());
+    std::vector<double> ea_predicted;
+    ea_predicted.reserve(pipeline->history_.size());
+    for (const Query& q : pipeline->history_) {
+      ea_predicted.push_back(pipeline->ea_predictor_->Predict(q));
+    }
+    auto ea_predicted_profile = AccuracyProfile::Build(
+        task, pipeline->history_, ea_predicted, profile_options);
+    if (!ea_predicted_profile.ok()) return ea_predicted_profile.status();
+    pipeline->ea_predicted_profile_ = std::make_unique<AccuracyProfile>(
+        std::move(ea_predicted_profile).value());
+  }
+  return pipeline;
+}
+
+std::unique_ptr<SchemblePolicy> SchemblePipeline::MakeSchemble(
+    SchembleConfig config) const {
+  config.score_source = ScoreSource::kPredictor;
+  return std::make_unique<SchemblePolicy>(*task_, *predicted_profile_,
+                                          predictor_.get(), scorer_.get(),
+                                          std::move(config));
+}
+
+std::unique_ptr<SchemblePolicy> SchemblePipeline::MakeSchembleEa(
+    SchembleConfig config) const {
+  SCHEMBLE_CHECK(ea_profile_ != nullptr);
+  if (config.name == "Schemble") config.name = "Schemble(ea)";
+  config.score_source = ScoreSource::kPredictor;
+  return std::make_unique<SchemblePolicy>(*task_, *ea_predicted_profile_,
+                                          ea_predictor_.get(),
+                                          ea_scorer_.get(), std::move(config));
+}
+
+std::unique_ptr<SchemblePolicy> SchemblePipeline::MakeSchembleT(
+    SchembleConfig config) const {
+  if (config.name == "Schemble") config.name = "Schemble(t)";
+  config.score_source = ScoreSource::kConstant;
+  return std::make_unique<SchemblePolicy>(*task_, *marginal_profile_, nullptr,
+                                          nullptr, std::move(config));
+}
+
+std::unique_ptr<SchemblePolicy> SchemblePipeline::MakeSchembleOracle(
+    SchembleConfig config) const {
+  if (config.name == "Schemble") config.name = "Schemble(Oracle)";
+  config.score_source = ScoreSource::kOracle;
+  return std::make_unique<SchemblePolicy>(*task_, *profile_, nullptr,
+                                          scorer_.get(), std::move(config));
+}
+
+}  // namespace schemble

@@ -1,0 +1,85 @@
+#ifndef SCHEMBLE_SERVING_PIPELINE_H_
+#define SCHEMBLE_SERVING_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/aggregation.h"
+#include "core/discrepancy.h"
+#include "core/discrepancy_predictor.h"
+#include "core/profiling.h"
+#include "core/schemble_policy.h"
+#include "models/synthetic_task.h"
+
+namespace schemble {
+
+struct PipelineOptions {
+  /// Historical queries used for calibration, profiling and training.
+  int history_size = 4000;
+  /// Difficulty distribution of the history (uniform covers every bin).
+  DifficultyDistribution history_difficulty =
+      DifficultyDistribution::UniformFull();
+  /// Profile bins.
+  int profile_bins = 10;
+  /// Also fit the ensemble-agreement variant (Schemble(ea)).
+  bool with_ensemble_agreement = false;
+  PredictorConfig predictor;
+  uint64_t seed = 51;
+};
+
+/// Everything Schemble trains offline for one task, bundled so that
+/// benches, examples and tests share one construction path: history data,
+/// the discrepancy scorer (+ optional ensemble-agreement variant), the
+/// accuracy profiles, and the trained prediction network.
+class SchemblePipeline {
+ public:
+  /// `task` must outlive the pipeline.
+  static Result<std::unique_ptr<SchemblePipeline>> Build(
+      const SyntheticTask& task, const PipelineOptions& options);
+
+  const SyntheticTask& task() const { return *task_; }
+  const std::vector<Query>& history() const { return history_; }
+  const DiscrepancyScorer& scorer() const { return *scorer_; }
+  /// Utility table binned by ground-truth discrepancy score (oracle use,
+  /// offline experiments).
+  const AccuracyProfile& profile() const { return *profile_; }
+  /// Utility table binned by the *predicted* score, matching serving-time
+  /// conditions (what the online Schemble policy reads).
+  const AccuracyProfile& predicted_profile() const {
+    return *predicted_profile_;
+  }
+  const DiscrepancyPredictor& predictor() const { return *predictor_; }
+  bool has_ea() const { return ea_profile_ != nullptr; }
+  const DiscrepancyScorer& ea_scorer() const { return *ea_scorer_; }
+  const AccuracyProfile& ea_profile() const { return *ea_profile_; }
+
+  /// Standard Schemble policy (predictor-driven, DP scheduler).
+  std::unique_ptr<SchemblePolicy> MakeSchemble(SchembleConfig config) const;
+  /// Schemble(ea): the ensemble-agreement difficulty metric.
+  std::unique_ptr<SchemblePolicy> MakeSchembleEa(SchembleConfig config) const;
+  /// Schemble(t): no difficulty prediction (constant score).
+  std::unique_ptr<SchemblePolicy> MakeSchembleT(SchembleConfig config) const;
+  /// Oracle variant: ground-truth discrepancy scores.
+  std::unique_ptr<SchemblePolicy> MakeSchembleOracle(
+      SchembleConfig config) const;
+
+ private:
+  SchemblePipeline() = default;
+
+  const SyntheticTask* task_ = nullptr;
+  std::vector<Query> history_;
+  std::unique_ptr<DiscrepancyScorer> scorer_;
+  std::unique_ptr<AccuracyProfile> profile_;
+  std::unique_ptr<AccuracyProfile> predicted_profile_;
+  std::unique_ptr<AccuracyProfile> marginal_profile_;  // 1 bin, Schemble(t)
+  std::unique_ptr<DiscrepancyPredictor> predictor_;
+  std::unique_ptr<DiscrepancyScorer> ea_scorer_;
+  std::unique_ptr<AccuracyProfile> ea_profile_;
+  std::unique_ptr<AccuracyProfile> ea_predicted_profile_;
+  std::unique_ptr<DiscrepancyPredictor> ea_predictor_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_SERVING_PIPELINE_H_

@@ -1,0 +1,275 @@
+#include "serving/server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+EnsembleServer::EnsembleServer(const SyntheticTask& task,
+                               ServingPolicy* policy, ServerOptions options)
+    : task_(&task),
+      policy_(policy),
+      options_(std::move(options)),
+      rng_(HashSeed("server", options_.seed)) {
+  SCHEMBLE_CHECK(policy_ != nullptr);
+  if (options_.executor_models.empty()) {
+    for (int k = 0; k < task_->num_models(); ++k) {
+      options_.executor_models.push_back(k);
+    }
+  }
+  for (int model : options_.executor_models) {
+    SCHEMBLE_CHECK_GE(model, 0);
+    SCHEMBLE_CHECK_LT(model, task_->num_models());
+    Executor e;
+    e.model = model;
+    executors_.push_back(e);
+  }
+}
+
+SimTime EnsembleServer::DrawServiceTime(int model) {
+  const ModelProfile& profile = task_->profile(model);
+  const double factor =
+      std::max(0.2, 1.0 + profile.latency_jitter * rng_.Normal());
+  return static_cast<SimTime>(
+      static_cast<double>(profile.latency_us) * factor);
+}
+
+bool EnsembleServer::AnyExecutorIdle() const {
+  for (const Executor& e : executors_) {
+    if (!e.busy && e.queue.empty()) return true;
+  }
+  return false;
+}
+
+ServerView EnsembleServer::BuildView() const {
+  ServerView view;
+  view.now = sim_.now();
+  view.allow_rejection = options_.allow_rejection;
+  view.model_exec_time.resize(task_->num_models());
+  view.model_available_at.assign(task_->num_models(), kSimTimeMax);
+  for (int k = 0; k < task_->num_models(); ++k) {
+    view.model_exec_time[k] = task_->profile(k).latency_us;
+  }
+  for (size_t e = 0; e < executors_.size(); ++e) {
+    const Executor& ex = executors_[e];
+    SimTime available = ex.busy ? ex.busy_until : sim_.now();
+    available +=
+        static_cast<SimTime>(ex.queue.size()) *
+        task_->profile(ex.model).latency_us;
+    view.executors.push_back({static_cast<int>(e), ex.model, available,
+                              static_cast<int>(ex.queue.size())});
+    view.model_available_at[ex.model] =
+        std::min(view.model_available_at[ex.model], available);
+  }
+  return view;
+}
+
+ServingMetrics EnsembleServer::Run(const QueryTrace& trace) {
+  SCHEMBLE_CHECK(!ran_) << "EnsembleServer::Run is one-shot";
+  ran_ = true;
+  trace_ = &trace;
+  states_.assign(trace.items.size(), QueryState{});
+  metrics_ = ServingMetrics{};
+  metrics_.latency_ms.Reserve(trace.items.size());
+  buffer_.clear();
+  id_to_index_.clear();
+  for (size_t i = 0; i < trace.items.size(); ++i) {
+    id_to_index_[trace.items[i].query.id] = static_cast<int>(i);
+  }
+
+  const SimTime processing_delay = policy_->ArrivalProcessingDelay();
+  for (size_t i = 0; i < trace.items.size(); ++i) {
+    const int index = static_cast<int>(i);
+    sim_.ScheduleAt(trace.items[i].arrival_time + processing_delay,
+                    [this, index] { HandleArrival(index); });
+    if (options_.allow_rejection) {
+      sim_.ScheduleAt(trace.items[i].deadline,
+                      [this, index] { HandleDeadline(index); });
+    }
+  }
+  sim_.Run();
+
+  // Force mode: the buffer must have drained through completion events.
+  SCHEMBLE_CHECK(buffer_.empty());
+  for (size_t i = 0; i < states_.size(); ++i) {
+    SCHEMBLE_CHECK(states_[i].finalized) << "query " << i << " unfinalized";
+  }
+  return metrics_;
+}
+
+void EnsembleServer::HandleArrival(int index) {
+  const TracedQuery& tq = trace_->items[index];
+  QueryState& state = states_[index];
+  if (state.finalized) return;  // deadline expired during predictor delay
+  const ServerView view = BuildView();
+  const ArrivalDecision decision = policy_->OnArrival(tq, view);
+  switch (decision.action) {
+    case ArrivalDecision::Action::kAssign:
+      SCHEMBLE_CHECK_NE(decision.subset, 0u);
+      Commit(index, decision.subset, 0);
+      break;
+    case ArrivalDecision::Action::kReject:
+      Finalize(index, 0, sim_.now());
+      break;
+    case ArrivalDecision::Action::kBuffer:
+      state.buffered = true;
+      buffer_.push_back(index);
+      break;
+  }
+  if (!buffer_.empty() && AnyExecutorIdle()) DrainBuffer();
+}
+
+void EnsembleServer::Commit(int index, SubsetMask subset, SimTime overhead) {
+  QueryState& state = states_[index];
+  SCHEMBLE_CHECK_EQ(state.assigned, 0u);
+  SCHEMBLE_CHECK_NE(subset, 0u);
+  state.assigned = subset;
+  if (state.buffered) {
+    state.buffered = false;
+    buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
+  }
+  if (overhead > 0) {
+    sim_.ScheduleAfter(overhead,
+                       [this, index, subset] { EnqueueTasks(index, subset); });
+  } else {
+    EnqueueTasks(index, subset);
+  }
+}
+
+void EnsembleServer::EnqueueTasks(int index, SubsetMask subset) {
+  if (states_[index].finalized) return;  // deadline passed while waiting
+  for (int k = 0; k < task_->num_models(); ++k) {
+    if (!(subset & (SubsetMask{1} << k))) continue;
+    // Least-loaded executor of model k.
+    int best = -1;
+    SimTime best_available = kSimTimeMax;
+    for (size_t e = 0; e < executors_.size(); ++e) {
+      const Executor& ex = executors_[e];
+      if (ex.model != k) continue;
+      SimTime available = ex.busy ? ex.busy_until : sim_.now();
+      available += static_cast<SimTime>(ex.queue.size()) *
+                   task_->profile(k).latency_us;
+      if (available < best_available) {
+        best_available = available;
+        best = static_cast<int>(e);
+      }
+    }
+    SCHEMBLE_CHECK_GE(best, 0) << "no executor deployed for model " << k;
+    executors_[best].queue.push_back(index);
+    TryStart(best);
+  }
+}
+
+void EnsembleServer::TryStart(int executor_id) {
+  Executor& ex = executors_[executor_id];
+  if (ex.busy || ex.queue.empty()) return;
+  const int index = ex.queue.front();
+  ex.queue.pop_front();
+  ex.busy = true;
+  const SimTime service = DrawServiceTime(ex.model);
+  ex.busy_until = sim_.now() + service;
+  sim_.ScheduleAt(ex.busy_until, [this, executor_id, index] {
+    HandleCompletion(executor_id, index);
+  });
+}
+
+void EnsembleServer::HandleCompletion(int executor_id, int index) {
+  Executor& ex = executors_[executor_id];
+  ex.busy = false;
+  QueryState& state = states_[index];
+  if (!state.finalized) {
+    state.done |= SubsetMask{1} << ex.model;
+    state.last_done_time = sim_.now();
+    if (state.done == state.assigned) {
+      Finalize(index, state.done, sim_.now());
+    }
+  }
+  TryStart(executor_id);
+  if (!buffer_.empty() && AnyExecutorIdle()) DrainBuffer();
+}
+
+void EnsembleServer::HandleDeadline(int index) {
+  QueryState& state = states_[index];
+  if (state.finalized) return;
+  if (state.done != 0) {
+    // Partial results are served with whatever completed by the deadline.
+    Finalize(index, state.done, state.last_done_time);
+    return;
+  }
+  // No output by the deadline: miss. Drop from the buffer if still there.
+  if (state.buffered) {
+    state.buffered = false;
+    buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
+  }
+  Finalize(index, 0, sim_.now());
+}
+
+void EnsembleServer::DrainBuffer() {
+  if (draining_) return;
+  draining_ = true;
+  const ServerView view = BuildView();
+  std::vector<const TracedQuery*> pointers;
+  pointers.reserve(buffer_.size());
+  for (int index : buffer_) pointers.push_back(&trace_->items[index]);
+  const PolicyOutput output = policy_->OnIdle(view, pointers);
+  for (const BufferedAssignment& assignment : output.assignments) {
+    auto it = id_to_index_.find(assignment.query_id);
+    SCHEMBLE_CHECK(it != id_to_index_.end());
+    SCHEMBLE_CHECK_NE(assignment.subset, 0u);
+    Commit(it->second, assignment.subset, output.overhead_us);
+  }
+  draining_ = false;
+}
+
+void EnsembleServer::Finalize(int index, SubsetMask outputs,
+                              SimTime completion) {
+  const TracedQuery& tq = trace_->items[index];
+  QueryState& state = states_[index];
+  SCHEMBLE_CHECK(!state.finalized);
+  state.finalized = true;
+
+  const size_t segment =
+      static_cast<size_t>(tq.arrival_time / options_.segment_duration);
+  if (segment >= metrics_.segments.size()) {
+    metrics_.segments.resize(segment + 1);
+  }
+  SegmentStats& seg = metrics_.segments[segment];
+  ++metrics_.total;
+  ++seg.arrivals;
+  const size_t size = static_cast<size_t>(SubsetSize(outputs));
+  if (metrics_.subset_size_counts.size() <= size) {
+    metrics_.subset_size_counts.resize(size + 1, 0);
+  }
+  ++metrics_.subset_size_counts[size];
+
+  if (outputs == 0) {
+    ++metrics_.missed;
+    ++seg.missed;
+    return;
+  }
+  std::vector<double> result;
+  if (options_.aggregator != nullptr) {
+    result = options_.aggregator->Aggregate(tq.query, outputs);
+  } else {
+    result = task_->AggregateSubset(tq.query, SubsetModels(outputs));
+  }
+  const double match = task_->MatchScore(result, tq.query.ensemble_output);
+  const double latency_ms = SimTimeToMillis(completion - tq.arrival_time);
+  const bool miss =
+      options_.allow_rejection ? false : completion > tq.deadline;
+  ++metrics_.processed;
+  ++seg.processed;
+  metrics_.processed_accuracy_sum += match;
+  metrics_.accuracy_sum += match;
+  seg.accuracy_sum += match;
+  metrics_.latency_ms.Add(latency_ms);
+  seg.latency_ms_sum += latency_ms;
+  seg.subset_size_sum += SubsetSize(outputs);
+  if (miss) {
+    ++metrics_.missed;
+    ++seg.missed;
+  }
+}
+
+}  // namespace schemble

@@ -1,0 +1,64 @@
+#include "simcore/simulation.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+int64_t Simulation::ScheduleAt(SimTime when, EventFn fn) {
+  SCHEMBLE_CHECK_GE(when, now_);
+  const int64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+int64_t Simulation::ScheduleAfter(SimTime delay, EventFn fn) {
+  SCHEMBLE_CHECK_GE(delay, 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulation::Cancel(int64_t event_id) {
+  auto it = handlers_.find(event_id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  ++cancelled_pending_;
+  return true;
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(ev.id);
+    if (it == handlers_.end()) {
+      // Cancelled event: discard its queue entry.
+      --cancelled_pending_;
+      continue;
+    }
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = ev.when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run(SimTime until) {
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing the clock.
+    const Event& top = queue_.top();
+    if (handlers_.find(top.id) == handlers_.end()) {
+      queue_.pop();
+      --cancelled_pending_;
+      continue;
+    }
+    if (top.when > until) return;
+    Step();
+  }
+}
+
+}  // namespace schemble

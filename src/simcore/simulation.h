@@ -1,0 +1,99 @@
+#ifndef SCHEMBLE_SIMCORE_SIMULATION_H_
+#define SCHEMBLE_SIMCORE_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace schemble {
+
+/// Simulated time in microseconds. The serving experiments reason in
+/// milliseconds; a microsecond clock keeps scheduler-overhead charging and
+/// latency jitter exact.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Converts milliseconds (possibly fractional) to SimTime.
+constexpr SimTime MillisToSimTime(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+constexpr double SimTimeToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+constexpr double SimTimeToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Single-threaded discrete-event simulation driver.
+///
+/// Events scheduled for the same timestamp run in scheduling order
+/// (stable FIFO), which makes every run bit-for-bit deterministic. Event
+/// callbacks may schedule further events, including at the current time.
+class Simulation {
+ public:
+  using EventFn = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when`; `when` must not be in
+  /// the past. Returns an id usable with Cancel.
+  int64_t ScheduleAt(SimTime when, EventFn fn);
+
+  /// Schedules `fn` to run `delay` after now.
+  int64_t ScheduleAfter(SimTime delay, EventFn fn);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled.
+  bool Cancel(int64_t event_id);
+
+  /// Runs events until the queue drains or the next event is after
+  /// `until`; the clock never advances beyond the last executed event.
+  void Run(SimTime until = kSimTimeMax);
+
+  /// Executes the next pending event; returns false when the queue is empty.
+  bool Step();
+
+  /// Number of events executed so far.
+  int64_t executed_events() const { return executed_; }
+  /// Number of currently pending (non-cancelled) events.
+  int64_t pending_events() const {
+    return static_cast<int64_t>(queue_.size()) - cancelled_pending_;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    int64_t seq;
+    int64_t id;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  int64_t next_seq_ = 0;
+  int64_t next_id_ = 1;
+  int64_t executed_ = 0;
+  int64_t cancelled_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  // id -> callback; erased on execution/cancellation.
+  std::unordered_map<int64_t, EventFn> handlers_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_SIMCORE_SIMULATION_H_

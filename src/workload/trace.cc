@@ -1,0 +1,75 @@
+#include "workload/trace.h"
+
+#include "common/logging.h"
+
+namespace schemble {
+
+ConstantDeadline::ConstantDeadline(SimTime deadline) : deadline_(deadline) {
+  SCHEMBLE_CHECK_GT(deadline, 0);
+}
+
+SimTime ConstantDeadline::RelativeDeadline(int /*source*/, Rng& /*rng*/) const {
+  return deadline_;
+}
+
+PerSourceUniformDeadline::PerSourceUniformDeadline(int num_sources, SimTime lo,
+                                                   SimTime hi, uint64_t seed) {
+  SCHEMBLE_CHECK_GT(num_sources, 0);
+  SCHEMBLE_CHECK_GT(lo, 0);
+  SCHEMBLE_CHECK_GE(hi, lo);
+  Rng rng(HashSeed("per-source-deadline", seed));
+  deadlines_.reserve(num_sources);
+  for (int i = 0; i < num_sources; ++i) {
+    deadlines_.push_back(rng.UniformInt(lo, hi));
+  }
+}
+
+SimTime PerSourceUniformDeadline::RelativeDeadline(int source,
+                                                   Rng& /*rng*/) const {
+  SCHEMBLE_CHECK_GE(source, 0);
+  SCHEMBLE_CHECK_LT(source, num_sources());
+  return deadlines_[source];
+}
+
+std::vector<int64_t> QueryTrace::SegmentCounts(SimTime segment) const {
+  SCHEMBLE_CHECK_GT(segment, 0);
+  std::vector<int64_t> counts;
+  for (const TracedQuery& tq : items) {
+    const size_t bucket = static_cast<size_t>(tq.arrival_time / segment);
+    if (bucket >= counts.size()) counts.resize(bucket + 1, 0);
+    ++counts[bucket];
+  }
+  return counts;
+}
+
+QueryTrace BuildTrace(const SyntheticTask& task,
+                      const TrafficGenerator& traffic,
+                      const DeadlineGenerator& deadlines, SimTime duration,
+                      const TraceOptions& options) {
+  Rng rng(HashSeed("trace", options.seed));
+  Rng difficulty_rng = rng.Fork(1);
+  Rng source_rng = rng.Fork(2);
+  Rng deadline_rng = rng.Fork(3);
+  Rng arrival_rng = rng.Fork(4);
+
+  QueryTrace trace;
+  const std::vector<SimTime> arrivals =
+      traffic.GenerateArrivals(duration, arrival_rng);
+  trace.items.reserve(arrivals.size());
+  int64_t id = options.first_query_id;
+  for (SimTime when : arrivals) {
+    TracedQuery tq;
+    tq.arrival_time = when;
+    tq.source = options.num_sources <= 1
+                    ? 0
+                    : static_cast<int>(
+                          source_rng.UniformInt(0, options.num_sources - 1));
+    tq.deadline = when + deadlines.RelativeDeadline(tq.source, deadline_rng);
+    tq.query =
+        task.GenerateQuery(id++, options.difficulty.Sample(difficulty_rng));
+    trace.items.push_back(std::move(tq));
+  }
+  return trace;
+}
+
+}  // namespace schemble

@@ -1,0 +1,96 @@
+#ifndef SCHEMBLE_WORKLOAD_TRACE_H_
+#define SCHEMBLE_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/synthetic_task.h"
+#include "simcore/simulation.h"
+#include "workload/traffic.h"
+
+namespace schemble {
+
+/// One query as it appears on the wire: payload plus arrival time and the
+/// absolute deadline assigned at arrival.
+struct TracedQuery {
+  Query query;
+  SimTime arrival_time = 0;
+  SimTime deadline = 0;  // absolute time by which the result is due
+  /// Originating source (e.g. camera id in the vehicle-counting task);
+  /// deadline policies may be per-source.
+  int source = 0;
+
+  SimTime relative_deadline() const { return deadline - arrival_time; }
+};
+
+/// Assigns relative deadlines to arrivals.
+class DeadlineGenerator {
+ public:
+  virtual ~DeadlineGenerator() = default;
+  /// Relative deadline for a query from `source`.
+  virtual SimTime RelativeDeadline(int source, Rng& rng) const = 0;
+};
+
+/// Every query gets the same relative deadline (text matching / image
+/// retrieval experiments: "we treat all customers the same").
+class ConstantDeadline : public DeadlineGenerator {
+ public:
+  explicit ConstantDeadline(SimTime deadline);
+  SimTime RelativeDeadline(int source, Rng& rng) const override;
+
+ private:
+  SimTime deadline_;
+};
+
+/// Each source (camera) draws one deadline from Uniform[lo, hi] up front;
+/// all of its queries reuse it ("deadlines for each camera are sampled
+/// randomly from the uniform distribution").
+class PerSourceUniformDeadline : public DeadlineGenerator {
+ public:
+  PerSourceUniformDeadline(int num_sources, SimTime lo, SimTime hi,
+                           uint64_t seed);
+  SimTime RelativeDeadline(int source, Rng& rng) const override;
+
+  int num_sources() const { return static_cast<int>(deadlines_.size()); }
+  SimTime deadline_of(int source) const { return deadlines_[source]; }
+
+ private:
+  std::vector<SimTime> deadlines_;
+};
+
+/// A fully materialized workload: queries with arrival times and deadlines,
+/// sorted by arrival time.
+struct QueryTrace {
+  std::vector<TracedQuery> items;
+
+  int64_t size() const { return static_cast<int64_t>(items.size()); }
+  bool empty() const { return items.empty(); }
+  SimTime duration() const {
+    return items.empty() ? 0 : items.back().arrival_time;
+  }
+
+  /// Number of arrivals in each window of `segment` duration (Fig. 1a's
+  /// traffic curve).
+  std::vector<int64_t> SegmentCounts(SimTime segment) const;
+};
+
+struct TraceOptions {
+  DifficultyDistribution difficulty = DifficultyDistribution::Realistic();
+  int num_sources = 1;
+  uint64_t seed = 42;
+  /// Ids of generated queries start here (lets callers keep trace ids
+  /// disjoint from profiling/training datasets).
+  int64_t first_query_id = 1000000;
+};
+
+/// Samples arrivals from `traffic`, generates a query per arrival from
+/// `task`, and stamps deadlines from `deadlines`.
+QueryTrace BuildTrace(const SyntheticTask& task,
+                      const TrafficGenerator& traffic,
+                      const DeadlineGenerator& deadlines, SimTime duration,
+                      const TraceOptions& options);
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_WORKLOAD_TRACE_H_

@@ -1,0 +1,67 @@
+#include "workload/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace schemble {
+
+Status SaveTraceCsv(const QueryTrace& trace, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open trace file for writing: " +
+                                   path);
+  }
+  std::fprintf(file, "id,difficulty,arrival_us,deadline_us,source\n");
+  for (const TracedQuery& tq : trace.items) {
+    std::fprintf(file, "%" PRId64 ",%.17g,%" PRId64 ",%" PRId64 ",%d\n",
+                 tq.query.id, tq.query.difficulty, tq.arrival_time,
+                 tq.deadline, tq.source);
+  }
+  if (std::fclose(file) != 0) {
+    return Status::Internal("failed to close trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<QueryTrace> LoadTraceCsv(const SyntheticTask& task,
+                                const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  QueryTrace trace;
+  char line[256];
+  bool first = true;
+  int line_number = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ++line_number;
+    if (first) {
+      first = false;  // header
+      continue;
+    }
+    int64_t id = 0;
+    double difficulty = 0.0;
+    int64_t arrival = 0;
+    int64_t deadline = 0;
+    int source = 0;
+    const int parsed =
+        std::sscanf(line, "%" SCNd64 ",%lg,%" SCNd64 ",%" SCNd64 ",%d", &id,
+                    &difficulty, &arrival, &deadline, &source);
+    if (parsed != 5) {
+      std::fclose(file);
+      return Status::InvalidArgument("malformed trace row at line " +
+                                     std::to_string(line_number));
+    }
+    TracedQuery tq;
+    tq.query = task.GenerateQuery(id, difficulty);
+    tq.arrival_time = arrival;
+    tq.deadline = deadline;
+    tq.source = source;
+    trace.items.push_back(std::move(tq));
+  }
+  std::fclose(file);
+  return trace;
+}
+
+}  // namespace schemble

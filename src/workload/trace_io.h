@@ -1,0 +1,34 @@
+#ifndef SCHEMBLE_WORKLOAD_TRACE_IO_H_
+#define SCHEMBLE_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "models/synthetic_task.h"
+#include "workload/trace.h"
+
+namespace schemble {
+
+/// Trace persistence. The paper records a production one-day query trace
+/// and replays it across experiments; these helpers do the same for
+/// synthetic traces so that a trace generated once can be replayed across
+/// processes and policy runs bit-for-bit.
+///
+/// Only the replay-relevant fields are stored (query id, latent difficulty,
+/// arrival time, deadline, source); the query payload — features and model
+/// outputs — is regenerated deterministically by the task from
+/// (id, difficulty), so loading requires the *same* SyntheticTask
+/// configuration the trace was built with.
+
+/// Writes the trace as CSV: header line, then one row per query
+/// `id,difficulty,arrival_us,deadline_us,source`.
+Status SaveTraceCsv(const QueryTrace& trace, const std::string& path);
+
+/// Reads a CSV written by SaveTraceCsv and regenerates the queries with
+/// `task`. Fails on malformed rows or unreadable files.
+Result<QueryTrace> LoadTraceCsv(const SyntheticTask& task,
+                                const std::string& path);
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_WORKLOAD_TRACE_IO_H_

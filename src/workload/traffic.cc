@@ -1,0 +1,83 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+PoissonTraffic::PoissonTraffic(double rate_per_second)
+    : rate_per_second_(rate_per_second) {
+  SCHEMBLE_CHECK_GT(rate_per_second, 0.0);
+}
+
+std::vector<SimTime> PoissonTraffic::GenerateArrivals(SimTime duration,
+                                                      Rng& rng) const {
+  std::vector<SimTime> arrivals;
+  const double rate_per_us = rate_per_second_ / static_cast<double>(kSecond);
+  double t = 0.0;
+  while (true) {
+    t += rng.Exponential(rate_per_us);
+    const SimTime when = static_cast<SimTime>(t);
+    if (when >= duration) break;
+    arrivals.push_back(when);
+  }
+  return arrivals;
+}
+
+DiurnalTraffic::DiurnalTraffic(double peak_rate_per_second,
+                               SimTime segment_duration,
+                               std::vector<double> relative_rates)
+    : peak_rate_per_second_(peak_rate_per_second),
+      segment_duration_(segment_duration),
+      relative_rates_(std::move(relative_rates)) {
+  SCHEMBLE_CHECK_GT(peak_rate_per_second, 0.0);
+  SCHEMBLE_CHECK_GT(segment_duration, 0);
+  SCHEMBLE_CHECK(!relative_rates_.empty());
+  for (double r : relative_rates_) SCHEMBLE_CHECK_GE(r, 0.0);
+}
+
+DiurnalTraffic DiurnalTraffic::QaDayShape(double peak_rate_per_second,
+                                          SimTime segment_duration) {
+  // 24 "hours" shaped after Fig. 1a: near-flat overnight (~1/30 of peak),
+  // morning ramp, a double peak across 10-18h, evening decline.
+  const std::vector<double> shape = {
+      0.035, 0.033, 0.033, 0.033, 0.035, 0.04, 0.05, 0.08,   // 0-7h
+      0.20,  0.45,  0.75,  1.00,  0.85,  0.80, 0.92, 1.00,   // 8-15h
+      0.80,  0.60,  0.40,  0.27,  0.17,  0.10, 0.06, 0.045,  // 16-23h
+  };
+  return DiurnalTraffic(peak_rate_per_second, segment_duration, shape);
+}
+
+double DiurnalTraffic::RateAt(SimTime t) const {
+  if (t < 0) return 0.0;
+  const int64_t segment = t / segment_duration_;
+  if (segment >= num_segments()) return 0.0;
+  return peak_rate_per_second_ * relative_rates_[segment];
+}
+
+std::vector<SimTime> DiurnalTraffic::GenerateArrivals(SimTime duration,
+                                                      Rng& rng) const {
+  // Piecewise-constant thinning: exact sampling per segment.
+  std::vector<SimTime> arrivals;
+  const SimTime horizon = std::min(duration, total_duration());
+  for (int seg = 0; seg < num_segments(); ++seg) {
+    const SimTime seg_start = segment_duration_ * seg;
+    if (seg_start >= horizon) break;
+    const SimTime seg_end = std::min(horizon, seg_start + segment_duration_);
+    const double rate = peak_rate_per_second_ * relative_rates_[seg];
+    if (rate <= 0.0) continue;
+    const double rate_per_us = rate / static_cast<double>(kSecond);
+    double t = static_cast<double>(seg_start);
+    while (true) {
+      t += rng.Exponential(rate_per_us);
+      const SimTime when = static_cast<SimTime>(t);
+      if (when >= seg_end) break;
+      arrivals.push_back(when);
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace schemble

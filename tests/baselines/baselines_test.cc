@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/des_policy.h"
+#include "baselines/gating_policy.h"
+#include "baselines/original_policy.h"
+#include "baselines/static_policy.h"
+#include "core/discrepancy.h"
+#include "core/profiling.h"
+#include "models/task_factory.h"
+
+namespace schemble {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    task_ = std::make_unique<SyntheticTask>(MakeTextMatchingTask(3));
+    history_ = task_->GenerateDataset(
+        2500, DifficultyDistribution::UniformFull(), 5);
+  }
+
+  ServerView IdleView() const {
+    ServerView view;
+    view.now = 0;
+    view.allow_rejection = true;
+    for (int k = 0; k < task_->num_models(); ++k) {
+      view.executors.push_back({k, k, 0, 0});
+      view.model_exec_time.push_back(task_->profile(k).latency_us);
+      view.model_available_at.push_back(0);
+    }
+    return view;
+  }
+
+  TracedQuery MakeTraced(int64_t id, double difficulty,
+                         SimTime deadline) const {
+    TracedQuery tq;
+    tq.query = task_->GenerateQuery(id, difficulty);
+    tq.arrival_time = 0;
+    tq.deadline = deadline;
+    return tq;
+  }
+
+  std::unique_ptr<SyntheticTask> task_;
+  std::vector<Query> history_;
+};
+
+TEST_F(BaselinesTest, OriginalAssignsFullEnsemble) {
+  OriginalPolicy policy;
+  const auto decision =
+      policy.OnArrival(MakeTraced(1, 0.2, 200 * kMillisecond), IdleView());
+  EXPECT_EQ(decision.action, ArrivalDecision::Action::kAssign);
+  EXPECT_EQ(decision.subset, 0b111u);
+}
+
+TEST_F(BaselinesTest, OriginalRejectsWhenOverloaded) {
+  OriginalPolicy policy;
+  ServerView view = IdleView();
+  view.model_available_at = {0, 0, 500 * kMillisecond};
+  const auto decision =
+      policy.OnArrival(MakeTraced(2, 0.2, 100 * kMillisecond), view);
+  EXPECT_EQ(decision.action, ArrivalDecision::Action::kReject);
+}
+
+TEST_F(BaselinesTest, OriginalNeverRejectsInForceMode) {
+  OriginalPolicy policy;
+  ServerView view = IdleView();
+  view.allow_rejection = false;
+  view.model_available_at = {0, 0, 500 * kMillisecond};
+  const auto decision =
+      policy.OnArrival(MakeTraced(3, 0.2, 100 * kMillisecond), view);
+  EXPECT_EQ(decision.action, ArrivalDecision::Action::kAssign);
+}
+
+TEST_F(BaselinesTest, StaticDeploymentSearchRespectsMemoryBudget) {
+  auto scorer = DiscrepancyScorer::Fit(*task_, history_);
+  ASSERT_TRUE(scorer.ok());
+  auto profile = AccuracyProfile::Build(*task_, history_,
+                                        scorer.value().ScoreAll(history_));
+  ASSERT_TRUE(profile.ok());
+  const double budget = TotalMemoryMb(task_->profiles());
+  const StaticDeployment deployment = ChooseStaticDeployment(
+      task_->profiles(), profile.value(), budget, /*rate=*/40.0);
+  EXPECT_NE(deployment.subset, 0u);
+  double memory = 0.0;
+  for (int k = 0; k < task_->num_models(); ++k) {
+    if (deployment.subset & (SubsetMask{1} << k)) {
+      EXPECT_GE(deployment.replicas[k], 1);
+    } else {
+      EXPECT_EQ(deployment.replicas[k], 0);
+    }
+    memory += deployment.replicas[k] * task_->profile(k).memory_mb;
+  }
+  EXPECT_LE(memory, budget + 1e-9);
+}
+
+TEST_F(BaselinesTest, StaticDeploymentDropsModelsUnderHighLoad) {
+  auto scorer = DiscrepancyScorer::Fit(*task_, history_);
+  auto profile = AccuracyProfile::Build(*task_, history_,
+                                        scorer.value().ScoreAll(history_));
+  ASSERT_TRUE(profile.ok());
+  const double budget = TotalMemoryMb(task_->profiles());
+  // Under extreme load the full ensemble cannot keep up; the search must
+  // trade accuracy for throughput by dropping models / adding replicas.
+  const StaticDeployment heavy = ChooseStaticDeployment(
+      task_->profiles(), profile.value(), budget, /*rate=*/200.0);
+  EXPECT_LT(SubsetSize(heavy.subset), task_->num_models());
+}
+
+TEST_F(BaselinesTest, StaticPolicyServesDeployedSubset) {
+  StaticDeployment deployment;
+  deployment.subset = 0b011;
+  deployment.replicas = {1, 2, 0};
+  StaticPolicy policy(deployment);
+  const auto decision =
+      policy.OnArrival(MakeTraced(4, 0.3, 200 * kMillisecond), IdleView());
+  EXPECT_EQ(decision.action, ArrivalDecision::Action::kAssign);
+  EXPECT_EQ(decision.subset, 0b011u);
+}
+
+TEST_F(BaselinesTest, DesTrainsAndSelectsNonEmptySubsets) {
+  DesConfig config;
+  auto des = DesPolicy::Train(*task_, history_, config);
+  ASSERT_TRUE(des.ok());
+  for (int i = 0; i < 50; ++i) {
+    const Query q = task_->GenerateQuery(90000 + i, 0.4);
+    const SubsetMask subset = des.value().SelectSubset(q);
+    EXPECT_NE(subset, 0u);
+    EXPECT_LE(subset, FullMask(task_->num_models()));
+  }
+}
+
+TEST_F(BaselinesTest, DesTrainRejectsBadInput) {
+  EXPECT_FALSE(DesPolicy::Train(*task_, {}, DesConfig{}).ok());
+  DesConfig config;
+  config.clusters = 0;
+  EXPECT_FALSE(DesPolicy::Train(*task_, history_, config).ok());
+}
+
+TEST_F(BaselinesTest, DesPrefersTheStrongestModel) {
+  // The paper's observation: with seed-noise preferences, regional
+  // competences collapse to the marginal accuracies, so DES keeps selecting
+  // the most accurate (and slowest) model.
+  DesConfig config;
+  config.competence_margin = 0.005;
+  auto des = DesPolicy::Train(*task_, history_, config);
+  ASSERT_TRUE(des.ok());
+  int best_model_selections = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    const Query q = task_->GenerateQuery(91000 + i, 0.3);
+    if (des.value().SelectSubset(q) & 0b100) ++best_model_selections;
+  }
+  EXPECT_GT(best_model_selections, n / 2);
+}
+
+TEST_F(BaselinesTest, GatingTrainsAndGatesSumToOne) {
+  GatingConfig config;
+  config.trainer.epochs = 10;
+  auto gating = GatingPolicy::Train(*task_, history_, config);
+  ASSERT_TRUE(gating.ok());
+  const Query q = task_->GenerateQuery(92000, 0.4);
+  const auto weights = gating.value().GateWeights(q);
+  ASSERT_EQ(weights.size(), 3u);
+  double sum = 0.0;
+  for (double w : weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(BaselinesTest, GatingSelectsCheaperWorkThanDes) {
+  // Table I's shape: Gating executes cheaper subsets than DES (which keeps
+  // converging on the most accurate = slowest model), giving it the lower
+  // deadline-miss rate of the two.
+  GatingConfig config;
+  config.trainer.epochs = 10;
+  auto gating = GatingPolicy::Train(*task_, history_, config);
+  ASSERT_TRUE(gating.ok());
+  auto des = DesPolicy::Train(*task_, history_, DesConfig{});
+  ASSERT_TRUE(des.ok());
+  std::vector<SimTime> latency;
+  for (int k = 0; k < task_->num_models(); ++k) {
+    latency.push_back(task_->profile(k).latency_us);
+  }
+  auto subset_work = [&](SubsetMask subset) {
+    SimTime work = 0;
+    for (int k = 0; k < task_->num_models(); ++k) {
+      if (subset & (SubsetMask{1} << k)) work += latency[k];
+    }
+    return static_cast<double>(work);
+  };
+  double gating_work = 0.0;
+  double des_work = 0.0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    const Query q = task_->GenerateQuery(93000 + i, 0.3);
+    const SubsetMask g = gating.value().SelectSubset(q, latency);
+    EXPECT_NE(g, 0u);
+    gating_work += subset_work(g);
+    des_work += subset_work(des.value().SelectSubset(q));
+  }
+  EXPECT_LT(gating_work, des_work);
+}
+
+TEST_F(BaselinesTest, GatingTrainRejectsEmptyHistory) {
+  EXPECT_FALSE(GatingPolicy::Train(*task_, {}, GatingConfig{}).ok());
+}
+
+}  // namespace
+}  // namespace schemble

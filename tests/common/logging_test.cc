@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace schemble {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, InfoMessageDoesNotAbort) {
+  SCHEMBLE_LOG(kDebug) << "debug message " << 42;
+  SCHEMBLE_LOG(kInfo) << "info message";
+  SCHEMBLE_LOG(kWarning) << "warning message";
+  SCHEMBLE_LOG(kError) << "error message";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ SCHEMBLE_CHECK(1 == 2) << "impossible"; },
+               "Check failed: 1 == 2");
+}
+
+TEST(LoggingDeathTest, CheckComparatorsAbortWithMessage) {
+  EXPECT_DEATH({ SCHEMBLE_CHECK_EQ(3, 4); }, "Check failed");
+  EXPECT_DEATH({ SCHEMBLE_CHECK_LT(5, 5); }, "Check failed");
+  EXPECT_DEATH({ SCHEMBLE_CHECK_GE(1, 2); }, "Check failed");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  SCHEMBLE_CHECK(true);
+  SCHEMBLE_CHECK_EQ(1, 1);
+  SCHEMBLE_CHECK_NE(1, 2);
+  SCHEMBLE_CHECK_LE(1, 1);
+  SCHEMBLE_CHECK_GT(2, 1);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace schemble

@@ -1,0 +1,203 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace schemble {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(3.0, 5.5);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 5.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(18);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.Exponential(0.5), 0.0);
+}
+
+TEST(RngTest, GammaMomentsMatch) {
+  Rng rng(19);
+  const double shape = 3.0;
+  const double scale = 2.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gamma(shape, scale);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(var, shape * scale * scale, 0.5);
+}
+
+TEST(RngTest, GammaWithShapeBelowOne) {
+  Rng rng(21);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gamma(0.5, 1.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int x = rng.Poisson(100.0);
+    EXPECT_GE(x, 0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(37);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(41);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverSampled) {
+  Rng rng(43);
+  std::vector<double> weights = {0.0, 1.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.Categorical(weights), 1);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(47);
+  std::vector<int> perm = rng.Permutation(20);
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 19);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(99);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.NextU64() == child2.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng ca = a.Fork(7);
+  Rng cb = b.Fork(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(ca.NextU64(), cb.NextU64());
+}
+
+TEST(HashSeedTest, StableAndNameSensitive) {
+  EXPECT_EQ(HashSeed("traffic", 1), HashSeed("traffic", 1));
+  EXPECT_NE(HashSeed("traffic", 1), HashSeed("traffic", 2));
+  EXPECT_NE(HashSeed("traffic", 1), HashSeed("models", 1));
+}
+
+}  // namespace
+}  // namespace schemble

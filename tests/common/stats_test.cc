@@ -1,0 +1,143 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace schemble {
+namespace {
+
+TEST(RunningStatTest, EmptyDefaults) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatTest, MeanVarianceMatchClosedForm) {
+  RunningStat s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SampleSetTest, EmptyQuantileIsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SampleSetTest, QuantilesExactOnSortedData) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);
+  EXPECT_NEAR(s.Quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.Quantile(0.95), 95.05, 1e-9);
+}
+
+TEST(SampleSetTest, QuantileAfterLateInsertIsRecomputed) {
+  SampleSet s;
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 2.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 10.0);
+}
+
+TEST(SampleSetTest, MeanMinMax) {
+  SampleSet s;
+  s.Add(3.0);
+  s.Add(-1.0);
+  s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h(0.0, 1.0, 10);
+  EXPECT_EQ(h.BucketOf(0.0), 0);
+  EXPECT_EQ(h.BucketOf(0.05), 0);
+  EXPECT_EQ(h.BucketOf(0.1), 1);
+  EXPECT_EQ(h.BucketOf(0.95), 9);
+  EXPECT_EQ(h.BucketOf(1.0), 9);   // clamped
+  EXPECT_EQ(h.BucketOf(-5.0), 0);  // clamped
+  EXPECT_EQ(h.BucketOf(5.0), 9);   // clamped
+}
+
+TEST(HistogramTest, CountsAndFractions) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(1.0);
+  h.Add(1.5);
+  h.Add(9.0);
+  EXPECT_EQ(h.total(), 3);
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 0.0);
+}
+
+TEST(HistogramTest, BucketGeometry) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.BucketLow(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.BucketCenter(1), 0.375);
+}
+
+TEST(PearsonTest, PerfectPositiveAndNegative) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  std::vector<double> a = {1, 1, 1};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(PearsonTest, UncorrelatedNearZero) {
+  std::vector<double> a;
+  std::vector<double> b;
+  // Deterministic "independent" pattern.
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(std::sin(i * 0.7));
+    b.push_back(std::cos(i * 1.3));
+  }
+  EXPECT_LT(std::fabs(PearsonCorrelation(a, b)), 0.1);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsOne) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  std::vector<double> a = {1, 2, 2, 3};
+  std::vector<double> b = {1, 2, 2, 3};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace schemble

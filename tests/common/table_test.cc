@@ -1,0 +1,54 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace schemble {
+namespace {
+
+TEST(TextTableTest, FormatsHeaderAndRows) {
+  TextTable t({"Method", "Acc", "DMR"});
+  t.AddRow({"Original", "60.4", "39.6"});
+  t.AddRow({"Schemble", "91.2", "6.1"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Method"), std::string::npos);
+  EXPECT_NE(s.find("Schemble"), std::string::npos);
+  EXPECT_NE(s.find("91.2"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlignToWidestCell) {
+  TextTable t({"A", "B"});
+  t.AddRow({"very-long-cell", "x"});
+  const std::string s = t.ToString();
+  // Each line should have equal length.
+  size_t prev = std::string::npos;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find('\n', start);
+    if (end == std::string::npos) break;
+    const size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::Num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTableTest, EmptyTableStillRendersHeader) {
+  TextTable t({"Only"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace schemble

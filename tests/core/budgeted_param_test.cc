@@ -1,0 +1,101 @@
+// Parameterized sweep of the budgeted selector (Schemble*): budget
+// feasibility, monotonicity and near-optimality across instance sizes.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/budgeted.h"
+
+namespace schemble {
+namespace {
+
+struct BudgetInstance {
+  std::vector<std::vector<double>> utilities;
+  std::vector<double> costs;
+};
+
+BudgetInstance MakeInstance(uint64_t seed, int samples, int models) {
+  Rng rng(seed);
+  BudgetInstance inst;
+  const SubsetMask full = FullMask(models);
+  inst.costs.assign(full + 1, 0.0);
+  std::vector<double> model_cost(models);
+  for (double& c : model_cost) c = rng.Uniform(5, 50);
+  for (SubsetMask mask = 1; mask <= full; ++mask) {
+    for (int k = 0; k < models; ++k) {
+      if (mask & (SubsetMask{1} << k)) inst.costs[mask] += model_cost[k];
+    }
+  }
+  for (int i = 0; i < samples; ++i) {
+    std::vector<double> p(models);
+    for (double& v : p) v = rng.Uniform(0.2, 0.9);
+    std::vector<double> row(full + 1, 0.0);
+    for (SubsetMask mask = 1; mask <= full; ++mask) {
+      double miss = 1.0;
+      for (int k = 0; k < models; ++k) {
+        if (mask & (SubsetMask{1} << k)) miss *= 1.0 - p[k];
+      }
+      row[mask] = 1.0 - miss;
+    }
+    inst.utilities.push_back(std::move(row));
+  }
+  return inst;
+}
+
+class BudgetSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BudgetSweepTest, NeverExceedsBudget) {
+  const auto [samples, models, seed] = GetParam();
+  const BudgetInstance inst = MakeInstance(10 + seed, samples, models);
+  const double full_cost = inst.costs.back() * samples;
+  for (double fraction : {0.0, 0.1, 0.5, 0.9, 1.5}) {
+    const double budget = fraction * full_cost;
+    const auto assignment =
+        BudgetedSelector::Select(inst.utilities, inst.costs, budget);
+    EXPECT_LE(BudgetedSelector::TotalCost(assignment, inst.costs),
+              budget + 1e-9);
+  }
+}
+
+TEST_P(BudgetSweepTest, UtilityMonotoneInBudget) {
+  const auto [samples, models, seed] = GetParam();
+  const BudgetInstance inst = MakeInstance(20 + seed, samples, models);
+  const double full_cost = inst.costs.back() * samples;
+  double previous = -1.0;
+  for (double fraction : {0.1, 0.3, 0.5, 0.7, 0.9, 1.2}) {
+    const auto assignment = BudgetedSelector::Select(
+        inst.utilities, inst.costs, fraction * full_cost);
+    const double utility =
+        BudgetedSelector::TotalUtility(assignment, inst.utilities);
+    EXPECT_GE(utility, previous - 1e-9);
+    previous = utility;
+  }
+}
+
+TEST_P(BudgetSweepTest, UnlimitedBudgetSelectsFullEverywhere) {
+  const auto [samples, models, seed] = GetParam();
+  const BudgetInstance inst = MakeInstance(30 + seed, samples, models);
+  const auto assignment = BudgetedSelector::Select(
+      inst.utilities, inst.costs, 1e12);
+  for (SubsetMask mask : assignment) {
+    EXPECT_EQ(mask, FullMask(models));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BudgetSweepTest,
+    ::testing::Combine(::testing::Values(1, 10, 100),  // samples
+                       ::testing::Values(2, 3, 4),      // models
+                       ::testing::Values(1, 2)),        // seeds
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "m" +
+             std::to_string(std::get<1>(info.param)) + "s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace schemble

@@ -1,0 +1,110 @@
+#include "core/budgeted.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace schemble {
+namespace {
+
+// Two models: cost(mask) = sum of member costs.
+std::vector<double> Costs(double c0, double c1) {
+  return {0.0, c0, c1, c0 + c1};
+}
+
+TEST(BudgetedSelectorTest, ZeroBudgetSelectsNothing) {
+  std::vector<std::vector<double>> utilities = {
+      {0.0, 0.5, 0.6, 0.8}, {0.0, 0.4, 0.5, 0.7}};
+  const auto assignment =
+      BudgetedSelector::Select(utilities, Costs(10, 20), 0.0);
+  EXPECT_EQ(assignment, (std::vector<SubsetMask>{0, 0}));
+}
+
+TEST(BudgetedSelectorTest, LargeBudgetSelectsFullEnsembles) {
+  std::vector<std::vector<double>> utilities = {
+      {0.0, 0.5, 0.6, 0.9}, {0.0, 0.4, 0.5, 0.8}};
+  const auto assignment =
+      BudgetedSelector::Select(utilities, Costs(10, 20), 1000.0);
+  EXPECT_EQ(assignment, (std::vector<SubsetMask>{3, 3}));
+}
+
+TEST(BudgetedSelectorTest, RespectsBudget) {
+  Rng rng(3);
+  std::vector<std::vector<double>> utilities;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.Uniform(0.2, 0.7);
+    const double b = rng.Uniform(0.2, 0.7);
+    utilities.push_back({0.0, a, b, std::min(1.0, a + b * 0.5)});
+  }
+  const auto costs = Costs(10, 25);
+  for (double budget : {50.0, 200.0, 600.0}) {
+    const auto assignment = BudgetedSelector::Select(utilities, costs, budget);
+    EXPECT_LE(BudgetedSelector::TotalCost(assignment, costs), budget + 1e-9);
+  }
+}
+
+TEST(BudgetedSelectorTest, UtilityMonotoneInBudget) {
+  Rng rng(5);
+  std::vector<std::vector<double>> utilities;
+  for (int i = 0; i < 80; ++i) {
+    const double a = rng.Uniform(0.2, 0.7);
+    const double b = rng.Uniform(0.2, 0.7);
+    utilities.push_back(
+        {0.0, a, b, std::min(1.0, std::max(a, b) + 0.15)});
+  }
+  const auto costs = Costs(10, 25);
+  double prev = -1.0;
+  for (double budget : {100.0, 400.0, 1200.0, 2800.0}) {
+    const auto assignment = BudgetedSelector::Select(utilities, costs, budget);
+    const double u = BudgetedSelector::TotalUtility(assignment, utilities);
+    EXPECT_GE(u, prev - 1e-9);
+    prev = u;
+  }
+}
+
+TEST(BudgetedSelectorTest, PrefersHighDensityUpgrades) {
+  // Sample 0 gains a lot from the cheap model; sample 1 barely gains.
+  std::vector<std::vector<double>> utilities = {
+      {0.0, 0.9, 0.1, 0.95}, {0.0, 0.05, 0.06, 0.1}};
+  const auto assignment =
+      BudgetedSelector::Select(utilities, Costs(10, 10), 10.0);
+  EXPECT_EQ(assignment[0], 1u);
+  EXPECT_EQ(assignment[1], 0u);
+}
+
+TEST(BudgetedSelectorTest, NearOptimalAgainstBruteForce) {
+  // Small instances where brute force is cheap: the LP-relaxation greedy
+  // should be within one item's utility of the optimum.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::vector<double>> utilities;
+    for (int i = 0; i < 6; ++i) {
+      const double a = rng.Uniform(0.1, 0.8);
+      const double b = rng.Uniform(0.1, 0.8);
+      utilities.push_back({0.0, a, b, std::min(1.0, std::max(a, b) + 0.2)});
+    }
+    const auto costs = Costs(11, 17);
+    const double budget = rng.Uniform(20, 120);
+    // Brute force over 4^6 assignments.
+    double best = 0.0;
+    for (int code = 0; code < 4096; ++code) {
+      int c = code;
+      double cost = 0.0;
+      double utility = 0.0;
+      for (int i = 0; i < 6; ++i) {
+        const int mask = c % 4;
+        c /= 4;
+        cost += costs[mask];
+        utility += utilities[i][mask];
+      }
+      if (cost <= budget) best = std::max(best, utility);
+    }
+    const auto assignment = BudgetedSelector::Select(utilities, costs, budget);
+    const double got = BudgetedSelector::TotalUtility(assignment, utilities);
+    EXPECT_GE(got, best - 1.0) << "trial " << trial;
+    EXPECT_LE(got, best + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace schemble

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/discrepancy.h"
+#include "core/profiling.h"
+#include "models/task_factory.h"
+
+namespace schemble {
+namespace {
+
+// One shared offline phase for the whole suite: the six-model ensemble is
+// expensive to profile exhaustively (which is the point of Eq. 3).
+class ProfileCompletionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new SyntheticTask(MakeCifar100StyleTask(3));
+    auto history = task_->GenerateDataset(
+        2000, DifficultyDistribution::UniformFull(), 5);
+    auto scorer = DiscrepancyScorer::Fit(*task_, history);
+    const auto scores = scorer.value().ScoreAll(history);
+    AccuracyProfile::Options options;
+    options.bins = 4;
+    profile_ = new AccuracyProfile(
+        std::move(AccuracyProfile::Build(*task_, history, scores, options))
+            .value());
+  }
+
+  static void TearDownTestSuite() {
+    delete profile_;
+    delete task_;
+    profile_ = nullptr;
+    task_ = nullptr;
+  }
+
+  static MarginalUtilityEstimator Estimator() {
+    std::vector<double> accuracy(task_->num_models());
+    for (int k = 0; k < task_->num_models(); ++k) {
+      accuracy[k] = task_->profile(k).base_accuracy;
+    }
+    return MarginalUtilityEstimator(
+        task_->num_models(), accuracy,
+        MarginalUtilityEstimator::FitGammas(*profile_));
+  }
+
+  static SyntheticTask* task_;
+  static AccuracyProfile* profile_;
+};
+
+SyntheticTask* ProfileCompletionTest::task_ = nullptr;
+AccuracyProfile* ProfileCompletionTest::profile_ = nullptr;
+
+TEST_F(ProfileCompletionTest, SmallSubsetsUnchanged) {
+  const AccuracyProfile completed = profile_->CompletedWith(Estimator());
+  for (int bin = 0; bin < profile_->bins(); ++bin) {
+    for (SubsetMask mask = 1; mask <= FullMask(task_->num_models()); ++mask) {
+      if (SubsetSize(mask) <= 2) {
+        EXPECT_DOUBLE_EQ(completed.CellUtility(bin, mask),
+                         profile_->CellUtility(bin, mask));
+      }
+    }
+  }
+}
+
+TEST_F(ProfileCompletionTest, LargeSubsetsApproximateMeasured) {
+  const AccuracyProfile completed = profile_->CompletedWith(Estimator());
+  double mse = 0.0;
+  int count = 0;
+  for (int bin = 0; bin < profile_->bins(); ++bin) {
+    for (SubsetMask mask = 1; mask <= FullMask(task_->num_models()); ++mask) {
+      if (SubsetSize(mask) <= 2) continue;
+      const double d =
+          completed.CellUtility(bin, mask) - profile_->CellUtility(bin, mask);
+      mse += d * d;
+      ++count;
+    }
+  }
+  EXPECT_LT(mse / count, 3e-2);
+}
+
+TEST_F(ProfileCompletionTest, EstimatedValuesInUnitRange) {
+  const AccuracyProfile completed = profile_->CompletedWith(Estimator());
+  for (int bin = 0; bin < completed.bins(); ++bin) {
+    for (SubsetMask mask = 1; mask <= FullMask(task_->num_models()); ++mask) {
+      EXPECT_GE(completed.CellUtility(bin, mask), 0.0);
+      EXPECT_LE(completed.CellUtility(bin, mask), 1.0);
+    }
+  }
+}
+
+TEST_F(ProfileCompletionTest, PreservesBinGeometry) {
+  const AccuracyProfile completed = profile_->CompletedWith(Estimator());
+  EXPECT_EQ(completed.bins(), profile_->bins());
+  EXPECT_EQ(completed.num_models(), profile_->num_models());
+  for (int bin = 0; bin < completed.bins(); ++bin) {
+    EXPECT_EQ(completed.BinCount(bin), profile_->BinCount(bin));
+  }
+}
+
+TEST_F(ProfileCompletionTest, UtilityRowReflectsCompletion) {
+  const AccuracyProfile completed = profile_->CompletedWith(Estimator());
+  const auto row = completed.UtilityRow(0.5);
+  const int bin = completed.BinOf(0.5);
+  for (SubsetMask mask = 0; mask < row.size(); ++mask) {
+    if (mask == 0) {
+      EXPECT_EQ(row[mask], 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(row[mask], completed.CellUtility(bin, mask));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace schemble

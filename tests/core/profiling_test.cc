@@ -1,0 +1,254 @@
+#include "core/profiling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/discrepancy.h"
+#include "models/task_factory.h"
+
+namespace schemble {
+namespace {
+
+struct ProfiledTask {
+  SyntheticTask task;
+  std::vector<Query> history;
+  std::vector<double> scores;
+};
+
+ProfiledTask MakeProfiled(int n = 4000, uint64_t seed = 3) {
+  ProfiledTask pt{MakeTextMatchingTask(seed), {}, {}};
+  pt.history = pt.task.GenerateDataset(
+      n, DifficultyDistribution::UniformFull(), seed + 100);
+  auto scorer = DiscrepancyScorer::Fit(pt.task, pt.history);
+  pt.scores = scorer.value().ScoreAll(pt.history);
+  return pt;
+}
+
+TEST(SubsetMaskTest, Helpers) {
+  EXPECT_EQ(SubsetSize(0b101), 2);
+  EXPECT_EQ(SubsetSize(0), 0);
+  EXPECT_EQ(SubsetModels(0b101), (std::vector<int>{0, 2}));
+  EXPECT_EQ(FullMask(3), 0b111u);
+  EXPECT_EQ(FullMask(1), 0b1u);
+}
+
+TEST(AccuracyProfileTest, BuildRejectsBadInput) {
+  SyntheticTask task = MakeTextMatchingTask(1);
+  EXPECT_FALSE(AccuracyProfile::Build(task, {}, {}).ok());
+  auto history = task.GenerateDataset(10, DifficultyDistribution::Realistic(),
+                                      1);
+  EXPECT_FALSE(
+      AccuracyProfile::Build(task, history, std::vector<double>(5, 0.5)).ok());
+  AccuracyProfile::Options options;
+  options.bins = 0;
+  EXPECT_FALSE(AccuracyProfile::Build(task, history,
+                                      std::vector<double>(10, 0.5), options)
+                   .ok());
+}
+
+TEST(AccuracyProfileTest, FullEnsembleUtilityIsOne) {
+  ProfiledTask pt = MakeProfiled();
+  auto profile = AccuracyProfile::Build(pt.task, pt.history, pt.scores);
+  ASSERT_TRUE(profile.ok());
+  const SubsetMask full = FullMask(pt.task.num_models());
+  for (int bin = 0; bin < profile.value().bins(); ++bin) {
+    EXPECT_NEAR(profile.value().CellUtility(bin, full), 1.0, 1e-9);
+  }
+}
+
+TEST(AccuracyProfileTest, EmptySubsetUtilityIsZero) {
+  ProfiledTask pt = MakeProfiled(500);
+  auto profile = AccuracyProfile::Build(pt.task, pt.history, pt.scores);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().Utility(0.5, 0), 0.0);
+}
+
+TEST(AccuracyProfileTest, UtilityMonotoneInSubsets) {
+  ProfiledTask pt = MakeProfiled();
+  auto profile = AccuracyProfile::Build(pt.task, pt.history, pt.scores);
+  ASSERT_TRUE(profile.ok());
+  const int m = pt.task.num_models();
+  for (int bin = 0; bin < profile.value().bins(); ++bin) {
+    for (SubsetMask mask = 1; mask <= FullMask(m); ++mask) {
+      for (int k = 0; k < m; ++k) {
+        const SubsetMask bit = SubsetMask{1} << k;
+        if ((mask & bit) && mask != bit) {
+          EXPECT_GE(profile.value().CellUtility(bin, mask),
+                    profile.value().CellUtility(bin, mask ^ bit));
+        }
+      }
+    }
+  }
+}
+
+TEST(AccuracyProfileTest, EasyBinsBeatHardBinsOnSmallSubsets) {
+  // Fig. 4b: easy samples get >90% accuracy on every combination; hard
+  // samples lose accuracy on small model sets.
+  ProfiledTask pt = MakeProfiled(8000);
+  auto profile = AccuracyProfile::Build(pt.task, pt.history, pt.scores);
+  ASSERT_TRUE(profile.ok());
+  const AccuracyProfile& p = profile.value();
+  for (SubsetMask mask : {0b001u, 0b010u, 0b100u, 0b011u}) {
+    EXPECT_GT(p.CellUtility(0, mask), 0.85) << "mask " << mask;
+    EXPECT_GT(p.CellUtility(0, mask), p.CellUtility(p.bins() - 1, mask))
+        << "mask " << mask;
+  }
+  // Hard-bin singleton accuracy is visibly degraded.
+  EXPECT_LT(p.CellUtility(p.bins() - 1, 0b001), 0.85);
+}
+
+TEST(AccuracyProfileTest, BinOfMapsScores) {
+  ProfiledTask pt = MakeProfiled(500);
+  auto profile = AccuracyProfile::Build(pt.task, pt.history, pt.scores);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().BinOf(0.0), 0);
+  EXPECT_EQ(profile.value().BinOf(0.999), profile.value().bins() - 1);
+  EXPECT_EQ(profile.value().BinOf(1.0), profile.value().bins() - 1);
+  EXPECT_EQ(profile.value().BinOf(-0.5), 0);
+}
+
+TEST(AccuracyProfileTest, UtilityRowShape) {
+  ProfiledTask pt = MakeProfiled(500);
+  auto profile = AccuracyProfile::Build(pt.task, pt.history, pt.scores);
+  ASSERT_TRUE(profile.ok());
+  const auto row = profile.value().UtilityRow(0.3);
+  EXPECT_EQ(row.size(), 8u);
+  EXPECT_EQ(row[0], 0.0);
+}
+
+TEST(AccuracyProfileTest, BinCountsSumToHistory) {
+  ProfiledTask pt = MakeProfiled(1000);
+  auto profile = AccuracyProfile::Build(pt.task, pt.history, pt.scores);
+  ASSERT_TRUE(profile.ok());
+  int64_t total = 0;
+  for (int bin = 0; bin < profile.value().bins(); ++bin) {
+    total += profile.value().BinCount(bin);
+  }
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(AccuracyProfileTest, DiminishingMarginalUtilityHoldsApproximately) {
+  // Assumption 1 on an empirical profile. The check uses the six-model
+  // ensemble so the chain never reaches the full ensemble (whose utility
+  // is 1.0 by construction, which would trivially break diminishment on
+  // the last step of a three-model ensemble).
+  SyntheticTask task = MakeCifar100StyleTask(7);
+  auto history =
+      task.GenerateDataset(3000, DifficultyDistribution::UniformFull(), 11);
+  auto scorer = DiscrepancyScorer::Fit(task, history);
+  ASSERT_TRUE(scorer.ok());
+  const auto scores = scorer.value().ScoreAll(history);
+  AccuracyProfile::Options options;
+  options.bins = 5;
+  auto profile = AccuracyProfile::Build(task, history, scores, options);
+  ASSERT_TRUE(profile.ok());
+  const AccuracyProfile& p = profile.value();
+  int violations = 0;
+  int checks = 0;
+  for (int bin = 0; bin < p.bins(); ++bin) {
+    // Chain {5} -> {4,5} -> {3,4,5}: the three strongest models.
+    const double u1 = p.CellUtility(bin, 0b100000);
+    const double u2 = p.CellUtility(bin, 0b110000);
+    const double u3 = p.CellUtility(bin, 0b111000);
+    ++checks;
+    if ((u2 - u1) + 0.03 < (u3 - u2)) ++violations;
+  }
+  EXPECT_LE(violations, checks / 4);
+}
+
+// --------------------------------------------------------------------------
+// Eq. 3 marginal estimation.
+// --------------------------------------------------------------------------
+
+TEST(MarginalEstimatorTest, ExactForSmallSubsets) {
+  std::vector<double> row(8, 0.0);
+  row[0b001] = 0.5;
+  row[0b010] = 0.6;
+  row[0b100] = 0.7;
+  row[0b011] = 0.75;
+  row[0b101] = 0.8;
+  row[0b110] = 0.85;
+  row[0b111] = 0.0;  // unknown, to be estimated
+  MarginalUtilityEstimator est(3, {0.5, 0.6, 0.7}, {1.0, 1.0, 0.5});
+  const auto completed = est.CompleteRow(row);
+  EXPECT_DOUBLE_EQ(completed[0b001], 0.5);
+  EXPECT_DOUBLE_EQ(completed[0b110], 0.85);
+  // Triple: rest = {1,2} (0b110, u=0.85), weakest = model 0.
+  // marginal = mean(U({1,0}) - U({1}), U({2,0}) - U({2}))
+  //          = mean(0.75-0.6, 0.8-0.7) = 0.125; gamma_2 = 0.5.
+  EXPECT_NEAR(completed[0b111], 0.85 + 0.5 * 0.125, 1e-9);
+}
+
+TEST(MarginalEstimatorTest, EstimatesClampedToUnit) {
+  std::vector<double> row(8, 0.0);
+  row[0b001] = 0.9;
+  row[0b010] = 0.9;
+  row[0b100] = 0.9;
+  row[0b011] = 0.99;
+  row[0b101] = 0.99;
+  row[0b110] = 0.99;
+  MarginalUtilityEstimator est(3, {0.1, 0.2, 0.3}, {1.0, 1.0, 5.0});
+  const auto completed = est.CompleteRow(row);
+  EXPECT_LE(completed[0b111], 1.0);
+}
+
+TEST(MarginalEstimatorTest, FitGammasRecoverEstimatesOnRealProfile) {
+  // Exp-7 in miniature: profile the six-model CIFAR100-style ensemble,
+  // fit gammas, and check estimated large-subset utilities approximate the
+  // measured ones (paper reports MSE < 1.6e-4; we assert a loose bound).
+  SyntheticTask task = MakeCifar100StyleTask(5);
+  auto history =
+      task.GenerateDataset(4000, DifficultyDistribution::UniformFull(), 9);
+  auto scorer = DiscrepancyScorer::Fit(task, history);
+  ASSERT_TRUE(scorer.ok());
+  const auto scores = scorer.value().ScoreAll(history);
+  AccuracyProfile::Options options;
+  options.bins = 5;
+  auto profile = AccuracyProfile::Build(task, history, scores, options);
+  ASSERT_TRUE(profile.ok());
+  const auto gammas = MarginalUtilityEstimator::FitGammas(profile.value());
+
+  std::vector<double> accuracy(task.num_models());
+  for (int k = 0; k < task.num_models(); ++k) {
+    accuracy[k] = task.profile(k).base_accuracy;
+  }
+  MarginalUtilityEstimator est(task.num_models(), accuracy, gammas);
+
+  // Naive reference: no marginal correction at all (gamma = 0), i.e.
+  // predicting U(rest) for every extension.
+  MarginalUtilityEstimator naive(
+      task.num_models(), accuracy,
+      std::vector<double>(std::max(task.num_models(), 3), 0.0));
+  double mse = 0.0;
+  double naive_mse = 0.0;
+  int count = 0;
+  for (int bin = 0; bin < profile.value().bins(); ++bin) {
+    // Feed only the pairwise-and-smaller cells to the estimator.
+    std::vector<double> row = profile.value().UtilityRow(
+        (bin + 0.5) / profile.value().bins());
+    std::vector<double> truncated(row.size(), 0.0);
+    for (SubsetMask mask = 1; mask < row.size(); ++mask) {
+      if (SubsetSize(mask) <= 2) truncated[mask] = row[mask];
+    }
+    const auto estimated = est.CompleteRow(truncated);
+    const auto estimated_naive = naive.CompleteRow(truncated);
+    for (SubsetMask mask = 1; mask < row.size(); ++mask) {
+      if (SubsetSize(mask) < 3) continue;
+      const double d = estimated[mask] - row[mask];
+      const double dn = estimated_naive[mask] - row[mask];
+      mse += d * d;
+      naive_mse += dn * dn;
+      ++count;
+    }
+  }
+  mse /= count;
+  naive_mse /= count;
+  // Eq. 3's correction must beat extrapolating with no marginal term, and
+  // stay within a usable absolute error on this substrate.
+  EXPECT_LT(mse, 0.5 * naive_mse);
+  EXPECT_LT(mse, 2.5e-2);
+}
+
+}  // namespace
+}  // namespace schemble

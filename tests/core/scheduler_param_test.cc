@@ -1,0 +1,149 @@
+// Parameterized property sweep over random scheduling instances: the DP
+// scheduler must respect feasibility invariants, dominate every greedy
+// order, and stay within the quantization bound of the brute-force optimum.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/scheduler.h"
+
+namespace schemble {
+namespace {
+
+struct Instance {
+  std::vector<SchedulerQuery> queries;
+  SchedulerEnv env;
+};
+
+std::vector<double> MonotoneUtilities(const std::vector<double>& p) {
+  const int m = static_cast<int>(p.size());
+  const SubsetMask full = FullMask(m);
+  std::vector<double> row(full + 1, 0.0);
+  for (SubsetMask mask = 1; mask <= full; ++mask) {
+    double miss = 1.0;
+    for (int k = 0; k < m; ++k) {
+      if (mask & (SubsetMask{1} << k)) miss *= 1.0 - p[k];
+    }
+    row[mask] = 1.0 - miss;
+  }
+  return row;
+}
+
+Instance MakeInstance(uint64_t seed, int n, int m) {
+  Rng rng(seed);
+  Instance inst;
+  inst.env.now = rng.UniformInt(0, 20);
+  for (int k = 0; k < m; ++k) {
+    inst.env.model_available_at.push_back(rng.UniformInt(0, 30));
+    inst.env.model_exec_time.push_back(rng.UniformInt(5, 30));
+  }
+  for (int i = 0; i < n; ++i) {
+    SchedulerQuery q;
+    q.id = i;
+    q.arrival = rng.UniformInt(0, 15);
+    q.deadline = inst.env.now + rng.UniformInt(15, 120);
+    q.predicted_score = rng.NextDouble();
+    std::vector<double> p(m);
+    for (double& v : p) v = rng.Uniform(0.3, 0.9);
+    q.utilities = MonotoneUtilities(p);
+    inst.queries.push_back(std::move(q));
+  }
+  return inst;
+}
+
+/// Replays a plan in its stated order and verifies every scheduled query
+/// completes by its deadline; returns the recomputed total utility.
+double VerifyPlanFeasible(const Instance& inst, const SchedulePlan& plan) {
+  std::vector<SimTime> avail = inst.env.model_available_at;
+  for (SimTime& t : avail) t = std::max(t, inst.env.now);
+  double utility = 0.0;
+  for (const ScheduleDecision& d : plan.decisions) {
+    if (d.subset == 0) continue;
+    const SchedulerQuery* query = nullptr;
+    for (const auto& q : inst.queries) {
+      if (q.id == d.query_id) query = &q;
+    }
+    EXPECT_NE(query, nullptr);
+    const SimTime completion =
+        ApplySubset(d.subset, inst.env.model_exec_time, avail);
+    EXPECT_LE(completion, query->deadline)
+        << "query " << d.query_id << " scheduled past its deadline";
+    EXPECT_EQ(completion, d.completion);
+    utility += query->utilities[d.subset];
+  }
+  return utility;
+}
+
+class SchedulerSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SchedulerSweepTest, DpPlansAreFeasibleAndUtilityConsistent) {
+  const auto [n, m, seed] = GetParam();
+  const Instance inst = MakeInstance(1000 + seed, n, m);
+  DpScheduler dp;
+  const SchedulePlan plan = dp.Schedule(inst.queries, inst.env);
+  EXPECT_EQ(plan.decisions.size(), inst.queries.size());
+  const double replayed = VerifyPlanFeasible(inst, plan);
+  EXPECT_NEAR(replayed, plan.total_utility, 1e-9);
+}
+
+TEST_P(SchedulerSweepTest, DpDominatesEveryGreedyOrder) {
+  const auto [n, m, seed] = GetParam();
+  const Instance inst = MakeInstance(2000 + seed, n, m);
+  DpScheduler::Options options;
+  options.max_solutions_per_cell = 32;
+  const double dp_utility =
+      DpScheduler(options).Schedule(inst.queries, inst.env).total_utility;
+  for (auto order :
+       {GreedyScheduler::Order::kEdf, GreedyScheduler::Order::kFifo,
+        GreedyScheduler::Order::kSjf}) {
+    const double greedy_utility =
+        GreedyScheduler(order).Schedule(inst.queries, inst.env).total_utility;
+    // Quantization can cost up to delta per query.
+    EXPECT_GE(dp_utility, greedy_utility - 0.01 * n - 1e-9);
+  }
+}
+
+TEST_P(SchedulerSweepTest, GreedyPlansAreFeasible) {
+  const auto [n, m, seed] = GetParam();
+  const Instance inst = MakeInstance(3000 + seed, n, m);
+  for (auto order :
+       {GreedyScheduler::Order::kEdf, GreedyScheduler::Order::kFifo,
+        GreedyScheduler::Order::kSjf}) {
+    const SchedulePlan plan =
+        GreedyScheduler(order).Schedule(inst.queries, inst.env);
+    const double replayed = VerifyPlanFeasible(inst, plan);
+    EXPECT_NEAR(replayed, plan.total_utility, 1e-9);
+  }
+}
+
+TEST_P(SchedulerSweepTest, DpDeterministic) {
+  const auto [n, m, seed] = GetParam();
+  const Instance inst = MakeInstance(4000 + seed, n, m);
+  DpScheduler dp;
+  const SchedulePlan a = dp.Schedule(inst.queries, inst.env);
+  const SchedulePlan b = dp.Schedule(inst.queries, inst.env);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].query_id, b.decisions[i].query_id);
+    EXPECT_EQ(a.decisions[i].subset, b.decisions[i].subset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, SchedulerSweepTest,
+    ::testing::Combine(::testing::Values(1, 3, 6, 10),   // queries
+                       ::testing::Values(2, 3, 4),        // models
+                       ::testing::Values(1, 2, 3)),       // seeds
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "m" +
+             std::to_string(std::get<1>(info.param)) + "s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace schemble

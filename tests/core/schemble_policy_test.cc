@@ -1,0 +1,175 @@
+#include "core/schemble_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/discrepancy.h"
+#include "models/task_factory.h"
+
+namespace schemble {
+namespace {
+
+class SchemblePolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    task_ = std::make_unique<SyntheticTask>(MakeTextMatchingTask(3));
+    history_ = task_->GenerateDataset(
+        3000, DifficultyDistribution::UniformFull(), 5);
+    auto scorer = DiscrepancyScorer::Fit(*task_, history_);
+    ASSERT_TRUE(scorer.ok());
+    scorer_ =
+        std::make_unique<DiscrepancyScorer>(std::move(scorer).value());
+    const auto scores = scorer_->ScoreAll(history_);
+    auto profile = AccuracyProfile::Build(*task_, history_, scores);
+    ASSERT_TRUE(profile.ok());
+    profile_ =
+        std::make_unique<AccuracyProfile>(std::move(profile).value());
+  }
+
+  ServerView IdleView() const {
+    ServerView view;
+    view.now = 0;
+    view.allow_rejection = true;
+    for (int k = 0; k < task_->num_models(); ++k) {
+      view.executors.push_back({k, k, 0, 0});
+      view.model_exec_time.push_back(task_->profile(k).latency_us);
+      view.model_available_at.push_back(0);
+    }
+    return view;
+  }
+
+  TracedQuery MakeTraced(int64_t id, double difficulty, SimTime arrival,
+                         SimTime deadline) const {
+    TracedQuery tq;
+    tq.query = task_->GenerateQuery(id, difficulty);
+    tq.arrival_time = arrival;
+    tq.deadline = deadline;
+    return tq;
+  }
+
+  SchemblePolicy MakeOraclePolicy(SchembleConfig config = {}) const {
+    config.score_source = ScoreSource::kOracle;
+    return SchemblePolicy(*task_, *profile_, nullptr, scorer_.get(),
+                          std::move(config));
+  }
+
+  std::unique_ptr<SyntheticTask> task_;
+  std::vector<Query> history_;
+  std::unique_ptr<DiscrepancyScorer> scorer_;
+  std::unique_ptr<AccuracyProfile> profile_;
+};
+
+TEST_F(SchemblePolicyTest, EstimateCompletionUsesLeastLoadedPath) {
+  ServerView view = IdleView();
+  view.model_available_at = {100, 0, 0};
+  // Subset {0}: starts at 100 + 15ms exec.
+  EXPECT_EQ(view.EstimateCompletion(0b001),
+            100 + task_->profile(0).latency_us);
+  // Subset {0,1}: max of both paths.
+  EXPECT_EQ(view.EstimateCompletion(0b011),
+            std::max<SimTime>(100 + task_->profile(0).latency_us,
+                              task_->profile(1).latency_us));
+}
+
+TEST_F(SchemblePolicyTest, AllIdleFastPathAssignsFullEnsemble) {
+  SchemblePolicy policy = MakeOraclePolicy();
+  const TracedQuery tq =
+      MakeTraced(1, 0.1, 0, /*deadline=*/100 * kMillisecond);
+  const ArrivalDecision decision = policy.OnArrival(tq, IdleView());
+  EXPECT_EQ(decision.action, ArrivalDecision::Action::kAssign);
+  // With idle models and a generous deadline the highest-utility subset is
+  // the full ensemble (utility 1.0 by construction).
+  EXPECT_EQ(decision.subset, FullMask(task_->num_models()));
+}
+
+TEST_F(SchemblePolicyTest, BusyModelsBufferArrivals) {
+  SchemblePolicy policy = MakeOraclePolicy();
+  ServerView view = IdleView();
+  view.model_available_at = {50 * kMillisecond, 60 * kMillisecond,
+                             70 * kMillisecond};
+  const TracedQuery tq = MakeTraced(2, 0.1, 0, 100 * kMillisecond);
+  const ArrivalDecision decision = policy.OnArrival(tq, view);
+  EXPECT_EQ(decision.action, ArrivalDecision::Action::kBuffer);
+}
+
+TEST_F(SchemblePolicyTest, ImpossibleDeadlineRejectedWhenAllowed) {
+  SchemblePolicy policy = MakeOraclePolicy();
+  const TracedQuery tq = MakeTraced(3, 0.1, 0, /*deadline=*/1 * kMillisecond);
+  const ArrivalDecision decision = policy.OnArrival(tq, IdleView());
+  EXPECT_EQ(decision.action, ArrivalDecision::Action::kReject);
+}
+
+TEST_F(SchemblePolicyTest, OnIdleCommitsPlanEntries) {
+  SchemblePolicy policy = MakeOraclePolicy();
+  ServerView view = IdleView();
+  // Models 1 and 2 busy; model 0 idle.
+  view.model_available_at = {0, 200 * kMillisecond, 200 * kMillisecond};
+  const TracedQuery tq1 = MakeTraced(10, 0.05, 0, 40 * kMillisecond);
+  const TracedQuery tq2 = MakeTraced(11, 0.05, 0, 300 * kMillisecond);
+  policy.OnArrival(tq1, view);
+  policy.OnArrival(tq2, view);
+  std::vector<const TracedQuery*> buffer = {&tq1, &tq2};
+  const PolicyOutput output = policy.OnIdle(view, buffer);
+  ASSERT_FALSE(output.assignments.empty());
+  // The earliest-deadline query must be dispatched on the idle model.
+  EXPECT_EQ(output.assignments[0].query_id, 10);
+  EXPECT_TRUE(output.assignments[0].subset & 0b001);
+  EXPECT_GT(policy.scheduler_runs(), 0);
+}
+
+TEST_F(SchemblePolicyTest, DpOverheadChargedAndAccumulated) {
+  SchembleConfig config;
+  config.scheduler_ops_per_us = 1.0;  // make overhead visible
+  SchemblePolicy policy = MakeOraclePolicy(config);
+  ServerView view = IdleView();
+  view.model_available_at = {0, 100 * kMillisecond, 100 * kMillisecond};
+  const TracedQuery tq = MakeTraced(20, 0.2, 0, 500 * kMillisecond);
+  policy.OnArrival(tq, view);
+  std::vector<const TracedQuery*> buffer = {&tq};
+  const PolicyOutput output = policy.OnIdle(view, buffer);
+  EXPECT_GT(output.overhead_us, 0);
+  EXPECT_EQ(policy.total_overhead_us(), output.overhead_us);
+}
+
+TEST_F(SchemblePolicyTest, GreedyVariantProducesAssignments) {
+  SchembleConfig config;
+  config.scheduler = BufferScheduler::kGreedyFifo;
+  config.name = "Greedy+FIFO";
+  SchemblePolicy policy = MakeOraclePolicy(config);
+  EXPECT_EQ(policy.name(), "Greedy+FIFO");
+  ServerView view = IdleView();
+  view.model_available_at = {0, 0, 100 * kMillisecond};
+  const TracedQuery tq = MakeTraced(30, 0.3, 0, 200 * kMillisecond);
+  policy.OnArrival(tq, view);
+  std::vector<const TracedQuery*> buffer = {&tq};
+  const PolicyOutput output = policy.OnIdle(view, buffer);
+  EXPECT_FALSE(output.assignments.empty());
+  EXPECT_EQ(output.overhead_us, 0);  // greedy is charged as free
+}
+
+TEST_F(SchemblePolicyTest, ConstantScoreVariantIgnoresQueryContent) {
+  SchembleConfig config;
+  config.score_source = ScoreSource::kConstant;
+  config.constant_score = 0.4;
+  SchemblePolicy policy(*task_, *profile_, nullptr, nullptr, config);
+  const TracedQuery easy = MakeTraced(40, 0.01, 0, 100 * kMillisecond);
+  const TracedQuery hard = MakeTraced(41, 0.99, 0, 100 * kMillisecond);
+  policy.OnArrival(easy, IdleView());
+  policy.OnArrival(hard, IdleView());
+  EXPECT_DOUBLE_EQ(policy.ScoreOf(40), 0.4);
+  EXPECT_DOUBLE_EQ(policy.ScoreOf(41), 0.4);
+  EXPECT_EQ(policy.ArrivalProcessingDelay(), 0);
+}
+
+TEST_F(SchemblePolicyTest, OracleScoresSeparateEasyFromHard) {
+  SchemblePolicy policy = MakeOraclePolicy();
+  const TracedQuery easy = MakeTraced(50, 0.02, 0, 100 * kMillisecond);
+  const TracedQuery hard = MakeTraced(51, 0.95, 0, 100 * kMillisecond);
+  policy.OnArrival(easy, IdleView());
+  policy.OnArrival(hard, IdleView());
+  EXPECT_LT(policy.ScoreOf(50), policy.ScoreOf(51));
+}
+
+}  // namespace
+}  // namespace schemble

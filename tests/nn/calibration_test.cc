@@ -1,0 +1,107 @@
+#include "nn/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/prob.h"
+#include "common/rng.h"
+
+namespace schemble {
+namespace {
+
+// Builds an over-confident synthetic classifier: true class probability is
+// `true_conf`, but logits are scaled up by `overconfidence` so that the raw
+// softmax confidence exceeds the empirical accuracy.
+void MakeOverconfidentData(double true_conf, double overconfidence, int n,
+                           uint64_t seed,
+                           std::vector<std::vector<double>>* logits,
+                           std::vector<int>* labels) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.UniformInt(0, 1));
+    const bool correct = rng.Bernoulli(true_conf);
+    const int predicted = correct ? label : 1 - label;
+    std::vector<double> l(2, 0.0);
+    l[predicted] = overconfidence * (1.0 + rng.NextDouble());
+    logits->push_back(std::move(l));
+    labels->push_back(label);
+  }
+}
+
+TEST(TemperatureScalerTest, FitRejectsBadInput) {
+  EXPECT_FALSE(TemperatureScaler::Fit({}, {}).ok());
+  EXPECT_FALSE(TemperatureScaler::Fit({{1.0, 0.0}}, {0, 1}).ok());
+  EXPECT_FALSE(TemperatureScaler::Fit({{1.0, 0.0}}, {0}, -1.0, 2.0).ok());
+  EXPECT_FALSE(TemperatureScaler::Fit({{1.0, 0.0}}, {0}, 2.0, 1.0).ok());
+}
+
+TEST(TemperatureScalerTest, OverconfidentModelGetsTemperatureAboveOne) {
+  std::vector<std::vector<double>> logits;
+  std::vector<int> labels;
+  MakeOverconfidentData(/*true_conf=*/0.7, /*overconfidence=*/4.0,
+                        /*n=*/4000, /*seed=*/11, &logits, &labels);
+  auto result = TemperatureScaler::Fit(logits, labels);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().temperature(), 1.5);
+}
+
+TEST(TemperatureScalerTest, FittingReducesNll) {
+  std::vector<std::vector<double>> logits;
+  std::vector<int> labels;
+  MakeOverconfidentData(0.7, 4.0, 4000, 13, &logits, &labels);
+  auto result = TemperatureScaler::Fit(logits, labels);
+  ASSERT_TRUE(result.ok());
+  const double nll_raw = TemperatureScaler::MeanNll(logits, labels, 1.0);
+  const double nll_fit = TemperatureScaler::MeanNll(
+      logits, labels, result.value().temperature());
+  EXPECT_LT(nll_fit, nll_raw);
+}
+
+TEST(TemperatureScalerTest, FittingReducesEce) {
+  std::vector<std::vector<double>> logits;
+  std::vector<int> labels;
+  MakeOverconfidentData(0.7, 4.0, 4000, 17, &logits, &labels);
+  auto result = TemperatureScaler::Fit(logits, labels);
+  ASSERT_TRUE(result.ok());
+  const double ece_raw =
+      TemperatureScaler::ExpectedCalibrationError(logits, labels, 1.0);
+  const double ece_fit = TemperatureScaler::ExpectedCalibrationError(
+      logits, labels, result.value().temperature());
+  EXPECT_LT(ece_fit, ece_raw);
+}
+
+TEST(TemperatureScalerTest, CalibrateAppliesTemperature) {
+  TemperatureScaler scaler(2.0);
+  const std::vector<double> logits = {2.0, 0.0};
+  const std::vector<double> p = scaler.Calibrate(logits);
+  const std::vector<double> expected = SoftmaxWithTemperature(logits, 2.0);
+  EXPECT_NEAR(p[0], expected[0], 1e-12);
+  EXPECT_NEAR(p[1], expected[1], 1e-12);
+}
+
+TEST(TemperatureScalerTest, WellCalibratedModelKeepsTemperatureNearOne) {
+  // Generate logits whose softmax confidence matches accuracy by
+  // construction: logit gap g gives confidence sigmoid(g); choose outcomes
+  // with exactly that probability.
+  Rng rng(19);
+  std::vector<std::vector<double>> logits;
+  std::vector<int> labels;
+  for (int i = 0; i < 6000; ++i) {
+    const double gap = rng.Uniform(0.2, 2.5);
+    const double conf = 1.0 / (1.0 + std::exp(-gap));
+    const int label = static_cast<int>(rng.UniformInt(0, 1));
+    const int predicted = rng.Bernoulli(conf) ? label : 1 - label;
+    std::vector<double> l(2, 0.0);
+    l[predicted] = gap;
+    logits.push_back(std::move(l));
+    labels.push_back(label);
+  }
+  auto result = TemperatureScaler::Fit(logits, labels);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().temperature(), 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace schemble

@@ -1,0 +1,90 @@
+#include "nn/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace schemble {
+namespace {
+
+TEST(KnnIndexTest, BuildRejectsBadInput) {
+  EXPECT_FALSE(KnnIndex::Build({}).ok());
+  EXPECT_FALSE(KnnIndex::Build({{}}).ok());
+  EXPECT_FALSE(KnnIndex::Build({{1.0}, {1.0, 2.0}}).ok());
+}
+
+TEST(KnnIndexTest, FindsNearestNeighbor) {
+  auto index = KnnIndex::Build({{0.0, 0.0}, {1.0, 1.0}, {5.0, 5.0}});
+  ASSERT_TRUE(index.ok());
+  auto neighbors =
+      index.value().Query({0.9, 0.9}, {true, true}, 1);
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].index, 1);
+}
+
+TEST(KnnIndexTest, NeighborsSortedByDistance) {
+  auto index = KnnIndex::Build({{0.0}, {2.0}, {10.0}});
+  ASSERT_TRUE(index.ok());
+  auto neighbors = index.value().Query({1.0}, {true}, 3);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_LE(neighbors[0].distance, neighbors[1].distance);
+  EXPECT_LE(neighbors[1].distance, neighbors[2].distance);
+  EXPECT_EQ(neighbors[0].index, 0);  // distance 1 vs 1: stable order
+}
+
+TEST(KnnIndexTest, KLargerThanIndexClamped) {
+  auto index = KnnIndex::Build({{0.0}, {1.0}});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().Query({0.0}, {true}, 10).size(), 2u);
+}
+
+TEST(KnnIndexTest, MaskedQueryIgnoresMissingDims) {
+  // Record 0 matches the query on dim 0 but diverges wildly on dim 1;
+  // with dim 1 masked out it must still be the nearest.
+  auto index = KnnIndex::Build({{1.0, 100.0}, {2.0, 0.0}});
+  ASSERT_TRUE(index.ok());
+  auto neighbors = index.value().Query({1.0, 0.0}, {true, false}, 1);
+  EXPECT_EQ(neighbors[0].index, 0);
+}
+
+TEST(KnnIndexTest, FillMissingUsesNeighborValues) {
+  // Historic records pair dim0 with dim1 = 10*dim0.
+  auto index = KnnIndex::Build({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+  ASSERT_TRUE(index.ok());
+  std::vector<double> filled =
+      index.value().FillMissing({2.0, 0.0}, {true, false}, 1);
+  EXPECT_DOUBLE_EQ(filled[0], 2.0);  // observed dim untouched
+  EXPECT_NEAR(filled[1], 20.0, 1e-6);
+}
+
+TEST(KnnIndexTest, FillMissingWeightsByInverseDistance) {
+  auto index = KnnIndex::Build({{0.0, 0.0}, {10.0, 100.0}});
+  ASSERT_TRUE(index.ok());
+  // Query at 1.0: distances 1 and 9 -> weights 1 and 1/9.
+  std::vector<double> filled =
+      index.value().FillMissing({1.0, 0.0}, {true, false}, 2);
+  const double w0 = 1.0 / 1.0;
+  const double w1 = 1.0 / 9.0;
+  const double expected = (w0 * 0.0 + w1 * 100.0) / (w0 + w1);
+  EXPECT_NEAR(filled[1], expected, 1e-3);
+}
+
+TEST(KnnIndexTest, ExactMatchDominatesFill) {
+  auto index = KnnIndex::Build({{1.0, 7.0}, {1.5, 50.0}});
+  ASSERT_TRUE(index.ok());
+  std::vector<double> filled =
+      index.value().FillMissing({1.0, 0.0}, {true, false}, 2);
+  EXPECT_NEAR(filled[1], 7.0, 0.01);
+}
+
+TEST(KnnIndexTest, FillMultipleMissingDims) {
+  auto index = KnnIndex::Build({{1.0, 10.0, 100.0}, {2.0, 20.0, 200.0}});
+  ASSERT_TRUE(index.ok());
+  std::vector<double> filled =
+      index.value().FillMissing({1.0, 0.0, 0.0}, {true, false, false}, 1);
+  EXPECT_NEAR(filled[1], 10.0, 1e-6);
+  EXPECT_NEAR(filled[2], 100.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace schemble

@@ -1,0 +1,82 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace schemble {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.Fill(0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(MatrixTest, ApplyMatchesHandComputation) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1 1 1]^T = [6, 15].
+  int v = 1;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) m.at(r, c) = v++;
+  }
+  std::vector<double> y = m.Apply({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(MatrixTest, ApplyTransposedMatchesHandComputation) {
+  Matrix m(2, 3);
+  int v = 1;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) m.at(r, c) = v++;
+  }
+  // [1 2 3; 4 5 6]^T * [1 2]^T = [9, 12, 15].
+  std::vector<double> y = m.ApplyTransposed({1.0, 2.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(MatrixTest, AddOuterProduct) {
+  Matrix m(2, 2);
+  m.AddOuterProduct({1.0, 2.0}, {3.0, 4.0}, 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 16.0);
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix a(1, 2, 1.0);
+  Matrix b(1, 2, 3.0);
+  a.AddScaled(b, -0.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), -0.5);
+}
+
+TEST(MatrixTest, NormIsFrobenius) {
+  Matrix m(1, 2);
+  m.at(0, 0) = 3.0;
+  m.at(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.Norm(), 5.0);
+}
+
+TEST(MatrixTest, RandnHasRequestedSpread) {
+  Rng rng(5);
+  Matrix m = Matrix::Randn(50, 50, 0.1, rng);
+  double sq = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) sq += m.data()[i] * m.data()[i];
+  const double stddev = std::sqrt(sq / static_cast<double>(m.size()));
+  EXPECT_NEAR(stddev, 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace schemble

@@ -1,0 +1,60 @@
+#include "nn/softmax_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace schemble {
+namespace {
+
+TEST(SoftmaxRegressionTest, ShapeAccessors) {
+  SoftmaxRegression model(4, 3, 1);
+  EXPECT_EQ(model.input_dim(), 4);
+  EXPECT_EQ(model.classes(), 3);
+}
+
+TEST(SoftmaxRegressionTest, ProbabilitiesSumToOne) {
+  SoftmaxRegression model(2, 3, 2);
+  const std::vector<double> p = model.PredictProba({0.5, -0.5});
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SoftmaxRegressionTest, LearnsLinearlySeparableClasses) {
+  Rng data_rng(7);
+  std::vector<std::vector<double>> inputs;
+  std::vector<int> labels;
+  const double centers[3][2] = {{-2.0, 0.0}, {2.0, 0.0}, {0.0, 3.0}};
+  for (int i = 0; i < 600; ++i) {
+    const int label = i % 3;
+    inputs.push_back({data_rng.Normal(centers[label][0], 0.4),
+                      data_rng.Normal(centers[label][1], 0.4)});
+    labels.push_back(label);
+  }
+  SoftmaxRegression model(2, 3, 11);
+  TrainerOptions options;
+  options.epochs = 60;
+  Rng rng(13);
+  model.Train(inputs, labels, options, rng);
+  int correct = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (model.Predict(inputs[i]) == labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, 580);
+}
+
+TEST(SoftmaxRegressionTest, DeterministicForSeed) {
+  SoftmaxRegression a(3, 2, 99);
+  SoftmaxRegression b(3, 2, 99);
+  const std::vector<double> x = {0.1, 0.2, 0.3};
+  EXPECT_EQ(a.Predict(x), b.Predict(x));
+  const auto pa = a.PredictProba(x);
+  const auto pb = b.PredictProba(x);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+}  // namespace
+}  // namespace schemble

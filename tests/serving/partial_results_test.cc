@@ -1,0 +1,101 @@
+// Deadline semantics with partial results: a query whose fast tasks finish
+// before the deadline but whose slow tasks do not is served with whatever
+// completed ("we consider a query to miss its deadline if the scheduler
+// fails to run ANY model inference task for it by the deadline").
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy.h"
+#include "models/task_factory.h"
+#include "serving/server.h"
+#include "workload/trace.h"
+
+namespace schemble {
+namespace {
+
+/// Test policy: always fan out to every model, never reject — so tight
+/// deadlines force the partial-result path.
+class AlwaysFullPolicy : public ServingPolicy {
+ public:
+  std::string name() const override { return "AlwaysFull"; }
+  ArrivalDecision OnArrival(const TracedQuery& /*query*/,
+                            const ServerView& view) override {
+    return ArrivalDecision::Assign(FullMask(view.num_models()));
+  }
+};
+
+class PartialResultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    task_ = std::make_unique<SyntheticTask>(MakeTextMatchingTask(3));
+  }
+
+  QueryTrace SingleQueryTrace(SimTime relative_deadline) {
+    QueryTrace trace;
+    TracedQuery tq;
+    tq.query = task_->GenerateQuery(1, 0.3);
+    tq.arrival_time = 0;
+    tq.deadline = relative_deadline;
+    trace.items.push_back(std::move(tq));
+    return trace;
+  }
+
+  std::unique_ptr<SyntheticTask> task_;
+};
+
+TEST_F(PartialResultsTest, FastTasksServePartialResultAtDeadline) {
+  // Deadline of 30 ms: BiLSTM (15 ms) completes, RoBERTa (45 ms) and BERT
+  // (50 ms) do not. The query counts as processed with BiLSTM's output.
+  AlwaysFullPolicy policy;
+  EnsembleServer server(*task_, &policy, ServerOptions{});
+  const ServingMetrics metrics = server.Run(SingleQueryTrace(30 * kMillisecond));
+  EXPECT_EQ(metrics.total, 1);
+  EXPECT_EQ(metrics.processed, 1);
+  EXPECT_EQ(metrics.missed, 0);
+  // The final result aggregated exactly one model output.
+  ASSERT_GE(metrics.subset_size_counts.size(), 2u);
+  EXPECT_EQ(metrics.subset_size_counts[1], 1);
+  // Latency reflects when the partial output became available, not the
+  // deadline.
+  EXPECT_LT(metrics.latency_ms.max(), 25.0);
+}
+
+TEST_F(PartialResultsTest, NoTaskDoneByDeadlineIsAMiss) {
+  // Deadline of 5 ms: no model can finish; the query misses even though
+  // tasks were assigned.
+  AlwaysFullPolicy policy;
+  EnsembleServer server(*task_, &policy, ServerOptions{});
+  const ServingMetrics metrics = server.Run(SingleQueryTrace(5 * kMillisecond));
+  EXPECT_EQ(metrics.processed, 0);
+  EXPECT_EQ(metrics.missed, 1);
+  ASSERT_GE(metrics.subset_size_counts.size(), 1u);
+  EXPECT_EQ(metrics.subset_size_counts[0], 1);
+}
+
+TEST_F(PartialResultsTest, GenerousDeadlineGetsFullEnsemble) {
+  AlwaysFullPolicy policy;
+  EnsembleServer server(*task_, &policy, ServerOptions{});
+  const ServingMetrics metrics =
+      server.Run(SingleQueryTrace(200 * kMillisecond));
+  EXPECT_EQ(metrics.processed, 1);
+  ASSERT_GE(metrics.subset_size_counts.size(), 4u);
+  EXPECT_EQ(metrics.subset_size_counts[3], 1);
+  EXPECT_NEAR(metrics.processed_accuracy(), 1.0, 1e-9);
+}
+
+TEST_F(PartialResultsTest, TwoOfThreeByDeadline) {
+  // 47 ms: BiLSTM and RoBERTa (45 ms) finish, BERT (50 ms) does not.
+  AlwaysFullPolicy policy;
+  ServerOptions options;
+  options.seed = 4;  // jitter draw keeps RoBERTa under 47 ms on this seed
+  EnsembleServer server(*task_, &policy, options);
+  const ServingMetrics metrics = server.Run(SingleQueryTrace(48 * kMillisecond));
+  EXPECT_EQ(metrics.processed, 1);
+  ASSERT_GE(metrics.subset_size_counts.size(), 3u);
+  EXPECT_EQ(metrics.subset_size_counts[2], 1);
+}
+
+}  // namespace
+}  // namespace schemble

@@ -1,0 +1,105 @@
+#include "serving/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "models/task_factory.h"
+
+namespace schemble {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new SyntheticTask(MakeTextMatchingTask(3));
+    PipelineOptions options;
+    options.history_size = 1500;
+    options.with_ensemble_agreement = true;
+    options.predictor.trainer.epochs = 8;
+    pipeline_ =
+        std::move(SchemblePipeline::Build(*task_, options)).value().release();
+  }
+
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete task_;
+    pipeline_ = nullptr;
+    task_ = nullptr;
+  }
+
+  static SyntheticTask* task_;
+  static SchemblePipeline* pipeline_;
+};
+
+SyntheticTask* PipelineTest::task_ = nullptr;
+SchemblePipeline* PipelineTest::pipeline_ = nullptr;
+
+TEST_F(PipelineTest, BuildsAllComponents) {
+  EXPECT_EQ(pipeline_->history().size(), 1500u);
+  EXPECT_EQ(pipeline_->profile().num_models(), task_->num_models());
+  EXPECT_EQ(pipeline_->predicted_profile().num_models(), task_->num_models());
+  EXPECT_GT(pipeline_->predictor().ParameterCount(), 0u);
+  EXPECT_TRUE(pipeline_->has_ea());
+}
+
+TEST_F(PipelineTest, FactoriesNameVariantsDistinctly) {
+  EXPECT_EQ(pipeline_->MakeSchemble(SchembleConfig{})->name(), "Schemble");
+  EXPECT_EQ(pipeline_->MakeSchembleEa(SchembleConfig{})->name(),
+            "Schemble(ea)");
+  EXPECT_EQ(pipeline_->MakeSchembleT(SchembleConfig{})->name(),
+            "Schemble(t)");
+  EXPECT_EQ(pipeline_->MakeSchembleOracle(SchembleConfig{})->name(),
+            "Schemble(Oracle)");
+}
+
+TEST_F(PipelineTest, CustomNamesSurviveFactories) {
+  SchembleConfig config;
+  config.name = "MyVariant";
+  EXPECT_EQ(pipeline_->MakeSchembleEa(config)->name(), "MyVariant");
+}
+
+TEST_F(PipelineTest, PredictedProfileDiffersFromOracleProfile) {
+  // The serving profile is binned by predicted scores, the oracle one by
+  // ground-truth scores; the tables should not coincide.
+  bool any_diff = false;
+  for (int bin = 0; bin < pipeline_->profile().bins(); ++bin) {
+    for (SubsetMask mask = 1; mask <= FullMask(task_->num_models()); ++mask) {
+      any_diff |= pipeline_->profile().CellUtility(bin, mask) !=
+                  pipeline_->predicted_profile().CellUtility(bin, mask);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(PipelineTest, BuildRejectsEmptyHistory) {
+  PipelineOptions options;
+  options.history_size = 0;
+  EXPECT_FALSE(SchemblePipeline::Build(*task_, options).ok());
+}
+
+TEST_F(PipelineTest, OracleScoresSharpestOnAverage) {
+  // Ground-truth scores separate queries more than the smoothed predictor
+  // scores: their variance across the history is at least as large.
+  double oracle_var = 0.0;
+  double pred_var = 0.0;
+  double oracle_mean = 0.0;
+  double pred_mean = 0.0;
+  const auto& history = pipeline_->history();
+  for (const Query& q : history) {
+    oracle_mean += pipeline_->scorer().Score(q);
+    pred_mean += pipeline_->predictor().Predict(q);
+  }
+  oracle_mean /= history.size();
+  pred_mean /= history.size();
+  for (const Query& q : history) {
+    const double o = pipeline_->scorer().Score(q) - oracle_mean;
+    const double p = pipeline_->predictor().Predict(q) - pred_mean;
+    oracle_var += o * o;
+    pred_var += p * p;
+  }
+  EXPECT_GT(oracle_var, 0.8 * pred_var);
+}
+
+}  // namespace
+}  // namespace schemble

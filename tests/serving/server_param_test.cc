@@ -1,0 +1,181 @@
+// Parameterized serving invariants: for every policy, load level and
+// rejection mode, the server's bookkeeping must balance and basic physical
+// constraints must hold.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "baselines/des_policy.h"
+#include "baselines/gating_policy.h"
+#include "baselines/original_policy.h"
+#include "baselines/static_policy.h"
+#include "models/task_factory.h"
+#include "serving/pipeline.h"
+#include "serving/server.h"
+#include "workload/trace.h"
+#include "workload/traffic.h"
+
+namespace schemble {
+namespace {
+
+enum class PolicyKind { kOriginal, kStatic, kDes, kGating, kSchemble,
+                        kSchembleT };
+
+std::string PolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kOriginal:
+      return "Original";
+    case PolicyKind::kStatic:
+      return "Static";
+    case PolicyKind::kDes:
+      return "Des";
+    case PolicyKind::kGating:
+      return "Gating";
+    case PolicyKind::kSchemble:
+      return "Schemble";
+    case PolicyKind::kSchembleT:
+      return "SchembleT";
+  }
+  return "?";
+}
+
+/// Shared expensive fixture state: one trained stack reused by every case.
+struct Stack {
+  std::unique_ptr<SyntheticTask> task;
+  std::unique_ptr<SchemblePipeline> pipeline;
+  std::unique_ptr<DesPolicy> des;
+  std::unique_ptr<GatingPolicy> gating;
+};
+
+Stack* GetStack() {
+  static Stack* stack = [] {
+    auto* s = new Stack;
+    s->task = std::make_unique<SyntheticTask>(MakeTextMatchingTask(77));
+    PipelineOptions options;
+    options.history_size = 1500;
+    options.predictor.trainer.epochs = 8;
+    s->pipeline = std::move(SchemblePipeline::Build(*s->task, options)).value();
+    auto des = DesPolicy::Train(*s->task, s->pipeline->history(), DesConfig{});
+    s->des = std::make_unique<DesPolicy>(std::move(des).value());
+    GatingConfig gating_config;
+    gating_config.trainer.epochs = 6;
+    auto gating =
+        GatingPolicy::Train(*s->task, s->pipeline->history(), gating_config);
+    s->gating = std::make_unique<GatingPolicy>(std::move(gating).value());
+    return s;
+  }();
+  return stack;
+}
+
+class ServerSweepTest
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, double, bool>> {
+};
+
+TEST_P(ServerSweepTest, BookkeepingBalances) {
+  const auto [kind, rate, allow_rejection] = GetParam();
+  Stack* stack = GetStack();
+
+  std::unique_ptr<ServingPolicy> owned;
+  ServingPolicy* policy = nullptr;
+  ServerOptions options;
+  options.allow_rejection = allow_rejection;
+  switch (kind) {
+    case PolicyKind::kOriginal:
+      owned = std::make_unique<OriginalPolicy>();
+      break;
+    case PolicyKind::kStatic: {
+      StaticDeployment deployment;
+      deployment.subset = 0b011;
+      deployment.replicas = {1, 2, 0};
+      owned = std::make_unique<StaticPolicy>(deployment);
+      options.executor_models = {0, 1, 1};
+      break;
+    }
+    case PolicyKind::kDes:
+      policy = stack->des.get();
+      break;
+    case PolicyKind::kGating:
+      policy = stack->gating.get();
+      break;
+    case PolicyKind::kSchemble:
+      owned = stack->pipeline->MakeSchemble(SchembleConfig{});
+      break;
+    case PolicyKind::kSchembleT:
+      owned = stack->pipeline->MakeSchembleT(SchembleConfig{});
+      break;
+  }
+  if (owned) policy = owned.get();
+
+  PoissonTraffic traffic(rate);
+  ConstantDeadline deadlines(100 * kMillisecond);
+  TraceOptions trace_options;
+  trace_options.seed = 31337;
+  const QueryTrace trace =
+      BuildTrace(*stack->task, traffic, deadlines, 15 * kSecond,
+                 trace_options);
+
+  EnsembleServer server(*stack->task, policy, options);
+  const ServingMetrics metrics = server.Run(trace);
+
+  // Conservation: every query is exactly one of processed / missed, except
+  // that force mode can double-count late-but-processed queries as misses.
+  EXPECT_EQ(metrics.total, trace.size());
+  if (allow_rejection) {
+    EXPECT_EQ(metrics.processed + metrics.missed, metrics.total);
+  } else {
+    EXPECT_EQ(metrics.processed, metrics.total);
+  }
+  // Bounded rates.
+  EXPECT_GE(metrics.accuracy(), 0.0);
+  EXPECT_LE(metrics.accuracy(), 1.0);
+  EXPECT_GE(metrics.deadline_miss_rate(), 0.0);
+  EXPECT_LE(metrics.deadline_miss_rate(), 1.0);
+  EXPECT_LE(metrics.accuracy(), metrics.processed_accuracy() + 1e-9);
+  // Segments partition the totals.
+  int64_t arrivals = 0;
+  int64_t processed = 0;
+  for (const SegmentStats& seg : metrics.segments) {
+    arrivals += seg.arrivals;
+    processed += seg.processed;
+  }
+  EXPECT_EQ(arrivals, metrics.total);
+  EXPECT_EQ(processed, metrics.processed);
+  // Subset sizes partition the totals.
+  int64_t by_size = 0;
+  for (int64_t c : metrics.subset_size_counts) by_size += c;
+  EXPECT_EQ(by_size, metrics.total);
+  // Physical floor: nothing completes faster than the fastest model's
+  // minimum jittered service time (20% of 15 ms).
+  if (metrics.processed > 0) {
+    EXPECT_GE(metrics.latency_ms.min(), 0.2 * 15.0 - 1e-9);
+  }
+  // Rejection mode: every processed query produced its result by the
+  // deadline, so recorded latency never exceeds the relative deadline plus
+  // the policy's arrival-processing delay.
+  if (allow_rejection && metrics.processed > 0) {
+    EXPECT_LE(metrics.latency_ms.max(),
+              100.0 + SimTimeToMillis(policy->ArrivalProcessingDelay()) +
+                  1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesLoadsModes, ServerSweepTest,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::kOriginal, PolicyKind::kStatic,
+                          PolicyKind::kDes, PolicyKind::kGating,
+                          PolicyKind::kSchemble, PolicyKind::kSchembleT),
+        ::testing::Values(5.0, 30.0, 60.0),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<PolicyKind, double, bool>>&
+           info) {
+      return PolicyName(std::get<0>(info.param)) + "r" +
+             std::to_string(static_cast<int>(std::get<1>(info.param))) +
+             (std::get<2>(info.param) ? "rej" : "force");
+    });
+
+}  // namespace
+}  // namespace schemble

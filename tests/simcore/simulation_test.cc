@@ -1,0 +1,127 @@
+#include "simcore/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace schemble {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(MillisToSimTime(1.5), 1500);
+  EXPECT_DOUBLE_EQ(SimTimeToMillis(2500), 2.5);
+  EXPECT_DOUBLE_EQ(SimTimeToSeconds(1500000), 1.5);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.executed_events(), 3);
+}
+
+TEST(SimulationTest, SameTimeEventsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(100, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  std::vector<SimTime> times;
+  sim.ScheduleAt(10, [&] {
+    times.push_back(sim.now());
+    sim.ScheduleAfter(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulationTest, ScheduleAtCurrentTimeRunsAfterCurrentEvent) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(10, [&] {
+    order.push_back(1);
+    sim.ScheduleAfter(0, [&] { order.push_back(2); });
+  });
+  sim.ScheduleAt(10, [&] { order.push_back(3); });
+  sim.Run();
+  // Zero-delay event lands after the already-queued same-time event.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(SimulationTest, RunUntilStopsBeforeLaterEvents) {
+  Simulation sim;
+  int ran = 0;
+  sim.ScheduleAt(10, [&] { ++ran; });
+  sim.ScheduleAt(100, [&] { ++ran; });
+  sim.Run(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), 10);
+  sim.Run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  int ran = 0;
+  const int64_t id = sim.ScheduleAt(10, [&] { ++ran; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // already cancelled
+  sim.Run();
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(sim.executed_events(), 0);
+}
+
+TEST(SimulationTest, CancelledEventDoesNotAdvanceClock) {
+  Simulation sim;
+  const int64_t id = sim.ScheduleAt(10, [] {});
+  sim.ScheduleAt(20, [] {});
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(SimulationTest, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(5, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationTest, PendingEventCountExcludesCancelled) {
+  Simulation sim;
+  const int64_t a = sim.ScheduleAt(10, [] {});
+  sim.ScheduleAt(20, [] {});
+  EXPECT_EQ(sim.pending_events(), 2);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1);
+  (void)a;
+}
+
+TEST(SimulationTest, LongChainTerminates) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10000) sim.ScheduleAfter(1, tick);
+  };
+  sim.ScheduleAt(0, tick);
+  sim.Run();
+  EXPECT_EQ(count, 10000);
+  EXPECT_EQ(sim.now(), 9999);
+}
+
+}  // namespace
+}  // namespace schemble

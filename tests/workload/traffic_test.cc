@@ -1,0 +1,86 @@
+#include "workload/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace schemble {
+namespace {
+
+TEST(PoissonTrafficTest, ArrivalsSortedAndInRange) {
+  PoissonTraffic traffic(50.0);
+  Rng rng(1);
+  const auto arrivals = traffic.GenerateArrivals(10 * kSecond, rng);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  for (SimTime t : arrivals) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 10 * kSecond);
+  }
+}
+
+TEST(PoissonTrafficTest, RateMatchesExpectation) {
+  PoissonTraffic traffic(100.0);
+  Rng rng(3);
+  const auto arrivals = traffic.GenerateArrivals(100 * kSecond, rng);
+  // Expect ~10000 arrivals; Poisson stddev ~100.
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 10000.0, 400.0);
+}
+
+TEST(PoissonTrafficTest, DeterministicGivenSeed) {
+  PoissonTraffic traffic(20.0);
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(traffic.GenerateArrivals(5 * kSecond, a),
+            traffic.GenerateArrivals(5 * kSecond, b));
+}
+
+TEST(DiurnalTrafficTest, QaShapeHas24Segments) {
+  DiurnalTraffic traffic = DiurnalTraffic::QaDayShape(30.0);
+  EXPECT_EQ(traffic.num_segments(), 24);
+  EXPECT_EQ(traffic.total_duration(), 24 * 60 * kSecond);
+}
+
+TEST(DiurnalTrafficTest, RateAtFollowsShape) {
+  DiurnalTraffic traffic = DiurnalTraffic::QaDayShape(30.0, 60 * kSecond);
+  // Peak segments hit the configured peak rate.
+  EXPECT_DOUBLE_EQ(traffic.RateAt(11 * 60 * kSecond), 30.0);
+  // Overnight is ~1/30 of peak.
+  EXPECT_LT(traffic.RateAt(2 * 60 * kSecond), 2.0);
+  // Out-of-horizon times have zero rate.
+  EXPECT_DOUBLE_EQ(traffic.RateAt(25 * 60 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(traffic.RateAt(-1), 0.0);
+}
+
+TEST(DiurnalTrafficTest, BurstRatioRoughly30x) {
+  DiurnalTraffic traffic = DiurnalTraffic::QaDayShape(30.0, 60 * kSecond);
+  Rng rng(11);
+  const auto arrivals = traffic.GenerateArrivals(traffic.total_duration(), rng);
+  ASSERT_FALSE(arrivals.empty());
+  // Count per segment.
+  std::vector<int64_t> counts(24, 0);
+  for (SimTime t : arrivals) ++counts[t / (60 * kSecond)];
+  const int64_t peak = *std::max_element(counts.begin(), counts.end());
+  const int64_t overnight = counts[2];
+  EXPECT_GT(peak, overnight * 15);
+  // Peak segment carries roughly peak_rate * 60s arrivals.
+  EXPECT_NEAR(static_cast<double>(peak), 1800.0, 250.0);
+}
+
+TEST(DiurnalTrafficTest, HonorsDurationCap) {
+  DiurnalTraffic traffic = DiurnalTraffic::QaDayShape(30.0, 60 * kSecond);
+  Rng rng(13);
+  const auto arrivals = traffic.GenerateArrivals(5 * 60 * kSecond, rng);
+  for (SimTime t : arrivals) EXPECT_LT(t, 5 * 60 * kSecond);
+}
+
+TEST(DiurnalTrafficTest, ArrivalsSorted) {
+  DiurnalTraffic traffic = DiurnalTraffic::QaDayShape(10.0, 10 * kSecond);
+  Rng rng(17);
+  const auto arrivals = traffic.GenerateArrivals(traffic.total_duration(), rng);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+}
+
+}  // namespace
+}  // namespace schemble
