@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_image_retrieval.dir/bench/bench_exp1_image_retrieval.cc.o"
+  "CMakeFiles/bench_exp1_image_retrieval.dir/bench/bench_exp1_image_retrieval.cc.o.d"
+  "CMakeFiles/bench_exp1_image_retrieval.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_exp1_image_retrieval.dir/bench/bench_util.cc.o.d"
+  "bench/bench_exp1_image_retrieval"
+  "bench/bench_exp1_image_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_image_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_text_matching.dir/bench/bench_exp1_text_matching.cc.o"
+  "CMakeFiles/bench_exp1_text_matching.dir/bench/bench_exp1_text_matching.cc.o.d"
+  "CMakeFiles/bench_exp1_text_matching.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_exp1_text_matching.dir/bench/bench_util.cc.o.d"
+  "bench/bench_exp1_text_matching"
+  "bench/bench_exp1_text_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_text_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_vehicle_counting.dir/bench/bench_exp1_vehicle_counting.cc.o"
+  "CMakeFiles/bench_exp1_vehicle_counting.dir/bench/bench_exp1_vehicle_counting.cc.o.d"
+  "CMakeFiles/bench_exp1_vehicle_counting.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_exp1_vehicle_counting.dir/bench/bench_util.cc.o.d"
+  "bench/bench_exp1_vehicle_counting"
+  "bench/bench_exp1_vehicle_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_vehicle_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2_latency.dir/bench/bench_exp2_latency.cc.o"
+  "CMakeFiles/bench_exp2_latency.dir/bench/bench_exp2_latency.cc.o.d"
+  "CMakeFiles/bench_exp2_latency.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_exp2_latency.dir/bench/bench_util.cc.o.d"
+  "bench/bench_exp2_latency"
+  "bench/bench_exp2_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

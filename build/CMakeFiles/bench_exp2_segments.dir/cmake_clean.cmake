@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2_segments.dir/bench/bench_exp2_segments.cc.o"
+  "CMakeFiles/bench_exp2_segments.dir/bench/bench_exp2_segments.cc.o.d"
+  "CMakeFiles/bench_exp2_segments.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_exp2_segments.dir/bench/bench_util.cc.o.d"
+  "bench/bench_exp2_segments"
+  "bench/bench_exp2_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3_distributions.dir/bench/bench_exp3_distributions.cc.o"
+  "CMakeFiles/bench_exp3_distributions.dir/bench/bench_exp3_distributions.cc.o.d"
+  "CMakeFiles/bench_exp3_distributions.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_exp3_distributions.dir/bench/bench_util.cc.o.d"
+  "bench/bench_exp3_distributions"
+  "bench/bench_exp3_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp4_scheduler.dir/bench/bench_exp4_scheduler.cc.o"
+  "CMakeFiles/bench_exp4_scheduler.dir/bench/bench_exp4_scheduler.cc.o.d"
+  "CMakeFiles/bench_exp4_scheduler.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_exp4_scheduler.dir/bench/bench_util.cc.o.d"
+  "bench/bench_exp4_scheduler"
+  "bench/bench_exp4_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp4_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp6_budget.dir/bench/bench_exp6_budget.cc.o"
+  "CMakeFiles/bench_exp6_budget.dir/bench/bench_exp6_budget.cc.o.d"
+  "CMakeFiles/bench_exp6_budget.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_exp6_budget.dir/bench/bench_util.cc.o.d"
+  "bench/bench_exp6_budget"
+  "bench/bench_exp6_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp6_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

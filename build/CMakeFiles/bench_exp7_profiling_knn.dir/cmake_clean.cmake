@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp7_profiling_knn.dir/bench/bench_exp7_profiling_knn.cc.o"
+  "CMakeFiles/bench_exp7_profiling_knn.dir/bench/bench_exp7_profiling_knn.cc.o.d"
+  "CMakeFiles/bench_exp7_profiling_knn.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_exp7_profiling_knn.dir/bench/bench_util.cc.o.d"
+  "bench/bench_exp7_profiling_knn"
+  "bench/bench_exp7_profiling_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp7_profiling_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exp7_profiling_knn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp8_delta.dir/bench/bench_exp8_delta.cc.o"
+  "CMakeFiles/bench_exp8_delta.dir/bench/bench_exp8_delta.cc.o.d"
+  "CMakeFiles/bench_exp8_delta.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_exp8_delta.dir/bench/bench_util.cc.o.d"
+  "bench/bench_exp8_delta"
+  "bench/bench_exp8_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp8_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

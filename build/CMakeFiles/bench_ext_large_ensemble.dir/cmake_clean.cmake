@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_large_ensemble.dir/bench/bench_ext_large_ensemble.cc.o"
+  "CMakeFiles/bench_ext_large_ensemble.dir/bench/bench_ext_large_ensemble.cc.o.d"
+  "CMakeFiles/bench_ext_large_ensemble.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_ext_large_ensemble.dir/bench/bench_util.cc.o.d"
+  "bench/bench_ext_large_ensemble"
+  "bench/bench_ext_large_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_large_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

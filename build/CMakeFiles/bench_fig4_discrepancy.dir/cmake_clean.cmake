@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_discrepancy.dir/bench/bench_fig4_discrepancy.cc.o"
+  "CMakeFiles/bench_fig4_discrepancy.dir/bench/bench_fig4_discrepancy.cc.o.d"
+  "CMakeFiles/bench_fig4_discrepancy.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig4_discrepancy.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig4_discrepancy"
+  "bench/bench_fig4_discrepancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_discrepancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_preference_corr.dir/bench/bench_fig5_preference_corr.cc.o"
+  "CMakeFiles/bench_fig5_preference_corr.dir/bench/bench_fig5_preference_corr.cc.o.d"
+  "CMakeFiles/bench_fig5_preference_corr.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig5_preference_corr.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig5_preference_corr"
+  "bench/bench_fig5_preference_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_preference_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

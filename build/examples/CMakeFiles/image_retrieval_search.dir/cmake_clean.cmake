@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_retrieval_search.dir/image_retrieval_search.cpp.o"
+  "CMakeFiles/image_retrieval_search.dir/image_retrieval_search.cpp.o.d"
+  "image_retrieval_search"
+  "image_retrieval_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_retrieval_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

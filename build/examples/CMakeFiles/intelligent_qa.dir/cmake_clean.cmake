@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intelligent_qa.dir/intelligent_qa.cpp.o"
+  "CMakeFiles/intelligent_qa.dir/intelligent_qa.cpp.o.d"
+  "intelligent_qa"
+  "intelligent_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intelligent_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_replay.cpp" "examples/CMakeFiles/trace_replay.dir/trace_replay.cpp.o" "gcc" "examples/CMakeFiles/trace_replay.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serving/CMakeFiles/schemble_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/schemble_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/schemble_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/schemble_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/schemble_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/schemble_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/schemble_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/schemble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemble_baselines.dir/des_policy.cc.o"
+  "CMakeFiles/schemble_baselines.dir/des_policy.cc.o.d"
+  "CMakeFiles/schemble_baselines.dir/gating_policy.cc.o"
+  "CMakeFiles/schemble_baselines.dir/gating_policy.cc.o.d"
+  "CMakeFiles/schemble_baselines.dir/original_policy.cc.o"
+  "CMakeFiles/schemble_baselines.dir/original_policy.cc.o.d"
+  "CMakeFiles/schemble_baselines.dir/static_policy.cc.o"
+  "CMakeFiles/schemble_baselines.dir/static_policy.cc.o.d"
+  "libschemble_baselines.a"
+  "libschemble_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemble_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

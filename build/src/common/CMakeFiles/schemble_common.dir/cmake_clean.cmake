@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemble_common.dir/logging.cc.o"
+  "CMakeFiles/schemble_common.dir/logging.cc.o.d"
+  "CMakeFiles/schemble_common.dir/prob.cc.o"
+  "CMakeFiles/schemble_common.dir/prob.cc.o.d"
+  "CMakeFiles/schemble_common.dir/rng.cc.o"
+  "CMakeFiles/schemble_common.dir/rng.cc.o.d"
+  "CMakeFiles/schemble_common.dir/stats.cc.o"
+  "CMakeFiles/schemble_common.dir/stats.cc.o.d"
+  "CMakeFiles/schemble_common.dir/status.cc.o"
+  "CMakeFiles/schemble_common.dir/status.cc.o.d"
+  "CMakeFiles/schemble_common.dir/table.cc.o"
+  "CMakeFiles/schemble_common.dir/table.cc.o.d"
+  "libschemble_common.a"
+  "libschemble_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemble_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/schemble_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/schemble_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/budgeted.cc" "src/core/CMakeFiles/schemble_core.dir/budgeted.cc.o" "gcc" "src/core/CMakeFiles/schemble_core.dir/budgeted.cc.o.d"
+  "/root/repo/src/core/discrepancy.cc" "src/core/CMakeFiles/schemble_core.dir/discrepancy.cc.o" "gcc" "src/core/CMakeFiles/schemble_core.dir/discrepancy.cc.o.d"
+  "/root/repo/src/core/discrepancy_predictor.cc" "src/core/CMakeFiles/schemble_core.dir/discrepancy_predictor.cc.o" "gcc" "src/core/CMakeFiles/schemble_core.dir/discrepancy_predictor.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/schemble_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/schemble_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/profiling.cc" "src/core/CMakeFiles/schemble_core.dir/profiling.cc.o" "gcc" "src/core/CMakeFiles/schemble_core.dir/profiling.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/schemble_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/schemble_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/schemble_policy.cc" "src/core/CMakeFiles/schemble_core.dir/schemble_policy.cc.o" "gcc" "src/core/CMakeFiles/schemble_core.dir/schemble_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/schemble_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/schemble_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/schemble_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/schemble_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/schemble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

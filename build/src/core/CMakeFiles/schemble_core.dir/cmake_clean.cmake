@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemble_core.dir/aggregation.cc.o"
+  "CMakeFiles/schemble_core.dir/aggregation.cc.o.d"
+  "CMakeFiles/schemble_core.dir/budgeted.cc.o"
+  "CMakeFiles/schemble_core.dir/budgeted.cc.o.d"
+  "CMakeFiles/schemble_core.dir/discrepancy.cc.o"
+  "CMakeFiles/schemble_core.dir/discrepancy.cc.o.d"
+  "CMakeFiles/schemble_core.dir/discrepancy_predictor.cc.o"
+  "CMakeFiles/schemble_core.dir/discrepancy_predictor.cc.o.d"
+  "CMakeFiles/schemble_core.dir/policy.cc.o"
+  "CMakeFiles/schemble_core.dir/policy.cc.o.d"
+  "CMakeFiles/schemble_core.dir/profiling.cc.o"
+  "CMakeFiles/schemble_core.dir/profiling.cc.o.d"
+  "CMakeFiles/schemble_core.dir/scheduler.cc.o"
+  "CMakeFiles/schemble_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/schemble_core.dir/schemble_policy.cc.o"
+  "CMakeFiles/schemble_core.dir/schemble_policy.cc.o.d"
+  "libschemble_core.a"
+  "libschemble_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemble_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/model_profile.cc" "src/models/CMakeFiles/schemble_models.dir/model_profile.cc.o" "gcc" "src/models/CMakeFiles/schemble_models.dir/model_profile.cc.o.d"
+  "/root/repo/src/models/synthetic_task.cc" "src/models/CMakeFiles/schemble_models.dir/synthetic_task.cc.o" "gcc" "src/models/CMakeFiles/schemble_models.dir/synthetic_task.cc.o.d"
+  "/root/repo/src/models/task_factory.cc" "src/models/CMakeFiles/schemble_models.dir/task_factory.cc.o" "gcc" "src/models/CMakeFiles/schemble_models.dir/task_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/schemble_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/schemble_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

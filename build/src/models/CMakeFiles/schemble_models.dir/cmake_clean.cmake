@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemble_models.dir/model_profile.cc.o"
+  "CMakeFiles/schemble_models.dir/model_profile.cc.o.d"
+  "CMakeFiles/schemble_models.dir/synthetic_task.cc.o"
+  "CMakeFiles/schemble_models.dir/synthetic_task.cc.o.d"
+  "CMakeFiles/schemble_models.dir/task_factory.cc.o"
+  "CMakeFiles/schemble_models.dir/task_factory.cc.o.d"
+  "libschemble_models.a"
+  "libschemble_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemble_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemble_nn.dir/calibration.cc.o"
+  "CMakeFiles/schemble_nn.dir/calibration.cc.o.d"
+  "CMakeFiles/schemble_nn.dir/kmeans.cc.o"
+  "CMakeFiles/schemble_nn.dir/kmeans.cc.o.d"
+  "CMakeFiles/schemble_nn.dir/knn.cc.o"
+  "CMakeFiles/schemble_nn.dir/knn.cc.o.d"
+  "CMakeFiles/schemble_nn.dir/matrix.cc.o"
+  "CMakeFiles/schemble_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/schemble_nn.dir/mlp.cc.o"
+  "CMakeFiles/schemble_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/schemble_nn.dir/softmax_regression.cc.o"
+  "CMakeFiles/schemble_nn.dir/softmax_regression.cc.o.d"
+  "libschemble_nn.a"
+  "libschemble_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemble_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

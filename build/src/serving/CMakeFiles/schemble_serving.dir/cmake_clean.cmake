@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemble_serving.dir/pipeline.cc.o"
+  "CMakeFiles/schemble_serving.dir/pipeline.cc.o.d"
+  "CMakeFiles/schemble_serving.dir/server.cc.o"
+  "CMakeFiles/schemble_serving.dir/server.cc.o.d"
+  "libschemble_serving.a"
+  "libschemble_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemble_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

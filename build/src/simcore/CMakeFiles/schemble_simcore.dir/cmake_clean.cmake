@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemble_simcore.dir/simulation.cc.o"
+  "CMakeFiles/schemble_simcore.dir/simulation.cc.o.d"
+  "libschemble_simcore.a"
+  "libschemble_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemble_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libschemble_simcore.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemble_workload.dir/trace.cc.o"
+  "CMakeFiles/schemble_workload.dir/trace.cc.o.d"
+  "CMakeFiles/schemble_workload.dir/trace_io.cc.o"
+  "CMakeFiles/schemble_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/schemble_workload.dir/traffic.cc.o"
+  "CMakeFiles/schemble_workload.dir/traffic.cc.o.d"
+  "libschemble_workload.a"
+  "libschemble_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemble_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

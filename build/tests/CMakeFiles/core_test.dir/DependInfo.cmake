@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aggregation_test.cc" "tests/CMakeFiles/core_test.dir/core/aggregation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/aggregation_test.cc.o.d"
+  "/root/repo/tests/core/budgeted_param_test.cc" "tests/CMakeFiles/core_test.dir/core/budgeted_param_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/budgeted_param_test.cc.o.d"
+  "/root/repo/tests/core/budgeted_test.cc" "tests/CMakeFiles/core_test.dir/core/budgeted_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/budgeted_test.cc.o.d"
+  "/root/repo/tests/core/discrepancy_test.cc" "tests/CMakeFiles/core_test.dir/core/discrepancy_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/discrepancy_test.cc.o.d"
+  "/root/repo/tests/core/predictor_test.cc" "tests/CMakeFiles/core_test.dir/core/predictor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/predictor_test.cc.o.d"
+  "/root/repo/tests/core/profile_completion_test.cc" "tests/CMakeFiles/core_test.dir/core/profile_completion_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/profile_completion_test.cc.o.d"
+  "/root/repo/tests/core/profiling_test.cc" "tests/CMakeFiles/core_test.dir/core/profiling_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/profiling_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_param_test.cc" "tests/CMakeFiles/core_test.dir/core/scheduler_param_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scheduler_param_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_test.cc" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cc.o.d"
+  "/root/repo/tests/core/schemble_policy_test.cc" "tests/CMakeFiles/core_test.dir/core/schemble_policy_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/schemble_policy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/schemble_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/schemble_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/schemble_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/schemble_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/schemble_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/schemble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

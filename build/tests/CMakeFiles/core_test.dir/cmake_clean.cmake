@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/aggregation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/aggregation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/budgeted_param_test.cc.o"
+  "CMakeFiles/core_test.dir/core/budgeted_param_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/budgeted_test.cc.o"
+  "CMakeFiles/core_test.dir/core/budgeted_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/discrepancy_test.cc.o"
+  "CMakeFiles/core_test.dir/core/discrepancy_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/predictor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/predictor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/profile_completion_test.cc.o"
+  "CMakeFiles/core_test.dir/core/profile_completion_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/profiling_test.cc.o"
+  "CMakeFiles/core_test.dir/core/profiling_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/scheduler_param_test.cc.o"
+  "CMakeFiles/core_test.dir/core/scheduler_param_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cc.o"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/schemble_policy_test.cc.o"
+  "CMakeFiles/core_test.dir/core/schemble_policy_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

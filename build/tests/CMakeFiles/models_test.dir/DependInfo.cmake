@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/models/synthetic_task_test.cc" "tests/CMakeFiles/models_test.dir/models/synthetic_task_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/synthetic_task_test.cc.o.d"
+  "/root/repo/tests/models/task_param_test.cc" "tests/CMakeFiles/models_test.dir/models/task_param_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/task_param_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/schemble_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/schemble_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/schemble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

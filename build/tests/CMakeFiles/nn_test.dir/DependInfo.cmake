@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/calibration_test.cc" "tests/CMakeFiles/nn_test.dir/nn/calibration_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/calibration_test.cc.o.d"
+  "/root/repo/tests/nn/kmeans_test.cc" "tests/CMakeFiles/nn_test.dir/nn/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/kmeans_test.cc.o.d"
+  "/root/repo/tests/nn/knn_test.cc" "tests/CMakeFiles/nn_test.dir/nn/knn_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/knn_test.cc.o.d"
+  "/root/repo/tests/nn/matrix_test.cc" "tests/CMakeFiles/nn_test.dir/nn/matrix_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/matrix_test.cc.o.d"
+  "/root/repo/tests/nn/mlp_param_test.cc" "tests/CMakeFiles/nn_test.dir/nn/mlp_param_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/mlp_param_test.cc.o.d"
+  "/root/repo/tests/nn/mlp_test.cc" "tests/CMakeFiles/nn_test.dir/nn/mlp_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/mlp_test.cc.o.d"
+  "/root/repo/tests/nn/softmax_regression_test.cc" "tests/CMakeFiles/nn_test.dir/nn/softmax_regression_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/softmax_regression_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/schemble_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/schemble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

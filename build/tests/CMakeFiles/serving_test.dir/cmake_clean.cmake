@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_test.dir/serving/buffer_ablation_test.cc.o"
+  "CMakeFiles/serving_test.dir/serving/buffer_ablation_test.cc.o.d"
+  "CMakeFiles/serving_test.dir/serving/partial_results_test.cc.o"
+  "CMakeFiles/serving_test.dir/serving/partial_results_test.cc.o.d"
+  "CMakeFiles/serving_test.dir/serving/pipeline_test.cc.o"
+  "CMakeFiles/serving_test.dir/serving/pipeline_test.cc.o.d"
+  "CMakeFiles/serving_test.dir/serving/server_param_test.cc.o"
+  "CMakeFiles/serving_test.dir/serving/server_param_test.cc.o.d"
+  "CMakeFiles/serving_test.dir/serving/server_test.cc.o"
+  "CMakeFiles/serving_test.dir/serving/server_test.cc.o.d"
+  "CMakeFiles/serving_test.dir/serving/stacking_serving_test.cc.o"
+  "CMakeFiles/serving_test.dir/serving/stacking_serving_test.cc.o.d"
+  "serving_test"
+  "serving_test.pdb"
+  "serving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
