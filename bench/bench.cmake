@@ -30,3 +30,14 @@ schemble_add_bench(bench_exp6_budget bench/bench_exp6_budget.cc bench/bench_util
 schemble_add_bench(bench_exp7_profiling_knn bench/bench_exp7_profiling_knn.cc bench/bench_util.cc)
 schemble_add_bench(bench_exp8_delta bench/bench_exp8_delta.cc bench/bench_util.cc)
 schemble_add_bench(bench_ext_large_ensemble bench/bench_ext_large_ensemble.cc bench/bench_util.cc)
+
+# `cmake --build build --target schemble_bench_scheduler` rebuilds the
+# scheduler microbenchmarks and regenerates the committed baseline
+# bench/BENCH_scheduler.json in one command.
+add_custom_target(schemble_bench_scheduler
+  COMMAND ${CMAKE_COMMAND} -E env BENCH_BIN=$<TARGET_FILE:bench_exp5_overhead>
+          ${CMAKE_SOURCE_DIR}/bench/run_scheduler_bench.sh
+  DEPENDS bench_exp5_overhead
+  WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+  COMMENT "Running scheduler benchmarks -> bench/BENCH_scheduler.json"
+  VERBATIM)

@@ -4,11 +4,13 @@
 // of the host-side costs.
 
 #include <cstdio>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "core/scheduler.h"
+#include "core/scheduler_reference.h"
 
 using namespace schemble;
 using namespace schemble::bench;
@@ -33,38 +35,100 @@ void BM_DiscrepancyScore(benchmark::State& state) {
 }
 BENCHMARK(BM_DiscrepancyScore);
 
-void BM_DpSchedule(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const double delta = 1.0 / static_cast<double>(state.range(1));
+// Deterministic synthetic sweep instance, independent of the pipeline so
+// the same generator covers arbitrary (n, m): m heterogeneous models
+// (5..5+3m ms service times), n queries with staggered deadlines and
+// monotone diminishing-return utility rows. BENCH_scheduler.json (see
+// bench/run_scheduler_bench.sh) records these series as the repo's
+// scheduler-performance baseline.
+struct SweepInstance {
   SchedulerEnv env;
-  env.now = 0;
-  for (int k = 0; k < g_ctx->task->num_models(); ++k) {
-    env.model_available_at.push_back(0);
-    env.model_exec_time.push_back(g_ctx->task->profile(k).latency_us);
-  }
   std::vector<SchedulerQuery> queries;
-  const auto row = g_ctx->pipeline->profile().UtilityRow(0.4);
+};
+
+SweepInstance MakeSweepInstance(int n, int m) {
+  SweepInstance inst;
+  inst.env.now = 0;
+  for (int k = 0; k < m; ++k) {
+    inst.env.model_available_at.push_back(0);
+    inst.env.model_exec_time.push_back((5 + 3 * k) * kMillisecond);
+  }
+  const SubsetMask full = FullMask(m);
   for (int i = 0; i < n; ++i) {
     SchedulerQuery q;
     q.id = i;
-    q.deadline = (100 + 13 * i) * kMillisecond;
-    q.utilities = row;
-    queries.push_back(std::move(q));
+    q.deadline = (30 + 13 * i) * kMillisecond;
+    q.utilities.assign(static_cast<size_t>(full) + 1, 0.0);
+    for (SubsetMask mask = 1; mask <= full; ++mask) {
+      double miss = 1.0;
+      for (int k = 0; k < m; ++k) {
+        if (mask & (SubsetMask{1} << k)) {
+          miss *= 0.45 - 0.03 * k + 0.01 * (i % 5);
+        }
+      }
+      q.utilities[mask] = 1.0 - miss;
+    }
+    inst.queries.push_back(std::move(q));
   }
+  return inst;
+}
+
+DpScheduler::Options SweepOptions(benchmark::State& state) {
   DpScheduler::Options options;
-  options.delta = delta;
-  DpScheduler dp(options);
+  options.delta = 1.0 / static_cast<double>(state.range(2));
+  options.max_queries = static_cast<int>(state.range(0));
+  return options;
+}
+
+// Args: {n queries, m models, 1/delta}.
+void BM_DpSchedule(benchmark::State& state) {
+  const SweepInstance inst = MakeSweepInstance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  DpScheduler dp(SweepOptions(state));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dp.Schedule(queries, env));
+    benchmark::DoNotOptimize(dp.Schedule(inst.queries, inst.env));
+  }
+  state.counters["dp_ops"] = static_cast<double>(dp.last_ops());
+  state.counters["workspace_grows"] =
+      static_cast<double>(dp.workspace_stats().grow_events);
+}
+BENCHMARK(BM_DpSchedule)
+    ->ArgsProduct({{8, 24, 48}, {3, 5, 8}, {10, 50}})
+    ->Unit(benchmark::kMicrosecond);
+
+// The retained seed implementation on identical instances: the "before"
+// rows of the before/after comparison in BENCH_scheduler.json.
+void BM_DpScheduleReference(benchmark::State& state) {
+  const SweepInstance inst = MakeSweepInstance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  ReferenceDpScheduler dp(SweepOptions(state));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.Schedule(inst.queries, inst.env));
   }
   state.counters["dp_ops"] = static_cast<double>(dp.last_ops());
 }
-BENCHMARK(BM_DpSchedule)
-    ->Args({8, 10})
-    ->Args({8, 100})
-    ->Args({8, 1000})
-    ->Args({16, 100})
-    ->Args({24, 100});
+BENCHMARK(BM_DpScheduleReference)
+    ->Args({8, 3, 10})
+    ->Args({8, 3, 50})
+    ->Args({24, 3, 10})
+    ->Args({24, 3, 50})
+    ->Args({24, 5, 50})
+    ->Unit(benchmark::kMicrosecond);
+
+// Args: {n queries, m models}. Exercises the copy-free greedy mask loop.
+void BM_GreedySchedule(benchmark::State& state) {
+  const SweepInstance inst = MakeSweepInstance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  GreedyScheduler greedy(GreedyScheduler::Order::kEdf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy.Schedule(inst.queries, inst.env));
+  }
+}
+BENCHMARK(BM_GreedySchedule)
+    ->Args({24, 3})
+    ->Args({24, 8})
+    ->Args({48, 8})
+    ->Unit(benchmark::kMicrosecond);
 
 void PrintFig13() {
   std::printf("Fig. 13: overhead of the prediction network vs the deep "

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates the scheduler benchmark baseline (bench/BENCH_scheduler.json)
+# from the BM_*Schedule* microbenchmarks in bench_exp5_overhead.
+#
+# Usage:
+#   bench/run_scheduler_bench.sh [output.json]
+#
+# Expects build/bench/bench_exp5_overhead to exist (override with
+# $BENCH_BIN), i.e. run after:
+#   cmake -B build -S . && cmake --build build --target bench_exp5_overhead
+# or use the one-command wrapper target:
+#   cmake --build build --target schemble_bench_scheduler
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${1:-$ROOT/bench/BENCH_scheduler.json}"
+BIN="${BENCH_BIN:-$ROOT/build/bench/bench_exp5_overhead}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found/executable." >&2
+  echo "build it first: cmake --build build --target bench_exp5_overhead" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='Schedule' \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT" \
+  "${@:2}"
+
+echo "wrote $OUT"

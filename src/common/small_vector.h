@@ -1,0 +1,102 @@
+#ifndef SCHEMBLE_COMMON_SMALL_VECTOR_H_
+#define SCHEMBLE_COMMON_SMALL_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+/// Fixed-capacity vector with inline storage and no heap allocation,
+/// for hot paths that would otherwise pay one malloc per element array
+/// (e.g. the DP scheduler's per-solution model-load vectors). Restricted
+/// to trivially copyable element types so that whole-object copies are
+/// memcpy-cheap and instances can live in reusable flat arenas.
+template <typename T, int Capacity>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is for trivially copyable hot-path types");
+  static_assert(Capacity > 0, "SmallVector capacity must be positive");
+
+ public:
+  using value_type = T;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> init) {
+    SCHEMBLE_CHECK_LE(init.size(), static_cast<size_t>(Capacity));
+    for (const T& v : init) data_[size_++] = v;
+  }
+
+  static constexpr int capacity() { return Capacity; }
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push_back(const T& v) {
+    SCHEMBLE_DCHECK(size_ < Capacity);
+    data_[size_++] = v;
+  }
+  void pop_back() {
+    SCHEMBLE_DCHECK(size_ > 0);
+    --size_;
+  }
+  void clear() { size_ = 0; }
+
+  /// Replaces the contents with the first `n` elements at `src`.
+  void assign(const T* src, int n) {
+    SCHEMBLE_DCHECK(n >= 0 && n <= Capacity);
+    for (int i = 0; i < n; ++i) data_[i] = src[i];
+    size_ = n;
+  }
+
+  /// Grows (filling with `fill`) or shrinks to exactly `n` elements.
+  void resize(int n, const T& fill = T{}) {
+    SCHEMBLE_CHECK_LE(n, Capacity);
+    SCHEMBLE_CHECK_GE(n, 0);
+    // Re-clamp for the optimizer: the CHECKs above abort first, but the
+    // compiler cannot see that and warns about the unbounded fill loop.
+    const int bounded = n < Capacity ? n : Capacity;
+    for (int i = size_; i < bounded; ++i) data_[i] = fill;
+    size_ = bounded;
+  }
+
+  T& operator[](int i) {
+    SCHEMBLE_DCHECK(i >= 0 && i < size_);
+    return data_[i];
+  }
+  const T& operator[](int i) const {
+    SCHEMBLE_DCHECK(i >= 0 && i < size_);
+    return data_[i];
+  }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    if (a.size_ != b.size_) return false;
+    for (int i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  T data_[Capacity] = {};
+  int size_ = 0;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_COMMON_SMALL_VECTOR_H_

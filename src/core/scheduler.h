@@ -4,10 +4,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "core/profiling.h"
 #include "simcore/simulation.h"
 
 namespace schemble {
+
+/// Hard cap on ensemble size supported by the schedulers' inline load
+/// vectors. 2^m subset enumeration makes larger ensembles impractical long
+/// before this limit binds (m = 8 DP runs already take seconds); keeping
+/// the inline capacity tight keeps the solution arena cache-resident.
+inline constexpr int kMaxSchedulerModels = 8;
+
+/// Per-model next-free times stored inline (no heap) inside DP solutions.
+using LoadVector = SmallVector<SimTime, kMaxSchedulerModels>;
 
 /// One buffered query as the scheduler sees it.
 struct SchedulerQuery {
@@ -55,9 +65,27 @@ struct SchedulePlan {
 SimTime ApplySubset(SubsetMask subset, const std::vector<SimTime>& exec_time,
                     std::vector<SimTime>& avail);
 
+/// Fills work[mask] = total service time of `mask`'s models for every mask
+/// in [0, 2^m). Incremental over masks (O(2^m) adds), shared by both
+/// schedulers so the popcount-weighted sum is computed once per call.
+void ComputeSubsetWork(const std::vector<SimTime>& exec_time,
+                       std::vector<SimTime>& work);
+
 /// The paper's Alg. 1: dynamic programming over (queries x quantized
 /// utility) with per-cell Pareto pruning of model-load vectors, queries
 /// processed in EDF order (Theorems 1-2 justify the consistent EDF order).
+///
+/// This is the optimized hot path: all DP solutions live in a reusable flat
+/// workspace (load vectors inline via LoadVector, cells as fixed-size slot
+/// blocks in one arena), each query's subset transitions iterate a
+/// pre-filtered candidate list instead of all 2^m masks, and per-cell
+/// min/max total-load bounds early-out most dominance scans. Steady-state
+/// Schedule calls perform zero heap allocations in the DP transition loop
+/// (see WorkspaceStats). ReferenceDpScheduler retains the seed algorithm;
+/// in equivalence mode the optimized DP provably returns identical plans.
+///
+/// Not thread-safe: the workspace is per-instance; use one DpScheduler per
+/// thread.
 class DpScheduler {
  public:
   struct Options {
@@ -69,6 +97,21 @@ class DpScheduler {
     int max_queries = 24;
     /// Pareto-set cap per cell; overflow drops the largest total load.
     int max_solutions_per_cell = 8;
+    /// When true, candidate pre-filtering only applies drops that provably
+    /// cannot change the plan (deadline lower bounds), so Schedule returns
+    /// bit-identical plans to ReferenceDpScheduler. The default also drops
+    /// candidates whose proper subset has equal-or-higher utility, which
+    /// preserves achievable utility but may pick a different tie.
+    bool equivalence_mode = false;
+  };
+
+  /// Telemetry of the reusable scratch workspace. `grow_events` counts
+  /// buffer-capacity growths since construction: steady-state Schedule
+  /// calls (same or smaller instance shape) must not add any, which is the
+  /// zero-allocation invariant the equivalence test asserts.
+  struct WorkspaceStats {
+    int64_t grow_events = 0;
+    int64_t schedule_calls = 0;
   };
 
   DpScheduler() : options_(Options{}) {}
@@ -84,10 +127,86 @@ class DpScheduler {
   int64_t last_ops() const { return last_ops_; }
 
   const Options& options() const { return options_; }
+  const WorkspaceStats& workspace_stats() const { return ws_.stats; }
 
  private:
+  /// One pre-filtered subset transition for the current query.
+  struct Candidate {
+    SubsetMask mask = 0;
+    int du = 0;              // quantized utility gain
+    double raw_utility = 0.0;
+    SimTime work = 0;        // total service time of the mask
+  };
+
+  /// Reconstruction metadata of one DP solution. Kept out of the dominance
+  /// scan path on purpose: scans read only the parallel total/load arrays.
+  struct SlotMeta {
+    int parent_u = -1;       // utility index in the previous stage
+    int parent_sol = -1;     // solution index within that cell
+    SubsetMask subset = 0;   // subset chosen for the stage's query
+    SimTime completion = 0;
+  };
+
+  /// Pareto cell: a lazily activated block of max_solutions_per_cell + 1
+  /// slots. Deliberately tiny (8 bytes) so a whole DP stage's cell table
+  /// stays in a few cache lines.
+  struct Cell {
+    int begin = -1;          // slot index; -1 until first insertion
+    int count = 0;
+  };
+
+  /// DP solutions live in structure-of-arrays flat storage, reused across
+  /// Schedule calls: slot s holds its total load in slot_total[s], its m
+  /// per-model loads at slot_load[s * m] (runtime stride) and its
+  /// back-pointers in slot_meta[s]. Cells own lazily activated fixed-size
+  /// slot blocks, so the transition loop performs no heap allocation once
+  /// the buffers reach their high-water marks.
+  struct Workspace {
+    std::vector<SimTime> slot_total;
+    std::vector<SimTime> slot_load;
+    std::vector<SlotMeta> slot_meta;
+    int slots_used = 0;
+    std::vector<Cell> cells;
+    int cells_used = 0;
+    /// stage_begin[i] / stage_size[i]: cells of DP stage i (utility index
+    /// u lives at cells[stage_begin[i] + u]).
+    std::vector<int> stage_begin;
+    std::vector<int> stage_size;
+    std::vector<SimTime> mask_work;
+    std::vector<Candidate> candidates;
+    std::vector<const SchedulerQuery*> sorted;
+    WorkspaceStats stats;
+  };
+
+  /// The DP specialized on the model count: the per-load loops get
+  /// compile-time trip counts, which matters at this loop depth.
+  template <int M>
+  SchedulePlan ScheduleImpl(const std::vector<SchedulerQuery>& queries,
+                            const SchedulerEnv& env) const;
+  /// Pareto insertion into cells[cell_index], fused into a single pass
+  /// over the cell (dominance test, stable compaction and eviction
+  /// bookkeeping). In equivalence mode the pass replicates the seed's
+  /// insertion order exactly; otherwise it delegates to InsertSorted.
+  /// `trial` points at the candidate's M loads.
+  template <int M>
+  void InsertPruned(int cell_index, const SimTime* trial, SimTime total,
+                    SimTime completion, int parent_u, int parent_sol,
+                    SubsetMask subset) const;
+  /// Default-mode insertion keeping cell entries sorted by total load, so
+  /// each side of the scan needs one directional dominance compare and
+  /// eviction drops the (last) heaviest entry in O(1). Same Pareto set as
+  /// the seed order; only tie-breaking may differ.
+  template <int M>
+  void InsertSorted(Cell& cell, const SimTime* trial, SimTime total,
+                    SimTime completion, int parent_u, int parent_sol,
+                    SubsetMask subset) const;
+  void BuildCandidates(const SchedulerQuery& query, const SchedulerEnv& env,
+                       const SimTime* init_avail, SubsetMask full) const;
+  int ActivateCell(Cell& cell, int m) const;
+
   Options options_;
   mutable int64_t last_ops_ = 0;
+  mutable Workspace ws_;
 };
 
 /// Greedy baselines of Exp-4: fix an execution order, then give each query

@@ -1,0 +1,199 @@
+// Seed implementation of DpScheduler::Schedule, kept verbatim (modulo the
+// class name) as the reference for the equivalence tests and the "before"
+// benchmark baseline. Intentionally heap-heavy; do not optimize.
+
+#include "core/scheduler_reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+namespace {
+
+/// Per-cell solution: model-load vector plus back-pointers for plan
+/// reconstruction.
+struct DpSolution {
+  std::vector<SimTime> avail;
+  int parent_u = -1;     // utility index in the previous stage
+  int parent_sol = -1;   // solution index within that cell
+  SubsetMask subset = 0; // subset chosen for the stage's query
+  SimTime completion = 0;
+};
+
+bool Dominates(const std::vector<SimTime>& a, const std::vector<SimTime>& b) {
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k]) return false;
+  }
+  return true;
+}
+
+SimTime TotalLoad(const std::vector<SimTime>& avail) {
+  SimTime total = 0;
+  for (SimTime t : avail) total += t;
+  return total;
+}
+
+/// Inserts `candidate` into the cell keeping it Pareto-minimal and within
+/// the size cap.
+void InsertPruned(std::vector<DpSolution>& cell, DpSolution candidate,
+                  int cap) {
+  for (const DpSolution& existing : cell) {
+    if (Dominates(existing.avail, candidate.avail)) return;
+  }
+  cell.erase(std::remove_if(cell.begin(), cell.end(),
+                            [&](const DpSolution& existing) {
+                              return Dominates(candidate.avail,
+                                               existing.avail);
+                            }),
+             cell.end());
+  cell.push_back(std::move(candidate));
+  if (static_cast<int>(cell.size()) > cap) {
+    // Drop the entry with the largest total load.
+    size_t worst = 0;
+    SimTime worst_load = -1;
+    for (size_t i = 0; i < cell.size(); ++i) {
+      const SimTime load = TotalLoad(cell[i].avail);
+      if (load > worst_load) {
+        worst_load = load;
+        worst = i;
+      }
+    }
+    cell.erase(cell.begin() + worst);
+  }
+}
+
+std::vector<SimTime> ClampedAvail(const SchedulerEnv& env) {
+  std::vector<SimTime> avail(env.model_available_at.size());
+  for (size_t k = 0; k < avail.size(); ++k) {
+    avail[k] = std::max(env.model_available_at[k], env.now);
+  }
+  return avail;
+}
+
+std::vector<const SchedulerQuery*> SortQueriesEdf(
+    const std::vector<SchedulerQuery>& queries) {
+  std::vector<const SchedulerQuery*> sorted;
+  sorted.reserve(queries.size());
+  for (const auto& q : queries) sorted.push_back(&q);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SchedulerQuery* a, const SchedulerQuery* b) {
+              if (a->deadline != b->deadline) return a->deadline < b->deadline;
+              return a->id < b->id;  // stable tiebreak
+            });
+  return sorted;
+}
+
+}  // namespace
+
+SchedulePlan ReferenceDpScheduler::Schedule(
+    const std::vector<SchedulerQuery>& queries,
+    const SchedulerEnv& env) const {
+  last_ops_ = 0;
+  SchedulePlan plan;
+  if (queries.empty()) return plan;
+  const int m = env.num_models();
+  const SubsetMask full = FullMask(m);
+
+  std::vector<const SchedulerQuery*> sorted = SortQueriesEdf(queries);
+  // Queries beyond the window are deferred (subset 0) this round.
+  std::vector<const SchedulerQuery*> deferred;
+  if (static_cast<int>(sorted.size()) > options_.max_queries) {
+    deferred.assign(sorted.begin() + options_.max_queries, sorted.end());
+    sorted.resize(options_.max_queries);
+  }
+  const int n = static_cast<int>(sorted.size());
+
+  // Quantized utilities; total quantized reward <= n / delta.
+  const double delta = options_.delta;
+  SCHEMBLE_CHECK_GT(delta, 0.0);
+  const int max_u = static_cast<int>(std::ceil(n / delta)) + 1;
+
+  // stages[i][u] = Pareto set of load vectors after deciding queries 0..i-1
+  // with total quantized utility u.
+  std::vector<std::vector<std::vector<DpSolution>>> stages(n + 1);
+  stages[0].assign(1, {});
+  {
+    DpSolution init;
+    init.avail = ClampedAvail(env);
+    stages[0][0].push_back(std::move(init));
+  }
+
+  int reachable_u = 0;  // highest utility index reached in the last stage
+  for (int i = 0; i < n; ++i) {
+    const SchedulerQuery& query = *sorted[i];
+    SCHEMBLE_CHECK_EQ(query.utilities.size(), static_cast<size_t>(full) + 1);
+    const int prev_reachable = reachable_u;
+    const int stage_max_u =
+        std::min(max_u, prev_reachable + static_cast<int>(1.0 / delta) + 1);
+    stages[i + 1].assign(stage_max_u + 1, {});
+    for (int u = 0; u <= prev_reachable &&
+                    u < static_cast<int>(stages[i].size());
+         ++u) {
+      for (int s = 0; s < static_cast<int>(stages[i][u].size()); ++s) {
+        const DpSolution& sol = stages[i][u][s];
+        for (SubsetMask mask = 0; mask <= full; ++mask) {
+          ++last_ops_;
+          DpSolution next;
+          next.avail = sol.avail;
+          next.parent_u = u;
+          next.parent_sol = s;
+          next.subset = mask;
+          int nu = u;
+          if (mask != 0) {
+            next.completion =
+                ApplySubset(mask, env.model_exec_time, next.avail);
+            if (next.completion > query.deadline) continue;
+            nu = u + static_cast<int>(query.utilities[mask] / delta);
+          }
+          if (nu > stage_max_u) nu = stage_max_u;
+          InsertPruned(stages[i + 1][nu], std::move(next),
+                       options_.max_solutions_per_cell);
+          if (nu > reachable_u) reachable_u = nu;
+        }
+      }
+    }
+  }
+
+  // Best non-empty cell in the final stage.
+  int best_u = -1;
+  for (int u = static_cast<int>(stages[n].size()) - 1; u >= 0; --u) {
+    if (!stages[n][u].empty()) {
+      best_u = u;
+      break;
+    }
+  }
+  SCHEMBLE_CHECK_GE(best_u, 0);
+  // Among solutions of the best cell prefer the lightest load.
+  int best_sol = 0;
+  SimTime best_load = kSimTimeMax;
+  for (size_t s = 0; s < stages[n][best_u].size(); ++s) {
+    const SimTime load = TotalLoad(stages[n][best_u][s].avail);
+    if (load < best_load) {
+      best_load = load;
+      best_sol = static_cast<int>(s);
+    }
+  }
+
+  // Reconstruct decisions back to front.
+  plan.decisions.resize(n + deferred.size());
+  int u = best_u;
+  int s = best_sol;
+  for (int i = n; i >= 1; --i) {
+    const DpSolution& sol = stages[i][u][s];
+    plan.decisions[i - 1] = {sorted[i - 1]->id, sol.subset, sol.completion};
+    if (sol.subset != 0) {
+      plan.total_utility += sorted[i - 1]->utilities[sol.subset];
+    }
+    u = sol.parent_u;
+    s = sol.parent_sol;
+  }
+  for (size_t d = 0; d < deferred.size(); ++d) {
+    plan.decisions[n + d] = {deferred[d]->id, 0, 0};
+  }
+  return plan;
+}
+
+}  // namespace schemble

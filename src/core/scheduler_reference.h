@@ -1,0 +1,36 @@
+#ifndef SCHEMBLE_CORE_SCHEDULER_REFERENCE_H_
+#define SCHEMBLE_CORE_SCHEDULER_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace schemble {
+
+/// The pre-optimization DP scheduler, retained verbatim as the executable
+/// specification of Alg. 1. The optimized DpScheduler in equivalence mode
+/// must return bit-identical plans (tests/core/scheduler_equivalence_test),
+/// and this class is benchmarked as the "before" rows of
+/// bench/BENCH_scheduler.json. Do not optimize this code.
+class ReferenceDpScheduler {
+ public:
+  using Options = DpScheduler::Options;
+
+  ReferenceDpScheduler() : options_(Options{}) {}
+  explicit ReferenceDpScheduler(Options options) : options_(options) {}
+
+  SchedulePlan Schedule(const std::vector<SchedulerQuery>& queries,
+                        const SchedulerEnv& env) const;
+
+  int64_t last_ops() const { return last_ops_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  mutable int64_t last_ops_ = 0;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_CORE_SCHEDULER_REFERENCE_H_

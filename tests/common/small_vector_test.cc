@@ -1,0 +1,112 @@
+#include "common/small_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <type_traits>
+
+namespace schemble {
+namespace {
+
+using IntVec = SmallVector<int64_t, 4>;
+
+// Whole-object copies must stay memcpy-cheap: the DP scheduler relies on
+// this to keep solutions in a flat arena.
+static_assert(std::is_trivially_copyable_v<IntVec>);
+
+TEST(SmallVectorTest, StartsEmpty) {
+  IntVec v;
+  EXPECT_EQ(v.size(), 0);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(IntVec::capacity(), 4);
+}
+
+TEST(SmallVectorTest, PushBackAndIndex) {
+  IntVec v;
+  v.push_back(7);
+  v.push_back(11);
+  ASSERT_EQ(v.size(), 2);
+  EXPECT_FALSE(v.empty());
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[1], 11);
+  EXPECT_EQ(v.front(), 7);
+  EXPECT_EQ(v.back(), 11);
+  v[1] = 13;
+  EXPECT_EQ(v.back(), 13);
+}
+
+TEST(SmallVectorTest, InitializerList) {
+  IntVec v = {1, 2, 3};
+  ASSERT_EQ(v.size(), 3);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVectorTest, PopBackAndClear) {
+  IntVec v = {1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_EQ(v.back(), 2);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVectorTest, ResizeGrowsWithFillAndShrinks) {
+  IntVec v = {5};
+  v.resize(3, 9);
+  ASSERT_EQ(v.size(), 3);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[1], 9);
+  EXPECT_EQ(v[2], 9);
+  v.resize(1);
+  ASSERT_EQ(v.size(), 1);
+  EXPECT_EQ(v[0], 5);
+  // Default fill value is T{}.
+  v.resize(2);
+  EXPECT_EQ(v[1], 0);
+}
+
+TEST(SmallVectorTest, CopyIsIndependent) {
+  IntVec a = {1, 2};
+  IntVec b = a;
+  b[0] = 42;
+  b.push_back(3);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a.size(), 2);
+  EXPECT_EQ(b.size(), 3);
+}
+
+TEST(SmallVectorTest, Equality) {
+  IntVec a = {1, 2};
+  IntVec b = {1, 2};
+  IntVec c = {1, 3};
+  IntVec d = {1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(SmallVectorTest, IterationAndData) {
+  IntVec v = {1, 2, 3, 4};
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), int64_t{0}), 10);
+  const IntVec& cv = v;
+  EXPECT_EQ(std::accumulate(cv.begin(), cv.end(), int64_t{0}), 10);
+  EXPECT_EQ(v.data()[3], 4);
+}
+
+TEST(SmallVectorTest, FullToCapacity) {
+  IntVec v;
+  for (int i = 0; i < IntVec::capacity(); ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), IntVec::capacity());
+  EXPECT_EQ(v.back(), 3);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(SmallVectorDeathTest, ResizeBeyondCapacityChecks) {
+  IntVec v;
+  EXPECT_DEATH(v.resize(IntVec::capacity() + 1), "Check failed");
+}
+#endif
+
+}  // namespace
+}  // namespace schemble

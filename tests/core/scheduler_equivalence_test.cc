@@ -1,0 +1,212 @@
+// Randomized equivalence property tests for the optimized DpScheduler
+// against the retained seed algorithm (ReferenceDpScheduler):
+//   - in equivalence mode the optimized DP must return bit-identical plans
+//     (same subsets, same total_utility) on every seeded configuration;
+//   - in default mode (candidate dominance pruning on) total_utility must
+//     stay within the quantization slack of the reference;
+//   - every plan must replay feasibly against the environment;
+//   - steady-state Schedule calls must not grow the workspace (the
+//     zero-heap-allocation invariant of the DP transition loop).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/scheduler.h"
+#include "core/scheduler_reference.h"
+
+namespace schemble {
+namespace {
+
+struct Instance {
+  std::vector<SchedulerQuery> queries;
+  SchedulerEnv env;
+};
+
+std::vector<double> MonotoneUtilities(const std::vector<double>& p) {
+  const int m = static_cast<int>(p.size());
+  const SubsetMask full = FullMask(m);
+  std::vector<double> row(full + 1, 0.0);
+  for (SubsetMask mask = 1; mask <= full; ++mask) {
+    double miss = 1.0;
+    for (int k = 0; k < m; ++k) {
+      if (mask & (SubsetMask{1} << k)) miss *= 1.0 - p[k];
+    }
+    row[mask] = 1.0 - miss;
+  }
+  return row;
+}
+
+Instance MakeInstance(uint64_t seed, int n, int m) {
+  Rng rng(seed);
+  Instance inst;
+  inst.env.now = rng.UniformInt(0, 20);
+  for (int k = 0; k < m; ++k) {
+    inst.env.model_available_at.push_back(rng.UniformInt(0, 30));
+    inst.env.model_exec_time.push_back(rng.UniformInt(5, 30));
+  }
+  for (int i = 0; i < n; ++i) {
+    SchedulerQuery q;
+    q.id = i;
+    q.arrival = rng.UniformInt(0, 15);
+    // Mix of tight and loose deadlines so the candidate lower-bound filter
+    // actually fires on some queries.
+    q.deadline = inst.env.now + rng.UniformInt(10, 150);
+    q.predicted_score = rng.NextDouble();
+    std::vector<double> p(m);
+    for (double& v : p) v = rng.Uniform(0.3, 0.9);
+    q.utilities = MonotoneUtilities(p);
+    inst.queries.push_back(std::move(q));
+  }
+  return inst;
+}
+
+/// Replays a plan in its stated order and verifies every scheduled query
+/// completes by its deadline; returns the recomputed total utility.
+double VerifyPlanFeasible(const Instance& inst, const SchedulePlan& plan) {
+  std::vector<SimTime> avail = inst.env.model_available_at;
+  for (SimTime& t : avail) t = std::max(t, inst.env.now);
+  double utility = 0.0;
+  for (const ScheduleDecision& d : plan.decisions) {
+    if (d.subset == 0) continue;
+    const SchedulerQuery* query = nullptr;
+    for (const auto& q : inst.queries) {
+      if (q.id == d.query_id) query = &q;
+    }
+    EXPECT_NE(query, nullptr);
+    const SimTime completion =
+        ApplySubset(d.subset, inst.env.model_exec_time, avail);
+    EXPECT_LE(completion, query->deadline)
+        << "query " << d.query_id << " scheduled past its deadline";
+    EXPECT_EQ(completion, d.completion);
+    utility += query->utilities[d.subset];
+  }
+  return utility;
+}
+
+// (n, m, delta scaled by 1000, seed)
+class SchedulerEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+// The optimized DP in equivalence mode returns bit-identical plans to the
+// seed algorithm: same decision order, same subsets, same total utility.
+TEST_P(SchedulerEquivalenceTest, EquivalenceModeMatchesReferenceExactly) {
+  const auto [n, m, delta_milli, seed] = GetParam();
+  const Instance inst = MakeInstance(9000 + seed * 131 + n * 7 + m, n, m);
+  DpScheduler::Options options;
+  options.delta = delta_milli / 1000.0;
+  options.equivalence_mode = true;
+  DpScheduler dp(options);
+  ReferenceDpScheduler reference(options);
+  const SchedulePlan got = dp.Schedule(inst.queries, inst.env);
+  const SchedulePlan want = reference.Schedule(inst.queries, inst.env);
+  ASSERT_EQ(got.decisions.size(), want.decisions.size());
+  for (size_t i = 0; i < got.decisions.size(); ++i) {
+    EXPECT_EQ(got.decisions[i].query_id, want.decisions[i].query_id) << i;
+    EXPECT_EQ(got.decisions[i].subset, want.decisions[i].subset) << i;
+    EXPECT_EQ(got.decisions[i].completion, want.decisions[i].completion) << i;
+  }
+  EXPECT_DOUBLE_EQ(got.total_utility, want.total_utility);
+  const double replayed = VerifyPlanFeasible(inst, got);
+  EXPECT_NEAR(replayed, got.total_utility, 1e-9);
+}
+
+// Default mode prunes candidates dominated by one of their proper subsets,
+// which preserves the achievable quantized utility: with an eviction-free
+// Pareto cap the total can only differ by the per-query rounding slack.
+TEST_P(SchedulerEquivalenceTest, DefaultModeWithinQuantizationSlack) {
+  const auto [n, m, delta_milli, seed] = GetParam();
+  const Instance inst = MakeInstance(17000 + seed * 137 + n * 11 + m, n, m);
+  DpScheduler::Options options;
+  options.delta = delta_milli / 1000.0;
+  options.max_solutions_per_cell = 256;  // avoid cap-eviction noise
+  DpScheduler dp(options);
+  ReferenceDpScheduler reference(options);
+  const SchedulePlan got = dp.Schedule(inst.queries, inst.env);
+  const SchedulePlan want = reference.Schedule(inst.queries, inst.env);
+  const double slack = options.delta * n + 1e-9;
+  EXPECT_GE(got.total_utility, want.total_utility - slack);
+  EXPECT_LE(got.total_utility, want.total_utility + slack);
+  const double replayed = VerifyPlanFeasible(inst, got);
+  EXPECT_NEAR(replayed, got.total_utility, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, SchedulerEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8),  // queries
+                       ::testing::Values(2, 3, 4),           // models
+                       ::testing::Values(100, 20),           // delta * 1000
+                       ::testing::Values(1, 2, 3)),          // seeds
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "m" +
+             std::to_string(std::get<1>(info.param)) + "d" +
+             std::to_string(std::get<2>(info.param)) + "s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// Deferral path (more buffered queries than the DP window) is equivalent
+// too: the tail must come back as subset-0 decisions in both schedulers.
+TEST(SchedulerEquivalenceTest, DeferralTailMatchesReference) {
+  const Instance inst = MakeInstance(424242, /*n=*/12, /*m=*/3);
+  DpScheduler::Options options;
+  options.max_queries = 5;
+  options.equivalence_mode = true;
+  const SchedulePlan got =
+      DpScheduler(options).Schedule(inst.queries, inst.env);
+  const SchedulePlan want =
+      ReferenceDpScheduler(options).Schedule(inst.queries, inst.env);
+  ASSERT_EQ(got.decisions.size(), want.decisions.size());
+  for (size_t i = 0; i < got.decisions.size(); ++i) {
+    EXPECT_EQ(got.decisions[i].query_id, want.decisions[i].query_id);
+    EXPECT_EQ(got.decisions[i].subset, want.decisions[i].subset);
+  }
+  EXPECT_DOUBLE_EQ(got.total_utility, want.total_utility);
+}
+
+// The zero-allocation invariant: once a Schedule call has warmed the
+// workspace, repeating it (or running any same-or-smaller instance) must
+// not grow any internal buffer — i.e. the DP transition loop performs no
+// heap allocations in steady state.
+TEST(SchedulerWorkspaceTest, SteadyStateScheduleDoesNotGrowWorkspace) {
+  const Instance big = MakeInstance(77, /*n=*/10, /*m=*/4);
+  const Instance small = MakeInstance(78, /*n=*/4, /*m=*/3);
+  DpScheduler dp;
+  const SchedulePlan warm = dp.Schedule(big.queries, big.env);
+  EXPECT_FALSE(warm.decisions.empty());
+  const int64_t grown_after_warmup = dp.workspace_stats().grow_events;
+  EXPECT_GT(grown_after_warmup, 0);  // cold call did allocate
+
+  const SchedulePlan again = dp.Schedule(big.queries, big.env);
+  EXPECT_EQ(dp.workspace_stats().grow_events, grown_after_warmup)
+      << "repeat Schedule call grew the workspace";
+  EXPECT_DOUBLE_EQ(again.total_utility, warm.total_utility);
+
+  dp.Schedule(small.queries, small.env);
+  EXPECT_EQ(dp.workspace_stats().grow_events, grown_after_warmup)
+      << "smaller instance grew the workspace";
+  EXPECT_EQ(dp.workspace_stats().schedule_calls, 3);
+}
+
+// Workspace reuse across different instances never leaks state: scheduling
+// B after A gives the same plan as a fresh scheduler on B.
+TEST(SchedulerWorkspaceTest, ReuseDoesNotLeakStateAcrossInstances) {
+  const Instance a = MakeInstance(501, 8, 3);
+  const Instance b = MakeInstance(502, 6, 4);
+  DpScheduler reused;
+  reused.Schedule(a.queries, a.env);
+  const SchedulePlan warm = reused.Schedule(b.queries, b.env);
+  DpScheduler fresh;
+  const SchedulePlan cold = fresh.Schedule(b.queries, b.env);
+  ASSERT_EQ(warm.decisions.size(), cold.decisions.size());
+  for (size_t i = 0; i < warm.decisions.size(); ++i) {
+    EXPECT_EQ(warm.decisions[i].subset, cold.decisions[i].subset);
+  }
+  EXPECT_DOUBLE_EQ(warm.total_utility, cold.total_utility);
+}
+
+}  // namespace
+}  // namespace schemble
