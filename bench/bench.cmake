@@ -31,6 +31,11 @@ schemble_add_bench(bench_exp7_profiling_knn bench/bench_exp7_profiling_knn.cc be
 schemble_add_bench(bench_exp8_delta bench/bench_exp8_delta.cc bench/bench_util.cc)
 schemble_add_bench(bench_ext_large_ensemble bench/bench_ext_large_ensemble.cc bench/bench_util.cc)
 
+# Wall-clock runtime scaling (no google-benchmark: it measures whole-run
+# makespan across worker counts and enforces the >2x-at-4-workers bar).
+schemble_add_bench(bench_runtime bench/bench_runtime.cc)
+target_link_libraries(bench_runtime PRIVATE schemble_runtime)
+
 # `cmake --build build --target schemble_bench_scheduler` rebuilds the
 # scheduler microbenchmarks and regenerates the committed baseline
 # bench/BENCH_scheduler.json in one command.

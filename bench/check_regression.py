@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a pinned baseline.
+
+Usage:
+    bench/check_regression.py CURRENT.json [--baseline bench/BENCH_scheduler.json]
+                              [--threshold 2.5]
+
+For every benchmark name present in both files, the per-iteration cpu_time
+is compared. The check fails (exit 1) if any benchmark is more than
+`threshold` times slower than the baseline. A generous default threshold
+(2.5x) keeps the check insensitive to runner jitter and hardware deltas
+while still catching order-of-magnitude algorithmic regressions (e.g.
+losing the DP workspace reuse).
+
+Benchmarks only present in one file are reported but never fail the check,
+so adding or retiring benchmarks does not require touching the baseline in
+the same commit.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: cpu_time_us} for per-iteration entries in `path`."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}[unit]
+        out[bench["name"]] = bench["cpu_time"] * scale
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="benchmark JSON from this run")
+    parser.add_argument(
+        "--baseline",
+        default="bench/BENCH_scheduler.json",
+        help="pinned baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.5,
+        help="fail if cpu_time exceeds baseline by this factor "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        print("error: no benchmark names in common between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(name) for name in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in common:
+        base_us = baseline[name]
+        cur_us = current[name]
+        ratio = cur_us / base_us if base_us > 0 else float("inf")
+        flag = ""
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+            flag = "  <-- REGRESSION"
+        print(f"{name:<{width}}  {base_us:>10.1f}us  {cur_us:>10.1f}us  "
+              f"{ratio:>5.2f}x{flag}")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  (new, no baseline)")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<{width}}  (baseline only, not run)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold}x:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+
+    print(f"\nOK: {len(common)} benchmark(s) within {args.threshold}x "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,9 @@ class SampleSet {
   void EnsureSorted() const;
 
   std::vector<double> samples_;
+  /// Quantile() is const but lazily (re)builds this cache, so a SampleSet
+  /// must not be read from multiple threads concurrently; the concurrent
+  /// runtime only touches its metrics object after all workers joined.
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
 };

@@ -42,6 +42,8 @@ class Aggregator {
                                   const AggregatorConfig& config = {});
 
   /// Final output for `query` given that only the models in `executed` ran.
+  /// State-free const path (including KNN filling and the stacking meta-
+  /// classifier): safe to call from concurrent completion callbacks.
   /// `executed` must be non-empty.
   std::vector<double> Aggregate(const Query& query, SubsetMask executed) const;
 

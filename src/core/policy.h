@@ -68,9 +68,17 @@ struct PolicyOutput {
   SimTime overhead_us = 0;
 };
 
-/// Decision interface between the serving simulator and a selection/
+/// Decision interface between the serving drivers and a selection/
 /// scheduling strategy. The server owns queues, executors, aggregation and
 /// metrics; policies only decide which tasks run where and when.
+///
+/// Thread-safety contract: implementations may keep unguarded mutable
+/// state (score caches, DP workspaces); they need NOT be thread-safe.
+/// Both drivers honour this — the discrete-event EnsembleServer is
+/// single-threaded, and the ConcurrentServer serializes every policy call
+/// under its admission mutex. Objects a policy only reads (SyntheticTask,
+/// AccuracyProfile, Aggregator, DiscrepancyPredictor) expose const,
+/// state-free read paths that ARE safe to share across threads.
 class ServingPolicy {
  public:
   virtual ~ServingPolicy() = default;

@@ -20,6 +20,10 @@ SubsetMask FullMask(int num_models);
 /// discrepancy score and, per bucket, the agreement of every base-model
 /// combination with the full ensemble is measured. The scheduler reads this
 /// table as its reward function U(score, subset).
+///
+/// Immutable after Build; all const accessors are state-free and safe to
+/// call concurrently (the concurrent runtime shares one profile across
+/// its admission and worker threads).
 class AccuracyProfile {
  public:
   struct Options {

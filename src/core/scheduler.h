@@ -205,6 +205,10 @@ class DpScheduler {
   int ActivateCell(Cell& cell, int m) const;
 
   Options options_;
+  /// Schedule() is const but reuses this scratch state across calls, so a
+  /// DpScheduler instance must not be shared between threads (each
+  /// SchemblePolicy owns one; the concurrent runtime serializes policy
+  /// calls — see ServingPolicy's thread-safety contract).
   mutable int64_t last_ops_ = 0;
   mutable Workspace ws_;
 };

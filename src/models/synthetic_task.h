@@ -91,6 +91,11 @@ struct Query {
 /// Generator and scorer for one synthetic application: the base models, the
 /// reference (full-ensemble) aggregation, and the agreement metric used as
 /// "accuracy" throughout the evaluation.
+///
+/// Immutable after construction; every const method is a pure function of
+/// its arguments (generation re-derives per-query RNG state from the
+/// seed), so one task instance is safely shared across the concurrent
+/// runtime's threads.
 class SyntheticTask {
  public:
   SyntheticTask(TaskSpec spec, std::vector<ModelProfile> profiles,

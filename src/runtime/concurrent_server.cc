@@ -1,0 +1,439 @@
+#include "runtime/concurrent_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace schemble {
+namespace {
+
+/// Real-clock duration of `virtual_us` at the given speedup, clamped to at
+/// least one microsecond so waits always make progress.
+std::chrono::microseconds RealDuration(SimTime virtual_us, double speedup) {
+  const auto us = static_cast<int64_t>(
+      static_cast<double>(virtual_us) / speedup);
+  return std::chrono::microseconds(std::max<int64_t>(us, 1));
+}
+
+}  // namespace
+
+ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
+                                   ServingPolicy* policy,
+                                   ConcurrentServerOptions options)
+    : task_(&task), policy_(policy), options_(std::move(options)) {
+  SCHEMBLE_CHECK(policy_ != nullptr);
+  SCHEMBLE_CHECK_GT(options_.speedup, 0.0);
+  SCHEMBLE_CHECK_GT(options_.queue_capacity, 0);
+  if (options_.executor_models.empty()) {
+    for (int k = 0; k < task_->num_models(); ++k) {
+      options_.executor_models.push_back(k);
+    }
+  }
+  executors_ = std::vector<Executor>(options_.executor_models.size());
+  for (size_t e = 0; e < executors_.size(); ++e) {
+    const int model = options_.executor_models[e];
+    SCHEMBLE_CHECK_GE(model, 0);
+    SCHEMBLE_CHECK_LT(model, task_->num_models());
+    executors_[e].model = model;
+    executors_[e].queue = std::make_unique<MpmcQueue<Task>>(
+        static_cast<size_t>(options_.queue_capacity));
+  }
+}
+
+ConcurrentServer::~ConcurrentServer() {
+  // Run() joins everything before returning; nothing outlives it.
+  SCHEMBLE_CHECK(threads_.empty());
+}
+
+ServerView ConcurrentServer::BuildView() const {
+  ServerView view;
+  view.now = clock_->Now();
+  view.allow_rejection = options_.allow_rejection;
+  view.model_exec_time.resize(task_->num_models());
+  view.model_available_at.assign(task_->num_models(), kSimTimeMax);
+  for (int k = 0; k < task_->num_models(); ++k) {
+    view.model_exec_time[k] = task_->profile(k).latency_us;
+  }
+  for (size_t e = 0; e < executors_.size(); ++e) {
+    const Executor& ex = executors_[e];
+    const SimTime busy_until =
+        ex.busy.load(std::memory_order_acquire)
+            ? ex.busy_until.load(std::memory_order_acquire)
+            : view.now;
+    const int64_t queued = ex.queued.load(std::memory_order_acquire);
+    const SimTime available =
+        std::max(busy_until, view.now) +
+        queued * task_->profile(ex.model).latency_us;
+    view.executors.push_back({static_cast<int>(e), ex.model, available,
+                              static_cast<int>(queued)});
+    view.model_available_at[ex.model] =
+        std::min(view.model_available_at[ex.model], available);
+  }
+  return view;
+}
+
+void ConcurrentServer::CommitLocked(int index, SubsetMask subset) {
+  QueryState& state = states_[index];
+  SCHEMBLE_CHECK_EQ(state.assigned, 0u);
+  SCHEMBLE_CHECK_NE(subset, 0u);
+  state.assigned = subset;
+  if (state.buffered) {
+    state.buffered = false;
+    buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
+  }
+}
+
+void ConcurrentServer::EnqueueTasks(int index, SubsetMask subset) {
+  {
+    // Mirror the simulator: tasks for queries finalized while the commit
+    // was in flight (deadline during scheduler overhead) are dropped.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (states_[index].finalized) return;
+  }
+  const SimTime now = clock_->Now();
+  for (int k = 0; k < task_->num_models(); ++k) {
+    if (!(subset & (SubsetMask{1} << k))) continue;
+    int best = -1;
+    SimTime best_available = kSimTimeMax;
+    for (size_t e = 0; e < executors_.size(); ++e) {
+      const Executor& ex = executors_[e];
+      if (ex.model != k) continue;
+      const SimTime busy_until =
+          ex.busy.load(std::memory_order_acquire)
+              ? ex.busy_until.load(std::memory_order_acquire)
+              : now;
+      const SimTime available =
+          std::max(busy_until, now) +
+          ex.queued.load(std::memory_order_acquire) *
+              task_->profile(k).latency_us;
+      if (available < best_available) {
+        best_available = available;
+        best = static_cast<int>(e);
+      }
+    }
+    SCHEMBLE_CHECK_GE(best, 0) << "no executor deployed for model " << k;
+    executors_[best].queued.fetch_add(1, std::memory_order_acq_rel);
+    if (!executors_[best].queue->Push(Task{index})) {
+      // Queue closed: shutdown already decided, the task is moot.
+      executors_[best].queued.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+bool ConcurrentServer::ClaimFinalizeLocked(int index) {
+  QueryState& state = states_[index];
+  if (state.finalized) return false;
+  state.finalized = true;
+  if (state.buffered) {
+    state.buffered = false;
+    buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
+  }
+  ++finalized_count_;
+  if (finalized_count_ == static_cast<int64_t>(states_.size())) {
+    done_cv_.notify_all();
+  }
+  return true;
+}
+
+void ConcurrentServer::RecordFinalized(int index, SubsetMask outputs,
+                                       SimTime completion) {
+  const TracedQuery& tq = trace_->items[index];
+  const QueryOutcome outcome =
+      EvaluateCompletion(*task_, options_.aggregator, tq, outputs, completion,
+                         options_.allow_rejection);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  subset_size_counts_[static_cast<size_t>(outcome.subset_size)].fetch_add(
+      1, std::memory_order_relaxed);
+  const size_t segment =
+      static_cast<size_t>(tq.arrival_time / options_.segment_duration);
+  AtomicSegment& seg = segments_[segment];
+  seg.arrivals.fetch_add(1, std::memory_order_relaxed);
+  if (outcome.processed) {
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    seg.processed.fetch_add(1, std::memory_order_relaxed);
+    accuracy_sum_.fetch_add(outcome.match, std::memory_order_relaxed);
+    processed_accuracy_sum_.fetch_add(outcome.match,
+                                      std::memory_order_relaxed);
+    seg.accuracy_sum.fetch_add(outcome.match, std::memory_order_relaxed);
+    seg.latency_ms_sum.fetch_add(outcome.latency_ms,
+                                 std::memory_order_relaxed);
+    seg.subset_size_sum.fetch_add(outcome.subset_size,
+                                  std::memory_order_relaxed);
+    latency_slots_[static_cast<size_t>(index)] = outcome.latency_ms;
+  }
+  if (outcome.missed) {
+    missed_.fetch_add(1, std::memory_order_relaxed);
+    seg.missed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ConcurrentServer::NotifyScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scheduler_signal_ = true;
+  }
+  scheduler_cv_.notify_one();
+}
+
+void ConcurrentServer::AdmissionLoop() {
+  const SimTime processing_delay = policy_->ArrivalProcessingDelay();
+  for (size_t i = 0; i < trace_->items.size(); ++i) {
+    const int index = static_cast<int>(i);
+    const TracedQuery& tq = trace_->items[i];
+    clock_->SleepUntil(tq.arrival_time + processing_delay);
+
+    std::pair<int, SubsetMask> to_enqueue{-1, 0};
+    int reject_index = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) break;
+      if (states_[index].finalized) continue;  // deadline beat the predictor
+      const ServerView view = BuildView();
+      const ArrivalDecision decision = policy_->OnArrival(tq, view);
+      switch (decision.action) {
+        case ArrivalDecision::Action::kAssign:
+          SCHEMBLE_CHECK_NE(decision.subset, 0u);
+          CommitLocked(index, decision.subset);
+          to_enqueue = {index, decision.subset};
+          break;
+        case ArrivalDecision::Action::kReject:
+          if (ClaimFinalizeLocked(index)) reject_index = index;
+          break;
+        case ArrivalDecision::Action::kBuffer:
+          states_[index].buffered = true;
+          buffer_.push_back(index);
+          break;
+      }
+    }
+    if (to_enqueue.first >= 0) {
+      EnqueueTasks(to_enqueue.first, to_enqueue.second);
+    }
+    if (reject_index >= 0) {
+      RecordFinalized(reject_index, 0, clock_->Now());
+    }
+    NotifyScheduler();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    arrivals_done_ = true;
+  }
+  NotifyScheduler();
+}
+
+void ConcurrentServer::SchedulerLoop() {
+  while (true) {
+    std::vector<std::pair<int, SubsetMask>> commits;
+    SimTime overhead = 0;
+    bool idle_and_stuck = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      scheduler_cv_.wait(lock, [&] { return scheduler_signal_ || shutdown_; });
+      if (shutdown_) return;
+      scheduler_signal_ = false;
+      if (buffer_.empty()) continue;
+      const ServerView view = BuildView();
+      bool any_idle = false;
+      for (const ExecutorView& ex : view.executors) {
+        if (ex.available_at <= view.now) {
+          any_idle = true;
+          break;
+        }
+      }
+      if (!any_idle) continue;
+      std::vector<const TracedQuery*> pointers;
+      pointers.reserve(buffer_.size());
+      for (int index : buffer_) pointers.push_back(&trace_->items[index]);
+      const PolicyOutput output = policy_->OnIdle(view, pointers);
+      for (const BufferedAssignment& assignment : output.assignments) {
+        auto it = id_to_index_.find(assignment.query_id);
+        SCHEMBLE_CHECK(it != id_to_index_.end());
+        SCHEMBLE_CHECK_NE(assignment.subset, 0u);
+        CommitLocked(it->second, assignment.subset);
+        commits.emplace_back(it->second, assignment.subset);
+      }
+      overhead = output.overhead_us;
+      idle_and_stuck = commits.empty() && arrivals_done_ && !buffer_.empty();
+    }
+    if (!commits.empty()) {
+      // The simulator charges scheduling overhead by delaying the
+      // dispatched tasks' start; here the scheduler thread pays it in
+      // (scaled) wall-clock time before enqueueing.
+      if (overhead > 0) clock_->SleepFor(overhead);
+      for (const auto& [index, subset] : commits) {
+        EnqueueTasks(index, subset);
+      }
+    } else if (idle_and_stuck && !options_.allow_rejection) {
+      // Force mode has no deadline thread to finalize abandoned queries;
+      // a policy that leaves the buffer untouched forever would hang the
+      // run. The simulator CHECK-fails the equivalent state at drain time.
+      SCHEMBLE_LOG(kError) << "policy left " << buffer_.size()
+                          << " buffered queries with idle executors in "
+                             "force mode";
+    }
+  }
+}
+
+void ConcurrentServer::DeadlineLoop() {
+  // Deadlines are known up front; walk them in order, sleeping on the
+  // shared mutex's condition variable so shutdown can interrupt the wait.
+  std::vector<std::pair<SimTime, int>> deadlines;
+  deadlines.reserve(trace_->items.size());
+  for (size_t i = 0; i < trace_->items.size(); ++i) {
+    deadlines.emplace_back(trace_->items[i].deadline, static_cast<int>(i));
+  }
+  std::sort(deadlines.begin(), deadlines.end());
+
+  size_t next = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_ && next < deadlines.size()) {
+    const auto [when, index] = deadlines[next];
+    const SimTime now = clock_->Now();
+    if (now < when) {
+      deadline_cv_.wait_for(lock, RealDuration(when - now, options_.speedup));
+      continue;
+    }
+    ++next;
+    if (!ClaimFinalizeLocked(index)) continue;
+    const QueryState& state = states_[index];
+    const SubsetMask outputs = state.done;
+    const SimTime completion =
+        outputs != 0 ? state.last_done_time : clock_->Now();
+    lock.unlock();
+    RecordFinalized(index, outputs, completion);
+    lock.lock();
+  }
+}
+
+void ConcurrentServer::WorkerLoop(int executor_id) {
+  Executor& ex = executors_[executor_id];
+  const ModelProfile& profile = task_->profile(ex.model);
+  Rng rng(HashSeed("worker", options_.seed + executor_id));
+  while (true) {
+    std::optional<Task> task = ex.queue->Pop();
+    if (!task.has_value()) return;  // closed and drained: shutdown
+    ex.queued.fetch_sub(1, std::memory_order_acq_rel);
+
+    const double factor =
+        std::max(0.2, 1.0 + profile.latency_jitter * rng.Normal());
+    const SimTime service = static_cast<SimTime>(
+        static_cast<double>(profile.latency_us) * factor);
+    const SimTime start = clock_->Now();
+    ex.busy_until.store(start + service, std::memory_order_release);
+    ex.busy.store(true, std::memory_order_release);
+    if (options_.service_mode ==
+        ConcurrentServerOptions::ServiceMode::kSleep) {
+      clock_->SleepUntil(start + service);
+    } else {
+      // Host-bound inference: burn CPU until the service interval passes.
+      volatile double sink = 0.0;
+      while (clock_->Now() < start + service) {
+        double acc = sink;
+        for (int it = 0; it < 256; ++it) acc += std::sqrt(acc + it);
+        sink = acc;
+      }
+    }
+    ex.busy.store(false, std::memory_order_release);
+
+    const int index = task->query_index;
+    bool claimed = false;
+    SubsetMask outputs = 0;
+    SimTime completion = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      QueryState& state = states_[index];
+      if (!state.finalized) {
+        state.done |= SubsetMask{1} << ex.model;
+        state.last_done_time = clock_->Now();
+        if (state.done == state.assigned) {
+          claimed = ClaimFinalizeLocked(index);
+          outputs = state.done;
+          completion = state.last_done_time;
+        }
+      }
+    }
+    if (claimed) RecordFinalized(index, outputs, completion);
+    NotifyScheduler();
+  }
+}
+
+ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
+  SCHEMBLE_CHECK(!ran_) << "ConcurrentServer::Run is one-shot";
+  ran_ = true;
+  trace_ = &trace;
+  const size_t n = trace.items.size();
+  states_.assign(n, QueryState{});
+  buffer_.clear();
+  id_to_index_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    id_to_index_[trace.items[i].query.id] = static_cast<int>(i);
+  }
+  SimTime horizon = 0;
+  for (const TracedQuery& tq : trace.items) {
+    horizon = std::max(horizon, tq.arrival_time);
+  }
+  segments_ = std::vector<AtomicSegment>(
+      static_cast<size_t>(horizon / options_.segment_duration) + 1);
+  subset_size_counts_ = std::vector<std::atomic<int64_t>>(
+      static_cast<size_t>(task_->num_models()) + 1);
+  latency_slots_.assign(n, std::numeric_limits<double>::quiet_NaN());
+  finalized_count_ = 0;
+
+  clock_ = std::make_unique<SteadyClock>(options_.speedup);
+  threads_.emplace_back([this] { AdmissionLoop(); });
+  threads_.emplace_back([this] { SchedulerLoop(); });
+  if (options_.allow_rejection) {
+    threads_.emplace_back([this] { DeadlineLoop(); });
+  }
+  for (int e = 0; e < num_executors(); ++e) {
+    threads_.emplace_back([this, e] { WorkerLoop(e); });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return finalized_count_ == static_cast<int64_t>(states_.size());
+    });
+    shutdown_ = true;
+  }
+  scheduler_cv_.notify_all();
+  deadline_cv_.notify_all();
+  for (Executor& ex : executors_) ex.queue->Close();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+
+  ServingMetrics metrics;
+  metrics.total = total_.load();
+  metrics.processed = processed_.load();
+  metrics.missed = missed_.load();
+  metrics.accuracy_sum = accuracy_sum_.load();
+  metrics.processed_accuracy_sum = processed_accuracy_sum_.load();
+  size_t max_size = 0;
+  for (size_t s = 0; s < subset_size_counts_.size(); ++s) {
+    if (subset_size_counts_[s].load() > 0) max_size = s;
+  }
+  metrics.subset_size_counts.resize(max_size + 1);
+  for (size_t s = 0; s <= max_size; ++s) {
+    metrics.subset_size_counts[s] = subset_size_counts_[s].load();
+  }
+  metrics.latency_ms.Reserve(n);
+  for (double latency : latency_slots_) {
+    if (!std::isnan(latency)) metrics.latency_ms.Add(latency);
+  }
+  metrics.segments.resize(segments_.size());
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    SegmentStats& seg = metrics.segments[s];
+    seg.arrivals = segments_[s].arrivals.load();
+    seg.processed = segments_[s].processed.load();
+    seg.missed = segments_[s].missed.load();
+    seg.subset_size_sum = segments_[s].subset_size_sum.load();
+    seg.accuracy_sum = segments_[s].accuracy_sum.load();
+    seg.latency_ms_sum = segments_[s].latency_ms_sum.load();
+  }
+  return metrics;
+}
+
+}  // namespace schemble

@@ -1,0 +1,184 @@
+#ifndef SCHEMBLE_RUNTIME_CONCURRENT_SERVER_H_
+#define SCHEMBLE_RUNTIME_CONCURRENT_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aggregation.h"
+#include "core/policy.h"
+#include "models/synthetic_task.h"
+#include "runtime/mpmc_queue.h"
+#include "serving/completion.h"
+#include "serving/metrics.h"
+#include "simcore/clock.h"
+#include "workload/trace.h"
+
+namespace schemble {
+
+struct ConcurrentServerOptions {
+  /// One entry per deployed executor: the base-model index it serves. An
+  /// empty list deploys exactly one executor per base model, matching the
+  /// discrete-event ServerOptions default.
+  std::vector<int> executor_models;
+  /// Rejection mode drops queries whose deadline passes with no output;
+  /// force mode processes everything and reports lateness.
+  bool allow_rejection = true;
+  SimTime segment_duration = 60 * kSecond;
+  /// Optional aggregation module; null uses the task's reference weighted
+  /// average. Must be thread-safe (const, state-free — see completion.h).
+  const Aggregator* aggregator = nullptr;
+  uint64_t seed = 97;
+  /// Virtual microseconds per real microsecond of the run's SteadyClock: a
+  /// 60-virtual-second trace replays in 60/speedup real seconds. Model
+  /// "inference" consumes virtual service time, so higher speedups
+  /// compress the run without changing queueing behaviour.
+  double speedup = 1.0;
+  /// Bounded capacity of each executor's task queue; dispatching threads
+  /// block (no spinning) when an executor falls this far behind.
+  int queue_capacity = 4096;
+  /// How workers consume a task's service time. kSleep blocks on the OS
+  /// timer (models accelerator-offloaded inference; scales past the host
+  /// core count). kSpin burns CPU for the duration (models host-bound
+  /// inference; scales only with real cores).
+  enum class ServiceMode { kSleep, kSpin };
+  ServiceMode service_mode = ServiceMode::kSleep;
+};
+
+/// Wall-clock, multi-threaded counterpart of the discrete-event
+/// EnsembleServer: same ServingPolicy decision interface, same
+/// EvaluateCompletion aggregation/accuracy path, same ServingMetrics
+/// output, but real concurrency — per-executor worker threads pulling
+/// from bounded MPMC queues, an admission thread replaying trace arrivals,
+/// a scheduler thread draining the central query buffer whenever an
+/// executor goes idle, and (in rejection mode) a deadline thread
+/// finalizing overdue queries with whatever outputs completed.
+///
+/// Threading model:
+///  - All policy calls (OnArrival / OnIdle) and query-state transitions
+///    are serialized under one mutex, so policies keep the single-threaded
+///    contract they were written against (DpScheduler's mutable workspace
+///    in particular).
+///  - Task execution, aggregation and metric recording run outside that
+///    mutex; metrics feed std::atomic counters (the mutex-free fast path),
+///    and each query's latency sample is written to its own slot.
+///  - All blocking is condition-variable/timer based; nothing spins.
+class ConcurrentServer {
+ public:
+  ConcurrentServer(const SyntheticTask& task, ServingPolicy* policy,
+                   ConcurrentServerOptions options);
+  ~ConcurrentServer();
+
+  ConcurrentServer(const ConcurrentServer&) = delete;
+  ConcurrentServer& operator=(const ConcurrentServer&) = delete;
+
+  /// Replays `trace` against a fresh SteadyClock and blocks until every
+  /// query is finalized. One-shot, like EnsembleServer::Run
+  /// (CHECK-enforced).
+  ServingMetrics Run(const QueryTrace& trace);
+
+  int num_executors() const { return static_cast<int>(executors_.size()); }
+
+ private:
+  /// Per-query task; executed by the worker owning `executor`.
+  struct Task {
+    int query_index = 0;
+  };
+
+  struct Executor {
+    int model = 0;
+    std::unique_ptr<MpmcQueue<Task>> queue;
+    /// Virtual time when the in-flight task (if any) finishes; 0 if idle.
+    std::atomic<SimTime> busy_until{0};
+    std::atomic<bool> busy{false};
+    std::atomic<int64_t> queued{0};
+  };
+
+  struct QueryState {
+    SubsetMask assigned = 0;
+    SubsetMask done = 0;
+    bool buffered = false;
+    bool finalized = false;
+    SimTime last_done_time = 0;
+  };
+
+  /// Per-segment metric cells updated lock-free from completion callbacks.
+  struct AtomicSegment {
+    std::atomic<int64_t> arrivals{0};
+    std::atomic<int64_t> processed{0};
+    std::atomic<int64_t> missed{0};
+    std::atomic<int64_t> subset_size_sum{0};
+    std::atomic<double> accuracy_sum{0.0};
+    std::atomic<double> latency_ms_sum{0.0};
+  };
+
+  void AdmissionLoop();
+  void SchedulerLoop();
+  void DeadlineLoop();
+  void WorkerLoop(int executor_id);
+
+  /// Builds the policy's server view; requires mu_.
+  ServerView BuildView() const;
+  /// Marks `subset` assigned and removes the query from the buffer;
+  /// requires mu_. Tasks are enqueued by the caller outside the lock.
+  void CommitLocked(int index, SubsetMask subset);
+  /// Pushes the query's tasks onto the least-loaded executor of each
+  /// member model. Blocks when queues are full; must not hold mu_.
+  void EnqueueTasks(int index, SubsetMask subset);
+  /// Claims finalization under mu_; returns false if already finalized.
+  bool ClaimFinalizeLocked(int index);
+  /// Aggregates, scores and records one finalized query. Must not hold
+  /// mu_. `outputs == 0` records a miss.
+  void RecordFinalized(int index, SubsetMask outputs, SimTime completion);
+  void NotifyScheduler();
+
+  const SyntheticTask* task_;
+  ServingPolicy* policy_;
+  ConcurrentServerOptions options_;
+  std::vector<Executor> executors_;
+  std::unordered_map<int64_t, int> id_to_index_;
+
+  std::unique_ptr<SteadyClock> clock_;
+  const QueryTrace* trace_ = nullptr;
+
+  /// Guards policy calls, states_, buffer_ (see class comment).
+  std::mutex mu_;
+  std::vector<QueryState> states_;
+  std::vector<int> buffer_;  // query indices in arrival order
+  bool arrivals_done_ = false;
+
+  /// Scheduler wakeup: completions/arrivals set the flag and notify.
+  std::condition_variable scheduler_cv_;
+  /// Interrupts the deadline thread's timed waits at shutdown.
+  std::condition_variable deadline_cv_;
+  bool scheduler_signal_ = false;
+  bool shutdown_ = false;
+
+  /// Completion tracking: Run() waits until every query is finalized.
+  std::condition_variable done_cv_;
+  int64_t finalized_count_ = 0;
+
+  /// Metrics fast path (no mutex): totals, per-segment cells, per-query
+  /// latency slots (NaN = not processed), subset-size histogram.
+  std::atomic<int64_t> total_{0};
+  std::atomic<int64_t> processed_{0};
+  std::atomic<int64_t> missed_{0};
+  std::atomic<double> accuracy_sum_{0.0};
+  std::atomic<double> processed_accuracy_sum_{0.0};
+  std::vector<AtomicSegment> segments_;
+  std::vector<std::atomic<int64_t>> subset_size_counts_;
+  std::vector<double> latency_slots_;
+
+  std::vector<std::thread> threads_;
+  bool ran_ = false;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_RUNTIME_CONCURRENT_SERVER_H_

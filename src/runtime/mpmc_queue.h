@@ -1,0 +1,121 @@
+#ifndef SCHEMBLE_RUNTIME_MPMC_QUEUE_H_
+#define SCHEMBLE_RUNTIME_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+/// Bounded multi-producer/multi-consumer queue over a fixed ring buffer.
+/// All blocking is condition-variable based (no spinning): producers block
+/// while full, consumers block while empty. `Close` wakes every waiter;
+/// after close, pushes fail and pops drain the remaining items before
+/// reporting exhaustion. Safe for any number of concurrent producers and
+/// consumers.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity) : ring_(capacity) {
+    SCHEMBLE_CHECK_GT(capacity, 0u);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks until space frees up; returns false (dropping `value`) when the
+  /// queue is closed before space is available.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return size_ < ring_.size() || closed_; });
+    if (closed_) return false;
+    PushLocked(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ == ring_.size()) return false;
+      PushLocked(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives; nullopt once the queue is closed and
+  /// drained (the consumer-side shutdown signal).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    T value = PopLocked();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty.
+  std::optional<T> TryPop() {
+    std::optional<T> value;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (size_ == 0) return std::nullopt;
+      value = PopLocked();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Irreversibly stops accepting new items and wakes all blocked threads.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+  size_t capacity() const { return ring_.size(); }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  void PushLocked(T value) {
+    ring_[(head_ + size_) % ring_.size()] = std::move(value);
+    ++size_;
+  }
+  T PopLocked() {
+    T value = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    return value;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_RUNTIME_MPMC_QUEUE_H_

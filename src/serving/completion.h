@@ -1,0 +1,48 @@
+#ifndef SCHEMBLE_SERVING_COMPLETION_H_
+#define SCHEMBLE_SERVING_COMPLETION_H_
+
+#include "core/aggregation.h"
+#include "core/profiling.h"
+#include "serving/metrics.h"
+#include "simcore/simulation.h"
+#include "workload/trace.h"
+
+namespace schemble {
+
+/// Scored result of one finished (or missed) query. Produced by
+/// EvaluateCompletion; consumed by the discrete-event server's metric
+/// bookkeeping and by the concurrent runtime's atomic recorder, so both
+/// execution engines share a single aggregation/accuracy code path.
+struct QueryOutcome {
+  SubsetMask outputs = 0;
+  int subset_size = 0;
+  /// Agreement with the full ensemble's output; 0 when missed.
+  double match = 0.0;
+  double latency_ms = 0.0;
+  bool processed = false;
+  bool missed = false;
+};
+
+/// Aggregates whatever model outputs completed for `tq` and scores the
+/// result. `outputs == 0` means nothing finished by the deadline (a miss).
+/// When `aggregator` is null the task's reference weighted average is
+/// used. In force mode (`allow_rejection == false`) a query is processed
+/// *and* counted as missed when it finished after its deadline.
+///
+/// Thread-safety: pure function of its arguments; `task` and `aggregator`
+/// are only read through const, state-free paths, so concurrent calls from
+/// worker threads are safe.
+QueryOutcome EvaluateCompletion(const SyntheticTask& task,
+                                const Aggregator* aggregator,
+                                const TracedQuery& tq, SubsetMask outputs,
+                                SimTime completion, bool allow_rejection);
+
+/// Applies `outcome` to the aggregate metrics and the arrival-time segment
+/// window. Not thread-safe; the concurrent runtime keeps its own atomic
+/// counters and converts at the end of a run.
+void RecordOutcome(const QueryOutcome& outcome, const TracedQuery& tq,
+                   SimTime segment_duration, ServingMetrics* metrics);
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_SERVING_COMPLETION_H_

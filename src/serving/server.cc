@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "serving/completion.h"
 
 namespace schemble {
 
@@ -229,47 +230,10 @@ void EnsembleServer::Finalize(int index, SubsetMask outputs,
   SCHEMBLE_CHECK(!state.finalized);
   state.finalized = true;
 
-  const size_t segment =
-      static_cast<size_t>(tq.arrival_time / options_.segment_duration);
-  if (segment >= metrics_.segments.size()) {
-    metrics_.segments.resize(segment + 1);
-  }
-  SegmentStats& seg = metrics_.segments[segment];
-  ++metrics_.total;
-  ++seg.arrivals;
-  const size_t size = static_cast<size_t>(SubsetSize(outputs));
-  if (metrics_.subset_size_counts.size() <= size) {
-    metrics_.subset_size_counts.resize(size + 1, 0);
-  }
-  ++metrics_.subset_size_counts[size];
-
-  if (outputs == 0) {
-    ++metrics_.missed;
-    ++seg.missed;
-    return;
-  }
-  std::vector<double> result;
-  if (options_.aggregator != nullptr) {
-    result = options_.aggregator->Aggregate(tq.query, outputs);
-  } else {
-    result = task_->AggregateSubset(tq.query, SubsetModels(outputs));
-  }
-  const double match = task_->MatchScore(result, tq.query.ensemble_output);
-  const double latency_ms = SimTimeToMillis(completion - tq.arrival_time);
-  const bool miss =
-      options_.allow_rejection ? false : completion > tq.deadline;
-  ++metrics_.processed;
-  ++seg.processed;
-  metrics_.processed_accuracy_sum += match;
-  metrics_.accuracy_sum += match;
-  seg.accuracy_sum += match;
-  metrics_.latency_ms.Add(latency_ms);
-  seg.latency_ms_sum += latency_ms;
-  seg.subset_size_sum += SubsetSize(outputs);
-  if (miss) {
-    ++metrics_.missed;
-    ++seg.missed;
-  }
+  const QueryOutcome outcome =
+      EvaluateCompletion(*task_, options_.aggregator, tq, outputs, completion,
+                         options_.allow_rejection);
+  RecordOutcome(outcome, tq, options_.segment_duration, &metrics_);
 }
 
 }  // namespace schemble

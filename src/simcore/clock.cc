@@ -1,0 +1,62 @@
+#include "simcore/clock.h"
+
+#include <thread>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+SteadyClock::SteadyClock(double speedup)
+    : epoch_(std::chrono::steady_clock::now()), speedup_(speedup) {
+  SCHEMBLE_CHECK_GT(speedup_, 0.0);
+}
+
+SimTime SteadyClock::Now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  return static_cast<SimTime>(static_cast<double>(us) * speedup_);
+}
+
+void SteadyClock::SleepUntil(SimTime when) {
+  // Convert the virtual deadline back to a real instant and block on the
+  // OS timer; no polling. A loop guards against early wakeups and the
+  // double rounding at high speedups.
+  while (true) {
+    const SimTime now = Now();
+    if (now >= when) return;
+    const auto real_us = static_cast<int64_t>(
+        static_cast<double>(when - now) / speedup_);
+    std::this_thread::sleep_for(std::chrono::microseconds(real_us + 1));
+  }
+}
+
+SimTime ManualClock::Now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void ManualClock::SleepUntil(SimTime when) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return now_ >= when; });
+}
+
+void ManualClock::AdvanceTo(SimTime when) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SCHEMBLE_CHECK_GE(when, now_);
+    now_ = when;
+  }
+  cv_.notify_all();
+}
+
+void ManualClock::Advance(SimTime delta) {
+  SCHEMBLE_CHECK_GE(delta, 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += delta;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace schemble

@@ -1,0 +1,76 @@
+#ifndef SCHEMBLE_SIMCORE_CLOCK_H_
+#define SCHEMBLE_SIMCORE_CLOCK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "simcore/simulation.h"
+
+namespace schemble {
+
+/// Source of virtual time (SimTime microseconds) for components that must
+/// run both under the deterministic discrete-event simulator and on real
+/// hardware. The discrete-event `Simulation` keeps its own logical clock
+/// (events never sleep); `Clock` serves the thread-based runtime, where
+/// real threads block until a virtual instant passes.
+///
+/// Thread-safety contract: `Now` and `SleepUntil` may be called from any
+/// thread concurrently.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current virtual time.
+  virtual SimTime Now() const = 0;
+
+  /// Blocks the calling thread until `Now() >= when`. Returns immediately
+  /// when `when` is already in the past.
+  virtual void SleepUntil(SimTime when) = 0;
+
+  /// Blocks for `duration` of virtual time from now.
+  void SleepFor(SimTime duration) { SleepUntil(Now() + duration); }
+};
+
+/// Wall-clock time source backed by std::chrono::steady_clock. Virtual
+/// time advances `speedup` microseconds per real microsecond elapsed since
+/// construction, so a trace spanning 60 virtual seconds replays in 60/s
+/// real seconds. speedup == 1 is real time.
+class SteadyClock final : public Clock {
+ public:
+  explicit SteadyClock(double speedup = 1.0);
+
+  SimTime Now() const override;
+  void SleepUntil(SimTime when) override;
+
+  double speedup() const { return speedup_; }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  double speedup_;
+};
+
+/// Manually advanced clock for deterministic unit tests of blocking
+/// runtime components: `SleepUntil` blocks on a condition variable until a
+/// controlling thread calls `AdvanceTo`/`Advance` far enough.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(SimTime start = 0) : now_(start) {}
+
+  SimTime Now() const override;
+  void SleepUntil(SimTime when) override;
+
+  /// Moves time forward and wakes every sleeper whose deadline passed.
+  /// Time never moves backwards (CHECK-enforced).
+  void AdvanceTo(SimTime when);
+  void Advance(SimTime delta);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  SimTime now_ = 0;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_SIMCORE_CLOCK_H_

@@ -1,0 +1,85 @@
+#include "simcore/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace schemble {
+namespace {
+
+TEST(SteadyClockTest, AdvancesMonotonically) {
+  SteadyClock clock;
+  const SimTime a = clock.Now();
+  const SimTime b = clock.Now();
+  EXPECT_GE(b, a);
+}
+
+TEST(SteadyClockTest, SleepUntilReachesDeadline) {
+  SteadyClock clock(1.0);
+  const SimTime target = clock.Now() + 2 * kMillisecond;
+  clock.SleepUntil(target);
+  EXPECT_GE(clock.Now(), target);
+}
+
+TEST(SteadyClockTest, SleepUntilPastReturnsImmediately) {
+  SteadyClock clock;
+  clock.SleepFor(kMillisecond);
+  const SimTime before = clock.Now();
+  clock.SleepUntil(0);
+  // No sleep happened: well under a millisecond elapsed.
+  EXPECT_LT(clock.Now() - before, kMillisecond);
+}
+
+TEST(SteadyClockTest, SpeedupCompressesRealTime) {
+  // 100 virtual ms at 100x elapses in ~1 real ms.
+  SteadyClock wall(1.0);
+  SteadyClock fast(100.0);
+  const SimTime real_before = wall.Now();
+  fast.SleepFor(100 * kMillisecond);
+  const SimTime real_elapsed = wall.Now() - real_before;
+  EXPECT_LT(real_elapsed, 50 * kMillisecond);
+  EXPECT_GE(fast.Now(), 100 * kMillisecond);
+}
+
+TEST(ManualClockTest, StartsAtConfiguredTime) {
+  ManualClock clock(5 * kSecond);
+  EXPECT_EQ(clock.Now(), 5 * kSecond);
+  clock.Advance(kSecond);
+  EXPECT_EQ(clock.Now(), 6 * kSecond);
+}
+
+TEST(ManualClockTest, SleepUntilBlocksUntilAdvanced) {
+  ManualClock clock;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.SleepUntil(10 * kMillisecond);
+    woke.store(true);
+  });
+  // Not enough: the sleeper must still be blocked.
+  clock.AdvanceTo(9 * kMillisecond);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(woke.load());
+  clock.AdvanceTo(10 * kMillisecond);
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ManualClockTest, AdvanceWakesAllSleepers) {
+  ManualClock clock;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> sleepers;
+  for (int i = 1; i <= 4; ++i) {
+    sleepers.emplace_back([&, i] {
+      clock.SleepUntil(i * kMillisecond);
+      woke.fetch_add(1);
+    });
+  }
+  clock.AdvanceTo(4 * kMillisecond);
+  for (std::thread& t : sleepers) t.join();
+  EXPECT_EQ(woke.load(), 4);
+}
+
+}  // namespace
+}  // namespace schemble

@@ -1,0 +1,233 @@
+#include "runtime/concurrent_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "baselines/original_policy.h"
+#include "core/discrepancy.h"
+#include "core/schemble_policy.h"
+#include "models/task_factory.h"
+#include "workload/trace.h"
+#include "workload/traffic.h"
+
+// Sanitizer instrumentation slows every thread 2-20x, so wall-clock
+// quality numbers (miss rates, latency-dependent accuracy) are
+// meaningless there; those assertions are gated on this flag while the
+// structural invariants always hold.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define SCHEMBLE_SANITIZED_BUILD 1
+#endif
+#elif defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define SCHEMBLE_SANITIZED_BUILD 1
+#endif
+
+namespace schemble {
+namespace {
+
+#ifdef SCHEMBLE_SANITIZED_BUILD
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+
+/// Sanity invariants every run must satisfy regardless of thread timing.
+void CheckInvariants(const ServingMetrics& metrics, const QueryTrace& trace) {
+  EXPECT_EQ(metrics.total, trace.size());
+  const int64_t size_count_total =
+      std::accumulate(metrics.subset_size_counts.begin(),
+                      metrics.subset_size_counts.end(), int64_t{0});
+  EXPECT_EQ(size_count_total, metrics.total);
+  int64_t seg_arrivals = 0;
+  int64_t seg_processed = 0;
+  int64_t seg_missed = 0;
+  for (const SegmentStats& seg : metrics.segments) {
+    seg_arrivals += seg.arrivals;
+    seg_processed += seg.processed;
+    seg_missed += seg.missed;
+  }
+  EXPECT_EQ(seg_arrivals, metrics.total);
+  EXPECT_EQ(seg_processed, metrics.processed);
+  EXPECT_EQ(seg_missed, metrics.missed);
+  EXPECT_EQ(metrics.latency_ms.count(),
+            static_cast<int64_t>(metrics.processed));
+}
+
+class ConcurrentServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    task_ = std::make_unique<SyntheticTask>(MakeTextMatchingTask(3));
+  }
+
+  QueryTrace MakeTrace(double rate, SimTime duration, SimTime deadline,
+                       uint64_t seed = 11) {
+    PoissonTraffic traffic(rate);
+    ConstantDeadline deadlines(deadline);
+    TraceOptions options;
+    options.seed = seed;
+    return BuildTrace(*task_, traffic, deadlines, duration, options);
+  }
+
+  std::unique_ptr<SyntheticTask> task_;
+};
+
+TEST_F(ConcurrentServerTest, LightLoadOriginalServesEverything) {
+  OriginalPolicy policy;
+  ConcurrentServerOptions options;
+  options.speedup = 50.0;
+  ConcurrentServer server(*task_, &policy, options);
+  // 2 qps against a 50 ms ensemble with roomy 2 s deadlines: the only
+  // nondeterminism is OS timer slop, which the deadline dwarfs.
+  const QueryTrace trace = MakeTrace(2.0, 20 * kSecond, 2 * kSecond);
+  const ServingMetrics metrics = server.Run(trace);
+  CheckInvariants(metrics, trace);
+  if (!kSanitized) {
+    EXPECT_EQ(metrics.missed, 0);
+    EXPECT_NEAR(metrics.accuracy(), 1.0, 1e-9);
+    // Full ensemble on every query.
+    EXPECT_EQ(metrics.subset_size_counts.back(), trace.size());
+  }
+}
+
+TEST_F(ConcurrentServerTest, ForceModeProcessesEverything) {
+  OriginalPolicy policy;
+  ConcurrentServerOptions options;
+  options.allow_rejection = false;
+  options.speedup = 100.0;
+  ConcurrentServer server(*task_, &policy, options);
+  const QueryTrace trace = MakeTrace(5.0, 10 * kSecond, 10 * kSecond);
+  const ServingMetrics metrics = server.Run(trace);
+  CheckInvariants(metrics, trace);
+  EXPECT_EQ(metrics.processed, trace.size());
+  if (!kSanitized) EXPECT_EQ(metrics.missed, 0);
+}
+
+TEST_F(ConcurrentServerTest, OverloadDropsQueriesInRejectionMode) {
+  OriginalPolicy policy;
+  ConcurrentServerOptions options;
+  options.speedup = 100.0;
+  ConcurrentServer server(*task_, &policy, options);
+  // 35 qps >> the ~20 qps bottleneck capacity of the slowest model.
+  const QueryTrace trace = MakeTrace(35.0, 20 * kSecond, 100 * kMillisecond);
+  const ServingMetrics metrics = server.Run(trace);
+  CheckInvariants(metrics, trace);
+  EXPECT_GT(metrics.deadline_miss_rate(), 0.1);
+  // Whatever completed in full agrees with the ensemble.
+  EXPECT_GT(metrics.processed_accuracy(), 0.8);
+}
+
+TEST_F(ConcurrentServerTest, ReplicasIncreaseThroughput) {
+  // Two servers under identical overload; the one with doubled executors
+  // should process (strictly) more queries.
+  const QueryTrace trace = MakeTrace(35.0, 20 * kSecond, 200 * kMillisecond);
+  OriginalPolicy policy_a;
+  ConcurrentServerOptions base;
+  base.speedup = 100.0;
+  ConcurrentServer narrow(*task_, &policy_a, base);
+  const ServingMetrics narrow_metrics = narrow.Run(trace);
+
+  OriginalPolicy policy_b;
+  ConcurrentServerOptions wide = base;
+  wide.executor_models = {0, 0, 1, 1, 2, 2};
+  ConcurrentServer doubled(*task_, &policy_b, wide);
+  const ServingMetrics wide_metrics = doubled.Run(trace);
+
+  CheckInvariants(narrow_metrics, trace);
+  CheckInvariants(wide_metrics, trace);
+  EXPECT_GT(wide_metrics.processed, narrow_metrics.processed);
+  EXPECT_LT(wide_metrics.deadline_miss_rate(),
+            narrow_metrics.deadline_miss_rate());
+}
+
+class ConcurrentSchembleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    task_ = std::make_unique<SyntheticTask>(MakeTextMatchingTask(3));
+    history_ = task_->GenerateDataset(
+        2000, DifficultyDistribution::UniformFull(), 5);
+    auto scorer = DiscrepancyScorer::Fit(*task_, history_);
+    ASSERT_TRUE(scorer.ok());
+    scorer_ = std::make_unique<DiscrepancyScorer>(std::move(scorer).value());
+    const auto scores = scorer_->ScoreAll(history_);
+    auto profile = AccuracyProfile::Build(*task_, history_, scores);
+    ASSERT_TRUE(profile.ok());
+    profile_ = std::make_unique<AccuracyProfile>(std::move(profile).value());
+  }
+
+  SchemblePolicy MakeOraclePolicy(SchembleConfig config = {}) const {
+    config.score_source = ScoreSource::kOracle;
+    return SchemblePolicy(*task_, *profile_, nullptr, scorer_.get(),
+                          std::move(config));
+  }
+
+  std::unique_ptr<SyntheticTask> task_;
+  std::vector<Query> history_;
+  std::unique_ptr<DiscrepancyScorer> scorer_;
+  std::unique_ptr<AccuracyProfile> profile_;
+};
+
+TEST_F(ConcurrentSchembleTest, BufferedPolicyDrainsThroughScheduler) {
+  SchemblePolicy policy = MakeOraclePolicy();
+  ConcurrentServerOptions options;
+  options.speedup = 100.0;
+  ConcurrentServer server(*task_, &policy, options);
+  PoissonTraffic traffic(30.0);
+  ConstantDeadline deadlines(300 * kMillisecond);
+  TraceOptions trace_options;
+  trace_options.seed = 13;
+  const QueryTrace trace =
+      BuildTrace(*task_, traffic, deadlines, 20 * kSecond, trace_options);
+  const ServingMetrics metrics = server.Run(trace);
+  CheckInvariants(metrics, trace);
+  // Under this load queries queue up, so the DP scheduler must have run
+  // and the policy should keep most queries within deadline.
+  EXPECT_GT(policy.scheduler_runs(), 0);
+  if (!kSanitized) {
+    EXPECT_GT(metrics.accuracy(), 0.5);
+    EXPECT_LT(metrics.deadline_miss_rate(), 0.5);
+  }
+}
+
+/// The TSan target: eight workers over the six-model CIFAR100-style
+/// ensemble (extra replicas on the first two models), bursty arrivals,
+/// the full Schemble policy with its DP scheduler, rejection mode with
+/// tight deadlines — every thread in the runtime (admission, scheduler,
+/// deadline, workers) active at once.
+TEST_F(ConcurrentSchembleTest, StressManyWorkersBurstyTraffic) {
+  SyntheticTask task = MakeCifar100StyleTask();
+  const auto history =
+      task.GenerateDataset(2000, DifficultyDistribution::UniformFull(), 5);
+  auto scorer = DiscrepancyScorer::Fit(task, history);
+  ASSERT_TRUE(scorer.ok());
+  const DiscrepancyScorer oracle = std::move(scorer).value();
+  auto profile = AccuracyProfile::Build(task, history,
+                                        oracle.ScoreAll(history));
+  ASSERT_TRUE(profile.ok());
+  SchembleConfig config;
+  config.score_source = ScoreSource::kOracle;
+  SchemblePolicy policy(task, profile.value(), nullptr, &oracle,
+                        std::move(config));
+
+  ConcurrentServerOptions options;
+  options.executor_models = {0, 1, 2, 3, 4, 5, 0, 1};
+  options.speedup = 400.0;
+  options.queue_capacity = 64;
+  ConcurrentServer server(task, &policy, options);
+
+  PoissonTraffic traffic(120.0);
+  ConstantDeadline deadlines(250 * kMillisecond);
+  TraceOptions trace_options;
+  trace_options.seed = 29;
+  const QueryTrace trace =
+      BuildTrace(task, traffic, deadlines, 25 * kSecond, trace_options);
+  ASSERT_GT(trace.size(), 2000);
+
+  const ServingMetrics metrics = server.Run(trace);
+  CheckInvariants(metrics, trace);
+  EXPECT_GT(metrics.processed, 0);
+}
+
+}  // namespace
+}  // namespace schemble

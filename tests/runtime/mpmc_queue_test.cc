@@ -1,0 +1,118 @@
+#include "runtime/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace schemble {
+namespace {
+
+TEST(MpmcQueueTest, FifoSingleThread) {
+  MpmcQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_TRUE(queue.Push(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), 3);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(MpmcQueueTest, TryOpsRespectBounds) {
+  MpmcQueue<int> queue(2);
+  EXPECT_EQ(queue.TryPop(), std::nullopt);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full
+  EXPECT_EQ(queue.TryPop(), 1);
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.TryPop(), 2);
+  EXPECT_EQ(queue.TryPop(), 3);
+}
+
+TEST(MpmcQueueTest, WrapsAroundRing) {
+  MpmcQueue<int> queue(3);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(queue.Push(round));
+    EXPECT_TRUE(queue.Push(round + 100));
+    EXPECT_EQ(queue.Pop(), round);
+    EXPECT_EQ(queue.Pop(), round + 100);
+  }
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedConsumer) {
+  MpmcQueue<int> queue(1);
+  std::thread consumer([&] { EXPECT_EQ(queue.Pop(), std::nullopt); });
+  queue.Close();
+  consumer.join();
+  EXPECT_FALSE(queue.Push(7));
+  EXPECT_FALSE(queue.TryPush(7));
+}
+
+TEST(MpmcQueueTest, CloseDrainsRemainingItems) {
+  MpmcQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(MpmcQueueTest, BlockedProducerResumesAfterPop) {
+  MpmcQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.Pop(), 2);
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumersPreserveItems) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  // Tiny capacity forces constant blocking on both sides.
+  MpmcQueue<int> queue(8);
+  std::atomic<int64_t> consumed_sum{0};
+  std::atomic<int64_t> consumed_count{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.Pop()) {
+        consumed_sum.fetch_add(*item);
+        consumed_count.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+
+  const int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), n);
+  EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace schemble

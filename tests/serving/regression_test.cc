@@ -1,0 +1,162 @@
+// End-to-end golden regression test: runs the discrete-event EnsembleServer
+// with fixed seeds and pins the resulting metrics — totals and the full
+// per-segment series — to exact values. Its purpose is to make refactors of
+// the serving/aggregation path (e.g. the shared EvaluateCompletion split
+// introduced with the concurrent runtime) provably behaviour-preserving.
+//
+// To regenerate the goldens after an *intentional* behaviour change, run
+//   SCHEMBLE_REGEN_GOLDEN=1 ./tests/serving_test \
+//     --gtest_filter='ServingRegressionTest.*'
+// and paste the printed block. Builds use -ffp-contract=off, so the values
+// are bit-stable across optimization levels and compilers on one
+// architecture.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "baselines/original_policy.h"
+#include "core/discrepancy.h"
+#include "core/schemble_policy.h"
+#include "models/task_factory.h"
+#include "serving/server.h"
+#include "workload/trace.h"
+#include "workload/traffic.h"
+
+namespace schemble {
+namespace {
+
+void MaybePrintGoldens(const char* name, const ServingMetrics& m) {
+  if (std::getenv("SCHEMBLE_REGEN_GOLDEN") == nullptr) return;
+  std::printf("// goldens for %s\n", name);
+  std::printf("EXPECT_EQ(metrics.total, %lld);\n",
+              static_cast<long long>(m.total));
+  std::printf("EXPECT_EQ(metrics.processed, %lld);\n",
+              static_cast<long long>(m.processed));
+  std::printf("EXPECT_EQ(metrics.missed, %lld);\n",
+              static_cast<long long>(m.missed));
+  std::printf("EXPECT_NEAR(metrics.accuracy_sum, %.12f, 1e-9);\n",
+              m.accuracy_sum);
+  std::printf("EXPECT_NEAR(metrics.mean_latency_ms(), %.12f, 1e-9);\n",
+              m.mean_latency_ms());
+  std::printf("ASSERT_EQ(metrics.segments.size(), %lluu);\n",
+              static_cast<unsigned long long>(m.segments.size()));
+  for (size_t s = 0; s < m.segments.size(); ++s) {
+    const SegmentStats& seg = m.segments[s];
+    std::printf(
+        "// segment %llu\n"
+        "EXPECT_EQ(metrics.segments[%llu].arrivals, %lld);\n"
+        "EXPECT_EQ(metrics.segments[%llu].missed, %lld);\n"
+        "EXPECT_NEAR(metrics.segments[%llu].accuracy(), %.12f, 1e-9);\n"
+        "EXPECT_NEAR(metrics.segments[%llu].mean_subset_size(), %.12f, "
+        "1e-9);\n",
+        static_cast<unsigned long long>(s),
+        static_cast<unsigned long long>(s),
+        static_cast<long long>(seg.arrivals),
+        static_cast<unsigned long long>(s),
+        static_cast<long long>(seg.missed),
+        static_cast<unsigned long long>(s), seg.accuracy(),
+        static_cast<unsigned long long>(s), seg.mean_subset_size());
+  }
+}
+
+class ServingRegressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    task_ = std::make_unique<SyntheticTask>(MakeTextMatchingTask());
+  }
+
+  QueryTrace MakeTrace() const {
+    PoissonTraffic traffic(30.0);
+    ConstantDeadline deadlines(150 * kMillisecond);
+    TraceOptions options;
+    options.seed = 17;
+    return BuildTrace(*task_, traffic, deadlines, 20 * kSecond, options);
+  }
+
+  std::unique_ptr<SyntheticTask> task_;
+};
+
+TEST_F(ServingRegressionTest, OriginalPolicyMetricsArePinned) {
+  OriginalPolicy policy;
+  ServerOptions options;
+  options.segment_duration = 5 * kSecond;
+  EnsembleServer server(*task_, &policy, options);
+  const ServingMetrics metrics = server.Run(MakeTrace());
+  MaybePrintGoldens("OriginalPolicyMetricsArePinned", metrics);
+
+  EXPECT_EQ(metrics.total, 592);
+  EXPECT_EQ(metrics.processed, 378);
+  EXPECT_EQ(metrics.missed, 214);
+  EXPECT_NEAR(metrics.accuracy_sum, 377.000000000000, 1e-9);
+  EXPECT_NEAR(metrics.mean_latency_ms(), 109.484798941799, 1e-9);
+  ASSERT_EQ(metrics.segments.size(), 4u);
+  EXPECT_EQ(metrics.segments[0].arrivals, 149);
+  EXPECT_EQ(metrics.segments[0].missed, 53);
+  EXPECT_NEAR(metrics.segments[0].accuracy(), 0.644295302013, 1e-9);
+  EXPECT_NEAR(metrics.segments[0].mean_subset_size(), 2.989583333333, 1e-9);
+  EXPECT_EQ(metrics.segments[1].arrivals, 157);
+  EXPECT_EQ(metrics.segments[1].missed, 64);
+  EXPECT_NEAR(metrics.segments[1].accuracy(), 0.592356687898, 1e-9);
+  EXPECT_NEAR(metrics.segments[1].mean_subset_size(), 2.989247311828, 1e-9);
+  EXPECT_EQ(metrics.segments[2].arrivals, 139);
+  EXPECT_EQ(metrics.segments[2].missed, 45);
+  EXPECT_NEAR(metrics.segments[2].accuracy(), 0.669064748201, 1e-9);
+  EXPECT_NEAR(metrics.segments[2].mean_subset_size(), 2.989361702128, 1e-9);
+  EXPECT_EQ(metrics.segments[3].arrivals, 147);
+  EXPECT_EQ(metrics.segments[3].missed, 52);
+  EXPECT_NEAR(metrics.segments[3].accuracy(), 0.646258503401, 1e-9);
+  EXPECT_NEAR(metrics.segments[3].mean_subset_size(), 2.989473684211, 1e-9);
+}
+
+TEST_F(ServingRegressionTest, SchembleOracleMetricsArePinned) {
+  const auto history =
+      task_->GenerateDataset(2000, DifficultyDistribution::UniformFull(), 5);
+  auto scorer_result = DiscrepancyScorer::Fit(*task_, history);
+  ASSERT_TRUE(scorer_result.ok());
+  const DiscrepancyScorer scorer = std::move(scorer_result).value();
+  auto profile_result =
+      AccuracyProfile::Build(*task_, history, scorer.ScoreAll(history));
+  ASSERT_TRUE(profile_result.ok());
+
+  SchembleConfig config;
+  config.score_source = ScoreSource::kOracle;
+  SchemblePolicy policy(*task_, profile_result.value(), nullptr, &scorer,
+                        std::move(config));
+  ServerOptions options;
+  options.segment_duration = 5 * kSecond;
+  EnsembleServer server(*task_, &policy, options);
+  const ServingMetrics metrics = server.Run(MakeTrace());
+  MaybePrintGoldens("SchembleOracleMetricsArePinned", metrics);
+
+  // Schemble's difficulty-dependent scheduling shows up directly in the
+  // goldens: 2 misses vs Original's 214, and the mean executed subset
+  // shrinks from the full 3 models to ~1.7.
+  EXPECT_EQ(metrics.total, 592);
+  EXPECT_EQ(metrics.processed, 590);
+  EXPECT_EQ(metrics.missed, 2);
+  EXPECT_NEAR(metrics.accuracy_sum, 589.000000000000, 1e-9);
+  EXPECT_NEAR(metrics.mean_latency_ms(), 87.988244067797, 1e-9);
+  ASSERT_EQ(metrics.segments.size(), 4u);
+  EXPECT_EQ(metrics.segments[0].arrivals, 149);
+  EXPECT_EQ(metrics.segments[0].missed, 0);
+  EXPECT_NEAR(metrics.segments[0].accuracy(), 0.993288590604, 1e-9);
+  EXPECT_NEAR(metrics.segments[0].mean_subset_size(), 1.664429530201, 1e-9);
+  EXPECT_EQ(metrics.segments[1].arrivals, 157);
+  EXPECT_EQ(metrics.segments[1].missed, 2);
+  EXPECT_NEAR(metrics.segments[1].accuracy(), 0.987261146497, 1e-9);
+  EXPECT_NEAR(metrics.segments[1].mean_subset_size(), 1.683870967742, 1e-9);
+  EXPECT_EQ(metrics.segments[2].arrivals, 139);
+  EXPECT_EQ(metrics.segments[2].missed, 0);
+  EXPECT_NEAR(metrics.segments[2].accuracy(), 1.000000000000, 1e-9);
+  EXPECT_NEAR(metrics.segments[2].mean_subset_size(), 1.733812949640, 1e-9);
+  EXPECT_EQ(metrics.segments[3].arrivals, 147);
+  EXPECT_EQ(metrics.segments[3].missed, 0);
+  EXPECT_NEAR(metrics.segments[3].accuracy(), 1.000000000000, 1e-9);
+  EXPECT_NEAR(metrics.segments[3].mean_subset_size(), 1.632653061224, 1e-9);
+}
+
+}  // namespace
+}  // namespace schemble
