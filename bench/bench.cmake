@@ -36,6 +36,10 @@ schemble_add_bench(bench_ext_large_ensemble bench/bench_ext_large_ensemble.cc be
 schemble_add_bench(bench_runtime bench/bench_runtime.cc)
 target_link_libraries(bench_runtime PRIVATE schemble_runtime)
 
+# Numeric-kernel microbenchmarks (flat KNN vs reference, MLP train step);
+# baseline pinned in bench/BENCH_nn.json via bench/run_nn_bench.sh.
+schemble_add_bench(bench_nn bench/bench_nn.cc)
+
 # `cmake --build build --target schemble_bench_scheduler` rebuilds the
 # scheduler microbenchmarks and regenerates the committed baseline
 # bench/BENCH_scheduler.json in one command.
@@ -45,4 +49,13 @@ add_custom_target(schemble_bench_scheduler
   DEPENDS bench_exp5_overhead
   WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
   COMMENT "Running scheduler benchmarks -> bench/BENCH_scheduler.json"
+  VERBATIM)
+
+# Same one-command wrapper for the numeric-kernel baseline.
+add_custom_target(schemble_bench_nn
+  COMMAND ${CMAKE_COMMAND} -E env BENCH_BIN=$<TARGET_FILE:bench_nn>
+          ${CMAKE_SOURCE_DIR}/bench/run_nn_bench.sh
+  DEPENDS bench_nn
+  WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+  COMMENT "Running numeric-kernel benchmarks -> bench/BENCH_nn.json"
   VERBATIM)

@@ -1,0 +1,156 @@
+// Numeric-kernel microbenchmarks: the flat allocation-free KnnIndex
+// (query + batched fill) against the retained ReferenceKnnIndex, and the
+// MLP train step on the allocation-free ApplyInto path. The committed
+// baseline bench/BENCH_nn.json (see bench/run_nn_bench.sh) pins these
+// series; CI's bench smoke reruns them through bench/check_regression.py.
+//
+// Args convention for the KNN series: {N records, dim, k}.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/knn.h"
+#include "nn/knn_reference.h"
+#include "nn/mlp.h"
+
+using namespace schemble;
+
+namespace {
+
+constexpr int kFillBatch = 64;
+
+std::vector<std::vector<double>> MakeRecords(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> records(n, std::vector<double>(dim));
+  for (auto& r : records) {
+    for (double& v : r) v = rng.Normal();
+  }
+  return records;
+}
+
+/// Every other dimension observed; KNN fills the odd ones.
+std::vector<bool> AlternatingMask(int dim) {
+  std::vector<bool> mask(dim);
+  for (int d = 0; d < dim; ++d) mask[d] = (d % 2) == 0;
+  return mask;
+}
+
+void BM_KnnQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  auto index = KnnIndex::Build(MakeRecords(n, dim, 101)).value();
+  const auto points = MakeRecords(kFillBatch, dim, 102);
+  const std::vector<bool> mask = AlternatingMask(dim);
+  KnnIndex::Workspace ws;
+  std::vector<KnnIndex::Neighbor> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    index.QueryInto(points[i], mask, k, &ws, &out);
+    benchmark::DoNotOptimize(out.data());
+    i = (i + 1) % points.size();
+  }
+}
+BENCHMARK(BM_KnnQuery)
+    ->Args({500, 8, 10})
+    ->Args({2000, 8, 10})
+    ->Args({2000, 16, 10})
+    ->Args({8000, 8, 10});
+
+void BM_KnnQueryReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  auto index = ReferenceKnnIndex::Build(MakeRecords(n, dim, 101)).value();
+  const auto points = MakeRecords(kFillBatch, dim, 102);
+  const std::vector<bool> mask = AlternatingMask(dim);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Query(points[i], mask, k));
+    i = (i + 1) % points.size();
+  }
+}
+BENCHMARK(BM_KnnQueryReference)
+    ->Args({500, 8, 10})
+    ->Args({2000, 8, 10})
+    ->Args({2000, 16, 10})
+    ->Args({8000, 8, 10});
+
+// One iteration = one 64-point batch; items/s reports per-point rate. The
+// issue bar: the {2000, 8, 10} point must run >= 3x faster than
+// BM_KnnFillBatchReference at the same shape.
+void BM_KnnFillBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  auto index = KnnIndex::Build(MakeRecords(n, dim, 103)).value();
+  const auto points = MakeRecords(kFillBatch, dim, 104);
+  const std::vector<bool> mask = AlternatingMask(dim);
+  KnnIndex::Workspace ws;
+  std::vector<std::vector<double>> outs;
+  for (auto _ : state) {
+    index.FillMissingBatch(points, mask, k, &ws, &outs);
+    benchmark::DoNotOptimize(outs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kFillBatch);
+}
+BENCHMARK(BM_KnnFillBatch)
+    ->Args({500, 8, 10})
+    ->Args({2000, 8, 10})
+    ->Args({2000, 16, 10})
+    ->Args({8000, 8, 10});
+
+void BM_KnnFillBatchReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  auto index = ReferenceKnnIndex::Build(MakeRecords(n, dim, 103)).value();
+  const auto points = MakeRecords(kFillBatch, dim, 104);
+  const std::vector<bool> mask = AlternatingMask(dim);
+  for (auto _ : state) {
+    for (const auto& p : points) {
+      benchmark::DoNotOptimize(index.FillMissing(p, mask, k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kFillBatch);
+}
+BENCHMARK(BM_KnnFillBatchReference)
+    ->Args({500, 8, 10})
+    ->Args({2000, 8, 10})
+    ->Args({2000, 16, 10})
+    ->Args({8000, 8, 10});
+
+// One iteration = ForwardCached + Backward + SGD on one example, the unit
+// of work every predictor/meta-classifier epoch repeats. Args: {input,
+// hidden, output} widths (single hidden layer, the library's shape).
+void BM_MlpTrainStep(benchmark::State& state) {
+  MlpConfig config;
+  config.layer_sizes = {static_cast<int>(state.range(0)),
+                        static_cast<int>(state.range(1)),
+                        static_cast<int>(state.range(2))};
+  Mlp mlp(config, 7);
+  MlpForwardCache cache;
+  MlpGradients grads = mlp.InitGradients();
+  Rng rng(105);
+  std::vector<double> input(config.layer_sizes.front());
+  for (double& v : input) v = rng.Normal();
+  std::vector<double> dloss(config.layer_sizes.back());
+  for (auto _ : state) {
+    const std::vector<double>& out = mlp.ForwardCached(input, &cache);
+    for (size_t i = 0; i < dloss.size(); ++i) dloss[i] = out[i] - 0.5;
+    grads.Reset();
+    mlp.Backward(cache, dloss, &grads);
+    mlp.ApplySgd(grads, 1e-3);
+    benchmark::DoNotOptimize(mlp.weights().data());
+  }
+}
+BENCHMARK(BM_MlpTrainStep)
+    ->Args({16, 32, 3})
+    ->Args({18, 64, 8})
+    ->Args({64, 128, 8});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -29,6 +29,7 @@ struct ScalingPoint {
   double wall_seconds = 0.0;
   double throughput_qps = 0.0;
   double mean_latency_ms = 0.0;
+  ConcurrentServer::LockStatsSnapshot lock;
 };
 
 ScalingPoint RunOnce(const SyntheticTask& task, const QueryTrace& trace,
@@ -54,6 +55,7 @@ ScalingPoint RunOnce(const SyntheticTask& task, const QueryTrace& trace,
   point.wall_seconds = seconds;
   point.throughput_qps = static_cast<double>(metrics.processed) / seconds;
   point.mean_latency_ms = metrics.mean_latency_ms();
+  point.lock = server.lock_stats();
   return point;
 }
 
@@ -70,20 +72,25 @@ int Main() {
 
   std::printf("bench_runtime: %lld queries on model %d, sleep-mode service\n\n",
               static_cast<long long>(trace.size()), kModel);
+  // lock_held_ms / lock_acq measure the policy critical section: completion
+  // (aggregation + KNN fill) runs off-lock, so held time should stay a
+  // small fraction of wall time even as workers scale.
   TextTable table({"workers", "wall_s", "throughput_qps", "mean_latency_ms",
-                   "speedup_vs_1"});
+                   "speedup_vs_1", "lock_acq", "lock_held_ms"});
   double base_qps = 0.0;
   double qps_at_4 = 0.0;
   for (int workers : {1, 2, 4, 8}) {
     const ScalingPoint point = RunOnce(task, trace, workers, 40.0);
     if (workers == 1) base_qps = point.throughput_qps;
     if (workers == 4) qps_at_4 = point.throughput_qps;
-    char wall[32], qps[32], lat[32], rel[32];
+    char wall[32], qps[32], lat[32], rel[32], held[32];
     std::snprintf(wall, sizeof(wall), "%.2f", point.wall_seconds);
     std::snprintf(qps, sizeof(qps), "%.0f", point.throughput_qps);
     std::snprintf(lat, sizeof(lat), "%.1f", point.mean_latency_ms);
     std::snprintf(rel, sizeof(rel), "%.2fx", point.throughput_qps / base_qps);
-    table.AddRow({std::to_string(point.workers), wall, qps, lat, rel});
+    std::snprintf(held, sizeof(held), "%.1f", point.lock.held_ms);
+    table.AddRow({std::to_string(point.workers), wall, qps, lat, rel,
+                  std::to_string(point.lock.acquisitions), held});
   }
   table.Print();
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates the numeric-kernel benchmark baseline (bench/BENCH_nn.json)
+# from the BM_Knn*/BM_MlpTrainStep microbenchmarks in bench_nn.
+#
+# Usage:
+#   bench/run_nn_bench.sh [output.json]
+#
+# Expects build/bench/bench_nn to exist (override with $BENCH_BIN), i.e.
+# run after:
+#   cmake -B build -S . && cmake --build build --target bench_nn
+# or use the one-command wrapper target:
+#   cmake --build build --target schemble_bench_nn
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${1:-$ROOT/bench/BENCH_nn.json}"
+BIN="${BENCH_BIN:-$ROOT/build/bench/bench_nn}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found/executable." >&2
+  echo "build it first: cmake --build build --target bench_nn" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT" \
+  "${@:2}"
+
+echo "wrote $OUT"

@@ -64,55 +64,106 @@ Result<Aggregator> Aggregator::Build(const SyntheticTask& task,
   return agg;
 }
 
-std::vector<double> Aggregator::Vote(const Query& query,
-                                     SubsetMask executed) const {
+void Aggregator::VoteInto(const Query& query, SubsetMask executed,
+                          std::vector<double>* out) const {
   // Missing models are simply excluded from the vote; weights follow the
   // ensemble weights.
-  std::vector<double> votes(task_->output_dim(), 0.0);
+  out->assign(task_->output_dim(), 0.0);
   const std::vector<double>& weights = task_->ensemble_weights();
   for (int k = 0; k < task_->num_models(); ++k) {
     if (!(executed & (SubsetMask{1} << k))) continue;
-    votes[Argmax(query.model_outputs[k])] += weights[k];
+    (*out)[Argmax(query.model_outputs[k])] += weights[k];
   }
-  NormalizeInPlace(votes);
-  return votes;
+  NormalizeInPlace(*out);
 }
 
-std::vector<double> Aggregator::Average(const Query& query,
-                                        SubsetMask executed) const {
-  return task_->AggregateSubset(query, SubsetModels(executed));
+void Aggregator::AverageInto(const Query& query, SubsetMask executed,
+                             Workspace* ws, std::vector<double>* out) const {
+  SubsetModelsInto(executed, &ws->subset);
+  task_->AggregateSubsetInto(query, ws->subset, out);
 }
 
-std::vector<double> Aggregator::Stack(const Query& query,
-                                      SubsetMask executed) const {
+void Aggregator::BuildStackInput(const Query& query, SubsetMask executed,
+                                 Workspace* ws,
+                                 std::vector<double>* concat) const {
   const int dim = task_->output_dim();
-  std::vector<double> concat(task_->num_models() * dim, 0.0);
-  std::vector<bool> mask(concat.size(), false);
+  const size_t total = static_cast<size_t>(task_->num_models()) * dim;
+  concat->assign(total, 0.0);
+  ws->mask.assign(total, false);
   for (int k = 0; k < task_->num_models(); ++k) {
     if (!(executed & (SubsetMask{1} << k))) continue;
     for (int d = 0; d < dim; ++d) {
-      concat[k * dim + d] = query.model_outputs[k][d];
-      mask[k * dim + d] = true;
+      (*concat)[k * dim + d] = query.model_outputs[k][d];
+      ws->mask[k * dim + d] = true;
     }
   }
+}
+
+void Aggregator::StackInto(const Query& query, SubsetMask executed,
+                           Workspace* ws, std::vector<double>* out) const {
+  BuildStackInput(query, executed, ws, &ws->concat);
   if (executed != FullMask(task_->num_models())) {
-    concat = fill_index_->FillMissing(concat, mask, config_.knn_k);
+    // In-place fill: FillMissingInto only overwrites masked-out entries.
+    fill_index_->FillMissingInto(ws->concat, ws->mask, config_.knn_k,
+                                 &ws->knn, &ws->concat);
   }
-  return meta_->PredictProba(concat);
+  meta_->PredictProbaInto(ws->concat, &ws->meta, out);
+}
+
+void Aggregator::AggregateInto(const Query& query, SubsetMask executed,
+                               Workspace* ws, std::vector<double>* out) const {
+  SCHEMBLE_CHECK_NE(executed, 0u);
+  SCHEMBLE_CHECK(ws != nullptr && out != nullptr);
+  switch (config_.kind) {
+    case AggregationKind::kVoting:
+      VoteInto(query, executed, out);
+      return;
+    case AggregationKind::kWeightedAverage:
+      AverageInto(query, executed, ws, out);
+      return;
+    case AggregationKind::kStacking:
+      StackInto(query, executed, ws, out);
+      return;
+  }
+  AverageInto(query, executed, ws, out);
 }
 
 std::vector<double> Aggregator::Aggregate(const Query& query,
                                           SubsetMask executed) const {
+  // Per-thread scratch keeps the historical convenience signature
+  // allocation-free (beyond the returned vector) for concurrent completion
+  // callbacks.
+  thread_local Workspace ws;
+  std::vector<double> out;
+  AggregateInto(query, executed, &ws, &out);
+  return out;
+}
+
+void Aggregator::AggregateBatch(const std::vector<Query>& queries,
+                                SubsetMask executed, Workspace* ws,
+                                std::vector<std::vector<double>>* outs) const {
   SCHEMBLE_CHECK_NE(executed, 0u);
-  switch (config_.kind) {
-    case AggregationKind::kVoting:
-      return Vote(query, executed);
-    case AggregationKind::kWeightedAverage:
-      return Average(query, executed);
-    case AggregationKind::kStacking:
-      return Stack(query, executed);
+  SCHEMBLE_CHECK(ws != nullptr && outs != nullptr);
+  outs->resize(queries.size());
+  if (config_.kind == AggregationKind::kStacking &&
+      executed != FullMask(task_->num_models())) {
+    // Shared-mask imputation: stage every query's concat row, fill them all
+    // in one FillMissingBatch sweep (mask unpacked once), then run the
+    // meta-classifier over the filled rows.
+    ws->batch_concat.resize(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      BuildStackInput(queries[i], executed, ws, &ws->batch_concat[i]);
+    }
+    fill_index_->FillMissingBatch(ws->batch_concat, ws->mask, config_.knn_k,
+                                  &ws->knn, &ws->batch_concat);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      meta_->PredictProbaInto(ws->batch_concat[i], &ws->meta, &(*outs)[i]);
+    }
+    return;
   }
-  return Average(query, executed);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    AggregateInto(queries[i], executed, ws, &(*outs)[i]);
+  }
 }
 
 }  // namespace schemble

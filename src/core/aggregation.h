@@ -41,11 +41,38 @@ class Aggregator {
                                   const std::vector<Query>& history,
                                   const AggregatorConfig& config = {});
 
+  /// Caller-owned scratch for the allocation-free aggregation paths. Not
+  /// thread-safe: one Workspace per thread (the aggregator itself stays
+  /// const and state-free, so concurrent calls with distinct workspaces are
+  /// safe).
+  struct Workspace {
+    KnnIndex::Workspace knn;
+    MlpInferenceScratch meta;
+    std::vector<double> concat;  // stacking: concatenated base outputs
+    std::vector<bool> mask;      // stacking: observed-coordinate mask
+    std::vector<int> subset;     // averaging: unpacked model indices
+    /// Batch staging: per-query concat rows shared with FillMissingBatch.
+    std::vector<std::vector<double>> batch_concat;
+  };
+
   /// Final output for `query` given that only the models in `executed` ran.
   /// State-free const path (including KNN filling and the stacking meta-
   /// classifier): safe to call from concurrent completion callbacks.
   /// `executed` must be non-empty.
   std::vector<double> Aggregate(const Query& query, SubsetMask executed) const;
+
+  /// Allocation-free Aggregate into a caller-reused buffer; bit-identical
+  /// to the allocating overload.
+  void AggregateInto(const Query& query, SubsetMask executed, Workspace* ws,
+                     std::vector<double>* out) const;
+
+  /// Aggregates many queries that share one executed subset (the profiling
+  /// / trace-replay shape). Stacking routes the shared-mask imputation
+  /// through KnnIndex::FillMissingBatch, amortizing mask unpacking across
+  /// the whole batch; outputs are bit-identical to per-query Aggregate.
+  void AggregateBatch(const std::vector<Query>& queries, SubsetMask executed,
+                      Workspace* ws,
+                      std::vector<std::vector<double>>* outs) const;
 
   AggregationKind kind() const { return config_.kind; }
 
@@ -53,9 +80,16 @@ class Aggregator {
   Aggregator(const SyntheticTask* task, AggregatorConfig config)
       : task_(task), config_(std::move(config)) {}
 
-  std::vector<double> Vote(const Query& query, SubsetMask executed) const;
-  std::vector<double> Average(const Query& query, SubsetMask executed) const;
-  std::vector<double> Stack(const Query& query, SubsetMask executed) const;
+  void VoteInto(const Query& query, SubsetMask executed,
+                std::vector<double>* out) const;
+  void AverageInto(const Query& query, SubsetMask executed, Workspace* ws,
+                   std::vector<double>* out) const;
+  void StackInto(const Query& query, SubsetMask executed, Workspace* ws,
+                 std::vector<double>* out) const;
+  /// Writes the stacking input (concat + observed mask) for one query into
+  /// ws->mask and `concat`.
+  void BuildStackInput(const Query& query, SubsetMask executed, Workspace* ws,
+                       std::vector<double>* concat) const;
 
   /// Concatenated model outputs of one query.
   std::vector<double> ConcatOutputs(const Query& query) const;

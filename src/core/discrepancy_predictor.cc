@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/prob.h"
+#include "nn/kernels.h"
 
 namespace schemble {
 
@@ -55,13 +56,16 @@ Result<DiscrepancyPredictor> DiscrepancyPredictor::Train(
     double task_loss = 0.0;
     if (type == TaskType::kClassification) {
       // Softmax cross-entropy on the task logits vs soft ensemble targets.
-      std::vector<double> logits(output.begin(), output.begin() + task_dim);
-      std::vector<double> p = Softmax(logits);
+      // The softmax is computed in place inside the grad buffer so the
+      // per-example loss evaluation allocates nothing in steady state.
+      std::copy(output.begin(), output.begin() + task_dim, grad->begin());
+      kernels::SoftmaxInPlace(grad->data(), task_dim);
       for (int i = 0; i < task_dim; ++i) {
+        const double p = (*grad)[i];
         if (target[i] > 0.0) {
-          task_loss -= target[i] * std::log(std::max(p[i], 1e-12));
+          task_loss -= target[i] * std::log(std::max(p, 1e-12));
         }
-        (*grad)[i] = p[i] - target[i];
+        (*grad)[i] = p - target[i];
       }
     } else {
       // MSE on the (normalized) task outputs.
@@ -82,7 +86,12 @@ Result<DiscrepancyPredictor> DiscrepancyPredictor::Train(
 }
 
 double DiscrepancyPredictor::Predict(const Query& query) const {
-  const std::vector<double> out = mlp_->Forward(query.features);
+  // Per-thread scratch keeps the per-query prediction allocation-free; the
+  // concurrent runtime calls Predict inside its policy critical section, so
+  // this directly shrinks time under the lock.
+  thread_local MlpInferenceScratch scratch;
+  thread_local std::vector<double> out;
+  mlp_->ForwardInto(query.features, &scratch, &out);
   return std::clamp(out[task_head_dim()], 0.0, 1.0);
 }
 

@@ -11,10 +11,15 @@ int SubsetSize(SubsetMask mask) { return __builtin_popcount(mask); }
 
 std::vector<int> SubsetModels(SubsetMask mask) {
   std::vector<int> models;
-  for (int k = 0; mask != 0; ++k, mask >>= 1) {
-    if (mask & 1u) models.push_back(k);
-  }
+  SubsetModelsInto(mask, &models);
   return models;
+}
+
+void SubsetModelsInto(SubsetMask mask, std::vector<int>* models) {
+  models->clear();
+  for (int k = 0; mask != 0; ++k, mask >>= 1) {
+    if (mask & 1u) models->push_back(k);
+  }
 }
 
 SubsetMask FullMask(int num_models) {
@@ -55,14 +60,19 @@ Result<AccuracyProfile> AccuracyProfile::Build(
   // Global sums provide fallbacks for empty bins.
   std::vector<double> global_sums(full + 1, 0.0);
 
+  // The inner sweep evaluates every subset for every query; the unpacked
+  // index list and the aggregation output are reused across all of them so
+  // the profiling pass stays allocation-free in steady state.
+  std::vector<int> subset;
+  std::vector<double> produced;
   for (size_t i = 0; i < history.size(); ++i) {
     const Query& q = history[i];
     const int bin = profile.BinOf(scores[i]);
     ++profile.bin_counts_[bin];
     for (SubsetMask mask = 1; mask <= full; ++mask) {
       if (SubsetSize(mask) > max_size && mask != full) continue;
-      const std::vector<double> produced =
-          task.AggregateSubset(q, SubsetModels(mask));
+      SubsetModelsInto(mask, &subset);
+      task.AggregateSubsetInto(q, subset, &produced);
       const double match = task.MatchScore(produced, q.ensemble_output);
       sums[bin][mask] += match;
       global_sums[mask] += match;

@@ -14,6 +14,9 @@ using SubsetMask = uint32_t;
 
 int SubsetSize(SubsetMask mask);
 std::vector<int> SubsetModels(SubsetMask mask);
+/// Allocation-free SubsetModels into a caller-reused buffer (ascending
+/// model indices, like the allocating overload).
+void SubsetModelsInto(SubsetMask mask, std::vector<int>* models);
 SubsetMask FullMask(int num_models);
 
 /// Offline accuracy profile (§V-D): historical queries are bucketed by

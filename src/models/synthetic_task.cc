@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/prob.h"
+#include "nn/kernels.h"
 
 namespace schemble {
 
@@ -286,19 +287,27 @@ std::vector<Query> SyntheticTask::GenerateDataset(
 
 std::vector<double> SyntheticTask::AggregateSubset(
     const Query& query, const std::vector<int>& model_indices) const {
+  std::vector<double> out;
+  AggregateSubsetInto(query, model_indices, &out);
+  return out;
+}
+
+void SyntheticTask::AggregateSubsetInto(const Query& query,
+                                        const std::vector<int>& model_indices,
+                                        std::vector<double>* out) const {
   SCHEMBLE_CHECK(!model_indices.empty());
   double total_weight = 0.0;
-  std::vector<double> out(output_dim(), 0.0);
+  out->assign(output_dim(), 0.0);
   for (int k : model_indices) {
     SCHEMBLE_CHECK_GE(k, 0);
     SCHEMBLE_CHECK_LT(k, num_models());
     const std::vector<double>& mo = query.model_outputs[k];
-    SCHEMBLE_CHECK_EQ(mo.size(), out.size());
-    for (size_t i = 0; i < out.size(); ++i) out[i] += weights_[k] * mo[i];
+    SCHEMBLE_CHECK_EQ(mo.size(), out->size());
+    kernels::Axpy(weights_[k], mo.data(), out->data(),
+                  static_cast<int>(out->size()));
     total_weight += weights_[k];
   }
-  for (double& v : out) v /= total_weight;
-  return out;
+  for (double& v : *out) v /= total_weight;
 }
 
 double SyntheticTask::MatchScore(const std::vector<double>& produced,

@@ -129,6 +129,12 @@ class SyntheticTask {
                                       const std::vector<int>& model_indices)
       const;
 
+  /// Allocation-free AggregateSubset into a caller-reused buffer;
+  /// bit-identical to the allocating overload.
+  void AggregateSubsetInto(const Query& query,
+                           const std::vector<int>& model_indices,
+                           std::vector<double>* out) const;
+
   /// Agreement of `produced` with `reference` on this task: 1/0 for
   /// classification (argmax match) and regression (within tolerance), and
   /// average precision in [0,1] for retrieval (the mAP column).

@@ -5,18 +5,34 @@
 #include "common/logging.h"
 #include "common/prob.h"
 #include "common/stats.h"
+#include "nn/kernels.h"
 
 namespace schemble {
+
+namespace {
+
+/// In-place temperature softmax into a reusable buffer: bit-identical to
+/// SoftmaxWithTemperature without the per-sample allocation (golden-section
+/// fitting evaluates the NLL thousands of times).
+void TemperatureSoftmaxInto(const std::vector<double>& logits,
+                            double temperature, std::vector<double>* p) {
+  p->assign(logits.begin(), logits.end());
+  for (double& v : *p) v /= temperature;
+  kernels::SoftmaxInPlace(p->data(), static_cast<int>(p->size()));
+}
+
+}  // namespace
 
 double TemperatureScaler::MeanNll(
     const std::vector<std::vector<double>>& logits,
     const std::vector<int>& labels, double temperature) {
   SCHEMBLE_CHECK_EQ(logits.size(), labels.size());
   SCHEMBLE_CHECK(!logits.empty());
+  SCHEMBLE_CHECK_GT(temperature, 0.0);
   double nll = 0.0;
+  std::vector<double> p;
   for (size_t i = 0; i < logits.size(); ++i) {
-    const std::vector<double> p =
-        SoftmaxWithTemperature(logits[i], temperature);
+    TemperatureSoftmaxInto(logits[i], temperature, &p);
     const int y = labels[i];
     SCHEMBLE_CHECK_GE(y, 0);
     SCHEMBLE_CHECK_LT(y, static_cast<int>(p.size()));
@@ -74,9 +90,9 @@ double TemperatureScaler::ExpectedCalibrationError(
   std::vector<double> conf_sum(bins, 0.0);
   std::vector<double> acc_sum(bins, 0.0);
   std::vector<int64_t> counts(bins, 0);
+  std::vector<double> p;
   for (size_t i = 0; i < logits.size(); ++i) {
-    const std::vector<double> p =
-        SoftmaxWithTemperature(logits[i], temperature);
+    TemperatureSoftmaxInto(logits[i], temperature, &p);
     const int pred = Argmax(p);
     const double conf = p[pred];
     int bucket = static_cast<int>(conf * bins);

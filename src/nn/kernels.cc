@@ -1,0 +1,140 @@
+#include "nn/kernels.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace schemble {
+namespace kernels {
+
+// The unrolled loops below intentionally use ONE accumulator: four
+// independent partial sums would reassociate the reduction and break the
+// bitwise-determinism contract in the header. The win is loop-overhead
+// removal and wider scheduling windows, not SIMD reduction.
+
+double Dot(const double* x, const double* y, int n) {
+  double acc = 0.0;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc += x[i] * y[i];
+    acc += x[i + 1] * y[i + 1];
+    acc += x[i + 2] * y[i + 2];
+    acc += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void Axpy(double a, const double* x, double* y, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y[i] += a * x[i];
+    y[i + 1] += a * x[i + 1];
+    y[i + 2] += a * x[i + 2];
+    y[i + 3] += a * x[i + 3];
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void Gemv(const double* a, int rows, int cols, const double* x, double* y) {
+  const double* row = a;
+  for (int r = 0; r < rows; ++r, row += cols) {
+    y[r] = Dot(row, x, cols);
+  }
+}
+
+void GemvTransposed(const double* a, int rows, int cols, const double* x,
+                    double* y) {
+  for (int c = 0; c < cols; ++c) y[c] = 0.0;
+  const double* row = a;
+  for (int r = 0; r < rows; ++r, row += cols) {
+    Axpy(x[r], row, y, cols);
+  }
+}
+
+double SquaredDistance(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    acc += d0 * d0;
+    const double d1 = a[i + 1] - b[i + 1];
+    acc += d1 * d1;
+    const double d2 = a[i + 2] - b[i + 2];
+    acc += d2 * d2;
+    const double d3 = a[i + 3] - b[i + 3];
+    acc += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void MaskedSquaredDistances(const double* rows, int num_rows, int dim,
+                            const double* point_obs, const int* obs,
+                            int num_obs, double* out) {
+  const double* row = rows;
+  for (int r = 0; r < num_rows; ++r, row += dim) {
+    double acc = 0.0;
+    int t = 0;
+    for (; t + 4 <= num_obs; t += 4) {
+      const double d0 = row[obs[t]] - point_obs[t];
+      acc += d0 * d0;
+      const double d1 = row[obs[t + 1]] - point_obs[t + 1];
+      acc += d1 * d1;
+      const double d2 = row[obs[t + 2]] - point_obs[t + 2];
+      acc += d2 * d2;
+      const double d3 = row[obs[t + 3]] - point_obs[t + 3];
+      acc += d3 * d3;
+    }
+    for (; t < num_obs; ++t) {
+      const double d = row[obs[t]] - point_obs[t];
+      acc += d * d;
+    }
+    out[r] = acc;
+  }
+}
+
+void GatherAxpy(double a, const double* row, const int* idx, int n,
+                double* acc) {
+  int t = 0;
+  for (; t + 4 <= n; t += 4) {
+    acc[t] += a * row[idx[t]];
+    acc[t + 1] += a * row[idx[t + 1]];
+    acc[t + 2] += a * row[idx[t + 2]];
+    acc[t + 3] += a * row[idx[t + 3]];
+  }
+  for (; t < n; ++t) acc[t] += a * row[idx[t]];
+}
+
+double MaxValue(const double* x, int n) {
+  SCHEMBLE_DCHECK(n >= 1);
+  double best = x[0];
+  for (int i = 1; i < n; ++i) {
+    if (x[i] > best) best = x[i];
+  }
+  return best;
+}
+
+double LogSumExp(const double* x, int n) {
+  const double shift = MaxValue(x, n);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += std::exp(x[i] - shift);
+  return shift + std::log(sum);
+}
+
+void SoftmaxInPlace(double* x, int n) {
+  SCHEMBLE_DCHECK(n >= 1);
+  const double shift = MaxValue(x, n);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - shift);
+    sum += x[i];
+  }
+  for (int i = 0; i < n; ++i) x[i] /= sum;
+}
+
+}  // namespace kernels
+}  // namespace schemble

@@ -1,0 +1,74 @@
+#ifndef SCHEMBLE_NN_KERNELS_H_
+#define SCHEMBLE_NN_KERNELS_H_
+
+#include <cstdint>
+
+namespace schemble {
+namespace kernels {
+
+/// Allocation-free numeric primitives over contiguous (row-major) memory.
+///
+/// Every kernel writes through out-parameters or in place and never touches
+/// the heap, so the fill / training / aggregation hot paths built on top of
+/// them can run with per-thread reusable workspaces and zero steady-state
+/// allocations (the regime the serving runtime's completion path needs).
+///
+/// Determinism contract: all reductions accumulate strictly left-to-right
+/// into a single accumulator. Inner loops are unrolled by hand (compile-time
+/// trip count per unroll step) but never use multiple accumulators, so
+/// results are bit-identical to the naive scalar loop on every platform the
+/// repo pins with -ffp-contract=off. This is load-bearing: the golden
+/// serving regression test and the KNN equivalence suite assert bitwise
+/// equality against reference implementations.
+
+/// Strictly-ordered dot product sum_i x[i] * y[i].
+double Dot(const double* x, const double* y, int n);
+
+/// y[i] += a * x[i].
+void Axpy(double a, const double* x, double* y, int n);
+
+/// y = A x for a row-major `a` of shape rows x cols. `y` must not alias
+/// `a` or `x`.
+void Gemv(const double* a, int rows, int cols, const double* x, double* y);
+
+/// y = A^T x for a row-major `a` of shape rows x cols (y has cols entries).
+/// Accumulates row-by-row (r outer), matching the historical
+/// Matrix::ApplyTransposed order bit-for-bit. `y` must not alias inputs.
+void GemvTransposed(const double* a, int rows, int cols, const double* x,
+                    double* y);
+
+/// Strictly-ordered squared Euclidean distance sum_i (a[i] - b[i])^2.
+double SquaredDistance(const double* a, const double* b, int n);
+
+/// Masked squared distances of `num_rows` consecutive row-major records
+/// against one query point, observed coordinates only:
+///   out[r] = sum_t (rows[r * dim + obs[t]] - point_obs[t])^2
+/// `obs` lists the observed dimensions in ascending order and `point_obs`
+/// holds the query's values at exactly those dimensions (pre-gathered so
+/// the inner loop reads contiguously). Accumulation order matches the
+/// seed's ascending-dimension scan, keeping distances bit-identical.
+void MaskedSquaredDistances(const double* rows, int num_rows, int dim,
+                            const double* point_obs, const int* obs,
+                            int num_obs, double* out);
+
+/// acc[t] += a * row[idx[t]] for t in [0, n): the gather-accumulate step of
+/// distance-weighted KNN filling (one call per neighbor row keeps the
+/// per-coordinate addition order identical to the seed's neighbor-major
+/// sum).
+void GatherAxpy(double a, const double* row, const int* idx, int n,
+                double* acc);
+
+/// Maximum element (n >= 1); strictly left-to-right, ties keep the first.
+double MaxValue(const double* x, int n);
+
+/// log(sum_i exp(x[i])) with max-shift stabilization (n >= 1).
+double LogSumExp(const double* x, int n);
+
+/// Numerically stable in-place softmax, identical operation order to
+/// schemble::SoftmaxInPlace (max-shift, exp, single-pass sum, divide).
+void SoftmaxInPlace(double* x, int n);
+
+}  // namespace kernels
+}  // namespace schemble
+
+#endif  // SCHEMBLE_NN_KERNELS_H_

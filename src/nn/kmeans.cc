@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "nn/kernels.h"
 
 namespace schemble {
 
@@ -11,12 +12,8 @@ namespace {
 
 double DistanceSquared(const std::vector<double>& a,
                        const std::vector<double>& b) {
-  double sq = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sq += d * d;
-  }
-  return sq;
+  return kernels::SquaredDistance(a.data(), b.data(),
+                                  static_cast<int>(a.size()));
 }
 
 }  // namespace

@@ -4,8 +4,35 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels.h"
 
 namespace schemble {
+
+namespace {
+
+/// Rows per MaskedSquaredDistances call: large enough to amortize dispatch,
+/// small enough that the distance block stays in L1.
+constexpr int kDistanceBlock = 256;
+
+/// Lexicographic (squared distance, index) order — the deterministic
+/// neighbor ranking shared with ReferenceKnnIndex. During selection
+/// Neighbor::distance holds the SQUARED distance; sqrt is applied once when
+/// results are emitted.
+bool SqIndexLess(const KnnIndex::Neighbor& a, const KnnIndex::Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+/// resize() that records a grow event whenever the buffer's capacity was
+/// insufficient (the steady-state zero-allocation invariant the equivalence
+/// suite asserts, mirroring DpScheduler::WorkspaceStats).
+template <typename T>
+void ResizeTracked(std::vector<T>* v, size_t n, int64_t* grow_events) {
+  if (v->capacity() < n) ++(*grow_events);
+  v->resize(n);
+}
+
+}  // namespace
 
 Result<KnnIndex> KnnIndex::Build(std::vector<std::vector<double>> records) {
   if (records.empty()) {
@@ -18,62 +45,198 @@ Result<KnnIndex> KnnIndex::Build(std::vector<std::vector<double>> records) {
       return Status::InvalidArgument("KNN records must share a dimension");
     }
   }
-  return KnnIndex(std::move(records));
+  // Validated: repack the ragged input into one flat row-major buffer so
+  // the per-query distance scan streams contiguous memory.
+  std::vector<double> data;
+  data.reserve(records.size() * dim);
+  for (const auto& r : records) data.insert(data.end(), r.begin(), r.end());
+  return KnnIndex(static_cast<int>(records.size()), static_cast<int>(dim),
+                  std::move(data));
+}
+
+void KnnIndex::PackMask(const std::vector<bool>& mask, Workspace* ws) const {
+  const size_t n = mask.size();
+  if (ws->observed.capacity() < n) ++ws->stats.grow_events;
+  if (ws->missing.capacity() < n) ++ws->stats.grow_events;
+  ws->observed.clear();
+  ws->observed.reserve(n);
+  ws->missing.clear();
+  ws->missing.reserve(n);
+  for (size_t d = 0; d < n; ++d) {
+    if (mask[d]) {
+      ws->observed.push_back(static_cast<int>(d));
+    } else {
+      ws->missing.push_back(static_cast<int>(d));
+    }
+  }
+}
+
+void KnnIndex::SelectTopK(int k, Workspace* ws) const {
+  const size_t take = std::min<size_t>(k, num_records_);
+  if (ws->heap.capacity() < take) ++ws->stats.grow_events;
+  ws->heap.clear();
+  ws->heap.reserve(take);
+  const int block = std::min(kDistanceBlock, num_records_);
+  ResizeTracked(&ws->dist, static_cast<size_t>(block), &ws->stats.grow_events);
+
+  const int num_obs = static_cast<int>(ws->observed.size());
+  for (int start = 0; start < num_records_; start += kDistanceBlock) {
+    const int rows = std::min(kDistanceBlock, num_records_ - start);
+    kernels::MaskedSquaredDistances(row(start), rows, dim_,
+                                    ws->point_obs.data(), ws->observed.data(),
+                                    num_obs, ws->dist.data());
+    for (int r = 0; r < rows; ++r) {
+      const Neighbor cand{start + r, ws->dist[r]};
+      if (ws->heap.size() < take) {
+        ws->heap.push_back(cand);
+        std::push_heap(ws->heap.begin(), ws->heap.end(), SqIndexLess);
+      } else if (SqIndexLess(cand, ws->heap.front())) {
+        // Strictly better than the current worst: replace it. Ties never
+        // replace (the scan runs in ascending index order), preserving the
+        // lowest-index winner on equal distances.
+        std::pop_heap(ws->heap.begin(), ws->heap.end(), SqIndexLess);
+        ws->heap.back() = cand;
+        std::push_heap(ws->heap.begin(), ws->heap.end(), SqIndexLess);
+      }
+    }
+  }
+  std::sort(ws->heap.begin(), ws->heap.end(), SqIndexLess);
+  ++ws->stats.queries;
+}
+
+void KnnIndex::QueryInto(const std::vector<double>& point,
+                         const std::vector<bool>& mask, int k, Workspace* ws,
+                         std::vector<Neighbor>* out) const {
+  SCHEMBLE_CHECK(ws != nullptr && out != nullptr);
+  SCHEMBLE_CHECK_EQ(point.size(), mask.size());
+  SCHEMBLE_CHECK_EQ(static_cast<int>(point.size()), dim_);
+  SCHEMBLE_CHECK_GT(k, 0);
+  PackMask(mask, ws);
+  SCHEMBLE_CHECK(!ws->observed.empty());
+  ResizeTracked(&ws->point_obs, ws->observed.size(), &ws->stats.grow_events);
+  for (size_t t = 0; t < ws->observed.size(); ++t) {
+    ws->point_obs[t] = point[ws->observed[t]];
+  }
+  SelectTopK(k, ws);
+  ResizeTracked(out, ws->heap.size(), &ws->stats.grow_events);
+  for (size_t i = 0; i < ws->heap.size(); ++i) {
+    (*out)[i] = {ws->heap[i].index, std::sqrt(ws->heap[i].distance)};
+  }
 }
 
 std::vector<KnnIndex::Neighbor> KnnIndex::Query(
     const std::vector<double>& point, const std::vector<bool>& mask,
     int k) const {
-  SCHEMBLE_CHECK_EQ(point.size(), mask.size());
-  SCHEMBLE_CHECK_EQ(static_cast<int>(point.size()), dim());
-  SCHEMBLE_CHECK_GT(k, 0);
-  bool any_observed = false;
-  for (bool m : mask) any_observed |= m;
-  SCHEMBLE_CHECK(any_observed);
+  Workspace ws;
+  std::vector<Neighbor> out;
+  QueryInto(point, mask, k, &ws, &out);
+  return out;
+}
 
-  std::vector<Neighbor> all;
-  all.reserve(records_.size());
-  for (size_t i = 0; i < records_.size(); ++i) {
-    double sq = 0.0;
-    for (size_t d = 0; d < mask.size(); ++d) {
-      if (!mask[d]) continue;
-      const double diff = records_[i][d] - point[d];
-      sq += diff * diff;
-    }
-    all.push_back({static_cast<int>(i), std::sqrt(sq)});
+void KnnIndex::FillFromNeighbors(const std::vector<double>& point,
+                                 Workspace* ws,
+                                 std::vector<double>* out) const {
+  if (out != &point) {
+    ResizeTracked(out, point.size(), &ws->stats.grow_events);
+    std::copy(point.begin(), point.end(), out->begin());
   }
-  const size_t take = std::min<size_t>(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + take, all.end(),
-                    [](const Neighbor& a, const Neighbor& b) {
-                      return a.distance < b.distance;
-                    });
-  all.resize(take);
-  return all;
+  if (ws->missing.empty()) return;
+  ResizeTracked(&ws->accum, ws->missing.size(), &ws->stats.grow_events);
+  std::fill(ws->accum.begin(), ws->accum.end(), 0.0);
+  // Inverse-distance weights; an exact match dominates. The neighbor-major
+  // accumulation below performs, per missing coordinate, the same addition
+  // sequence as the coordinate-major reference loop — filled values stay
+  // bit-identical (the equivalence suite asserts this against
+  // ReferenceKnnIndex).
+  double total = 0.0;
+  const int n_missing = static_cast<int>(ws->missing.size());
+  for (const Neighbor& nb : ws->heap) {
+    const double w = 1.0 / (std::sqrt(nb.distance) + 1e-9);
+    total += w;
+    kernels::GatherAxpy(w, row(nb.index), ws->missing.data(), n_missing,
+                        ws->accum.data());
+  }
+  for (int t = 0; t < n_missing; ++t) {
+    (*out)[ws->missing[t]] = ws->accum[t] / total;
+  }
+}
+
+void KnnIndex::FillMissingInto(const std::vector<double>& point,
+                               const std::vector<bool>& mask, int k,
+                               Workspace* ws,
+                               std::vector<double>* out) const {
+  SCHEMBLE_CHECK(ws != nullptr && out != nullptr);
+  SCHEMBLE_CHECK_EQ(point.size(), mask.size());
+  SCHEMBLE_CHECK_EQ(static_cast<int>(point.size()), dim_);
+  SCHEMBLE_CHECK_GT(k, 0);
+  PackMask(mask, ws);
+  SCHEMBLE_CHECK(!ws->observed.empty());
+  ResizeTracked(&ws->point_obs, ws->observed.size(), &ws->stats.grow_events);
+  for (size_t t = 0; t < ws->observed.size(); ++t) {
+    ws->point_obs[t] = point[ws->observed[t]];
+  }
+  SelectTopK(k, ws);
+  FillFromNeighbors(point, ws, out);
 }
 
 std::vector<double> KnnIndex::FillMissing(const std::vector<double>& point,
                                           const std::vector<bool>& mask,
                                           int k) const {
-  std::vector<Neighbor> neighbors = Query(point, mask, k);
-  // Inverse-distance weights; an exact match dominates.
-  std::vector<double> weights;
-  weights.reserve(neighbors.size());
-  double total = 0.0;
-  for (const Neighbor& n : neighbors) {
-    const double w = 1.0 / (n.distance + 1e-9);
-    weights.push_back(w);
-    total += w;
-  }
-  std::vector<double> filled = point;
-  for (size_t d = 0; d < mask.size(); ++d) {
-    if (mask[d]) continue;
-    double value = 0.0;
-    for (size_t j = 0; j < neighbors.size(); ++j) {
-      value += weights[j] * records_[neighbors[j].index][d];
+  Workspace ws;
+  std::vector<double> out;
+  FillMissingInto(point, mask, k, &ws, &out);
+  return out;
+}
+
+void KnnIndex::QueryBatch(const std::vector<std::vector<double>>& points,
+                          const std::vector<bool>& mask, int k, Workspace* ws,
+                          std::vector<std::vector<Neighbor>>* out) const {
+  SCHEMBLE_CHECK(ws != nullptr && out != nullptr);
+  SCHEMBLE_CHECK_GT(k, 0);
+  SCHEMBLE_CHECK_EQ(static_cast<int>(mask.size()), dim_);
+  PackMask(mask, ws);
+  SCHEMBLE_CHECK(!ws->observed.empty());
+  if (out->capacity() < points.size()) ++ws->stats.grow_events;
+  out->resize(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const std::vector<double>& point = points[i];
+    SCHEMBLE_CHECK_EQ(static_cast<int>(point.size()), dim_);
+    ResizeTracked(&ws->point_obs, ws->observed.size(),
+                  &ws->stats.grow_events);
+    for (size_t t = 0; t < ws->observed.size(); ++t) {
+      ws->point_obs[t] = point[ws->observed[t]];
     }
-    filled[d] = value / total;
+    SelectTopK(k, ws);
+    std::vector<Neighbor>& dst = (*out)[i];
+    ResizeTracked(&dst, ws->heap.size(), &ws->stats.grow_events);
+    for (size_t j = 0; j < ws->heap.size(); ++j) {
+      dst[j] = {ws->heap[j].index, std::sqrt(ws->heap[j].distance)};
+    }
   }
-  return filled;
+}
+
+void KnnIndex::FillMissingBatch(const std::vector<std::vector<double>>& points,
+                                const std::vector<bool>& mask, int k,
+                                Workspace* ws,
+                                std::vector<std::vector<double>>* out) const {
+  SCHEMBLE_CHECK(ws != nullptr && out != nullptr);
+  SCHEMBLE_CHECK_GT(k, 0);
+  SCHEMBLE_CHECK_EQ(static_cast<int>(mask.size()), dim_);
+  PackMask(mask, ws);
+  SCHEMBLE_CHECK(!ws->observed.empty());
+  if (out->capacity() < points.size()) ++ws->stats.grow_events;
+  out->resize(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const std::vector<double>& point = points[i];
+    SCHEMBLE_CHECK_EQ(static_cast<int>(point.size()), dim_);
+    ResizeTracked(&ws->point_obs, ws->observed.size(),
+                  &ws->stats.grow_events);
+    for (size_t t = 0; t < ws->observed.size(); ++t) {
+      ws->point_obs[t] = point[ws->observed[t]];
+    }
+    SelectTopK(k, ws);
+    FillFromNeighbors(point, ws, &(*out)[i]);
+  }
 }
 
 }  // namespace schemble

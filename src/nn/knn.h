@@ -1,6 +1,7 @@
 #ifndef SCHEMBLE_NN_KNN_H_
 #define SCHEMBLE_NN_KNN_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -13,9 +14,28 @@ namespace schemble {
 /// outputs of the executed base models, find the k most similar historical
 /// full-output records and fill the missing outputs with their
 /// distance-weighted average.
+///
+/// Hot-path design (the serving runtime calls this on every partially
+/// executed query):
+///  - records live in ONE flat row-major buffer (no per-record vectors),
+///    so the distance scan streams contiguous memory;
+///  - masked squared distances are computed block-by-block into a reusable
+///    workspace (kernels::MaskedSquaredDistances over a packed
+///    observed-dimension list — the mask branch disappears);
+///  - top-k selection keeps a bounded max-heap of k candidates instead of
+///    materializing and partial_sort-ing all N of them;
+///  - the *Into / *Batch entry points perform zero heap allocations once
+///    the caller's workspace has warmed up (tracked by Workspace stats).
+///
+/// Ordering contract: neighbors are ranked by (squared distance, record
+/// index) ascending, so distance ties break deterministically by index on
+/// every platform. ReferenceKnnIndex implements the same contract with the
+/// seed algorithm; the equivalence suite asserts bit-identical results.
 class KnnIndex {
  public:
-  /// Builds an index over `records`, all of equal dimension.
+  /// Builds an index over `records`, all of equal non-zero dimension. The
+  /// ragged input is validated and repacked into the flat row-major buffer
+  /// (the input vectors are released; only the flat copy is kept).
   static Result<KnnIndex> Build(std::vector<std::vector<double>> records);
 
   struct Neighbor {
@@ -23,10 +43,38 @@ class KnnIndex {
     double distance = 0.0;
   };
 
-  /// k nearest records by Euclidean distance over coordinates where
-  /// mask[d] == true. Requires at least one observed coordinate.
+  /// Caller-owned scratch for the allocation-free entry points. Not
+  /// thread-safe: use one Workspace per thread (the index itself is
+  /// immutable after Build and safe to share).
+  struct Workspace {
+    /// Telemetry mirroring DpScheduler::WorkspaceStats: steady-state
+    /// queries (same shape) must not add grow_events — the zero-allocation
+    /// invariant the equivalence suite asserts.
+    struct Stats {
+      int64_t grow_events = 0;
+      int64_t queries = 0;
+    };
+
+    std::vector<int> observed;    // packed dims with mask[d] == true
+    std::vector<int> missing;     // packed dims with mask[d] == false
+    std::vector<double> point_obs;  // query values at `observed`
+    std::vector<double> dist;     // per-row squared distances (one block)
+    std::vector<Neighbor> heap;   // bounded top-k max-heap, then sorted
+    std::vector<double> accum;    // fill accumulator over `missing`
+    Stats stats;
+  };
+
+  /// k nearest records over coordinates where mask[d] == true, sorted by
+  /// (distance, index) ascending. Requires at least one observed
+  /// coordinate and k > 0. Convenience wrapper that allocates.
   std::vector<Neighbor> Query(const std::vector<double>& point,
                               const std::vector<bool>& mask, int k) const;
+
+  /// Allocation-free Query: neighbors are written into `out` (resized to
+  /// min(k, size())).
+  void QueryInto(const std::vector<double>& point,
+                 const std::vector<bool>& mask, int k, Workspace* ws,
+                 std::vector<Neighbor>* out) const;
 
   /// Fills coordinates where mask[d] == false with the inverse-distance
   /// weighted average of the k nearest records' values at d; observed
@@ -34,14 +82,54 @@ class KnnIndex {
   std::vector<double> FillMissing(const std::vector<double>& point,
                                   const std::vector<bool>& mask, int k) const;
 
-  int size() const { return static_cast<int>(records_.size()); }
-  int dim() const { return records_.empty() ? 0 : static_cast<int>(records_[0].size()); }
+  /// Allocation-free FillMissing. `out` may alias `point` (in-place fill):
+  /// distances are computed before anything is written, and only masked-out
+  /// coordinates are overwritten.
+  void FillMissingInto(const std::vector<double>& point,
+                       const std::vector<bool>& mask, int k, Workspace* ws,
+                       std::vector<double>* out) const;
+
+  /// Batched Query over points sharing one mask (the profiling / replay
+  /// shape: a fixed executed subset across a test set). The packed
+  /// observed-dimension list is built once for the whole batch, amortizing
+  /// per-query dispatch overhead. out->at(i) holds point i's neighbors.
+  void QueryBatch(const std::vector<std::vector<double>>& points,
+                  const std::vector<bool>& mask, int k, Workspace* ws,
+                  std::vector<std::vector<Neighbor>>* out) const;
+
+  /// Batched FillMissing over points sharing one mask; out->at(i) is the
+  /// filled copy of points[i]. `out` may alias `points` (in-place batch
+  /// fill). Zero steady-state allocations when the caller reuses `out`
+  /// across batches.
+  void FillMissingBatch(const std::vector<std::vector<double>>& points,
+                        const std::vector<bool>& mask, int k, Workspace* ws,
+                        std::vector<std::vector<double>>* out) const;
+
+  int size() const { return num_records_; }
+  int dim() const { return dim_; }
+  /// Flat row-major record storage (tests verify Build's repacking).
+  const double* row(int i) const {
+    return data_.data() + static_cast<size_t>(i) * dim_;
+  }
 
  private:
-  explicit KnnIndex(std::vector<std::vector<double>> records)
-      : records_(std::move(records)) {}
+  KnnIndex(int num_records, int dim, std::vector<double> data)
+      : num_records_(num_records), dim_(dim), data_(std::move(data)) {}
 
-  std::vector<std::vector<double>> records_;
+  /// Packs the mask into ws->observed / ws->missing and gathers the
+  /// query-independent per-batch state. Returns false growths via stats.
+  void PackMask(const std::vector<bool>& mask, Workspace* ws) const;
+  /// Top-k scan of all records into ws->heap (sorted ascending on return).
+  /// Requires PackMask and ws->point_obs to be current.
+  void SelectTopK(int k, Workspace* ws) const;
+  /// Shared fill core: assumes ws->heap holds the sorted neighbors.
+  void FillFromNeighbors(const std::vector<double>& point, Workspace* ws,
+                         std::vector<double>* out) const;
+
+  int num_records_ = 0;
+  int dim_ = 0;
+  /// Row-major: record i's coordinates at data_[i * dim_ .. i * dim_ + dim_).
+  std::vector<double> data_;
 };
 
 }  // namespace schemble

@@ -1,0 +1,82 @@
+#include "nn/knn_reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+Result<ReferenceKnnIndex> ReferenceKnnIndex::Build(
+    std::vector<std::vector<double>> records) {
+  if (records.empty()) {
+    return Status::InvalidArgument("KNN index needs at least one record");
+  }
+  const size_t dim = records[0].size();
+  if (dim == 0) return Status::InvalidArgument("KNN records must be non-empty");
+  for (const auto& r : records) {
+    if (r.size() != dim) {
+      return Status::InvalidArgument("KNN records must share a dimension");
+    }
+  }
+  return ReferenceKnnIndex(std::move(records));
+}
+
+std::vector<ReferenceKnnIndex::Neighbor> ReferenceKnnIndex::Query(
+    const std::vector<double>& point, const std::vector<bool>& mask,
+    int k) const {
+  SCHEMBLE_CHECK_EQ(point.size(), mask.size());
+  SCHEMBLE_CHECK_EQ(static_cast<int>(point.size()), dim());
+  SCHEMBLE_CHECK_GT(k, 0);
+  bool any_observed = false;
+  for (bool m : mask) any_observed |= m;
+  SCHEMBLE_CHECK(any_observed);
+
+  // Materialize (squared distance, index) for every record, then sort the
+  // full candidate list — the O(N log N) baseline the heap path replaces.
+  std::vector<Neighbor> all;
+  all.reserve(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    double sq = 0.0;
+    for (size_t d = 0; d < mask.size(); ++d) {
+      if (!mask[d]) continue;
+      const double diff = records_[i][d] - point[d];
+      sq += diff * diff;
+    }
+    all.push_back({static_cast<int>(i), sq});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  });
+  all.resize(std::min<size_t>(k, all.size()));
+  for (Neighbor& n : all) n.distance = std::sqrt(n.distance);
+  return all;
+}
+
+std::vector<double> ReferenceKnnIndex::FillMissing(
+    const std::vector<double>& point, const std::vector<bool>& mask,
+    int k) const {
+  std::vector<Neighbor> neighbors = Query(point, mask, k);
+  // Inverse-distance weights; an exact match dominates.
+  std::vector<double> weights;
+  weights.reserve(neighbors.size());
+  double total = 0.0;
+  for (const Neighbor& n : neighbors) {
+    const double w = 1.0 / (n.distance + 1e-9);
+    weights.push_back(w);
+    total += w;
+  }
+  std::vector<double> filled = point;
+  for (size_t d = 0; d < mask.size(); ++d) {
+    if (mask[d]) continue;
+    double value = 0.0;
+    for (size_t j = 0; j < neighbors.size(); ++j) {
+      value += weights[j] * records_[neighbors[j].index][d];
+    }
+    filled[d] = value / total;
+  }
+  return filled;
+}
+
+}  // namespace schemble

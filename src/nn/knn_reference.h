@@ -1,0 +1,45 @@
+#ifndef SCHEMBLE_NN_KNN_REFERENCE_H_
+#define SCHEMBLE_NN_KNN_REFERENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "nn/knn.h"
+
+namespace schemble {
+
+/// The pre-optimization KNN index, kept as an executable specification
+/// (mirroring ReferenceDpScheduler): ragged per-record storage, distances
+/// materialized for ALL records, k selected by sorting the full candidate
+/// list, coordinate-major fill accumulation. Same (squared distance, record
+/// index) ordering contract as the optimized KnnIndex, so the randomized
+/// equivalence suite can assert bit-identical outputs, and bench_nn can
+/// measure the speedup against it.
+class ReferenceKnnIndex {
+ public:
+  using Neighbor = KnnIndex::Neighbor;
+
+  static Result<ReferenceKnnIndex> Build(
+      std::vector<std::vector<double>> records);
+
+  std::vector<Neighbor> Query(const std::vector<double>& point,
+                              const std::vector<bool>& mask, int k) const;
+
+  std::vector<double> FillMissing(const std::vector<double>& point,
+                                  const std::vector<bool>& mask, int k) const;
+
+  int size() const { return static_cast<int>(records_.size()); }
+  int dim() const {
+    return records_.empty() ? 0 : static_cast<int>(records_[0].size());
+  }
+
+ private:
+  explicit ReferenceKnnIndex(std::vector<std::vector<double>> records)
+      : records_(std::move(records)) {}
+
+  std::vector<std::vector<double>> records_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_NN_KNN_REFERENCE_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels.h"
 
 namespace schemble {
 
@@ -19,27 +20,45 @@ Matrix Matrix::Randn(int rows, int cols, double stddev, Rng& rng) {
   return m;
 }
 
+Matrix::OpStats& Matrix::op_stats() {
+  static OpStats stats;
+  return stats;
+}
+
 std::vector<double> Matrix::Apply(const std::vector<double>& x) const {
-  SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), cols_);
-  std::vector<double> y(rows_, 0.0);
-  const double* row = data_.data();
-  for (int r = 0; r < rows_; ++r, row += cols_) {
-    double acc = 0.0;
-    for (int c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  std::vector<double> y;
+  ApplyInto(x, &y);
   return y;
 }
 
 std::vector<double> Matrix::ApplyTransposed(const std::vector<double>& x) const {
-  SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), rows_);
-  std::vector<double> y(cols_, 0.0);
-  const double* row = data_.data();
-  for (int r = 0; r < rows_; ++r, row += cols_) {
-    const double xr = x[r];
-    for (int c = 0; c < cols_; ++c) y[c] += row[c] * xr;
-  }
+  std::vector<double> y;
+  ApplyTransposedInto(x, &y);
   return y;
+}
+
+void Matrix::ApplyInto(const std::vector<double>& x,
+                       std::vector<double>* y) const {
+  SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), cols_);
+  SCHEMBLE_DCHECK(y != &x);
+  op_stats().apply_into_calls.fetch_add(1, std::memory_order_relaxed);
+  if (y->capacity() < static_cast<size_t>(rows_)) {
+    op_stats().grow_events.fetch_add(1, std::memory_order_relaxed);
+  }
+  y->resize(rows_);
+  kernels::Gemv(data_.data(), rows_, cols_, x.data(), y->data());
+}
+
+void Matrix::ApplyTransposedInto(const std::vector<double>& x,
+                                 std::vector<double>* y) const {
+  SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), rows_);
+  SCHEMBLE_DCHECK(y != &x);
+  op_stats().apply_into_calls.fetch_add(1, std::memory_order_relaxed);
+  if (y->capacity() < static_cast<size_t>(cols_)) {
+    op_stats().grow_events.fetch_add(1, std::memory_order_relaxed);
+  }
+  y->resize(cols_);
+  kernels::GemvTransposed(data_.data(), rows_, cols_, x.data(), y->data());
 }
 
 void Matrix::AddOuterProduct(const std::vector<double>& a,

@@ -1,7 +1,9 @@
 #ifndef SCHEMBLE_NN_MATRIX_H_
 #define SCHEMBLE_NN_MATRIX_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -38,6 +40,27 @@ class Matrix {
 
   /// y = this^T * x (used by backprop). Requires x.size() == rows().
   std::vector<double> ApplyTransposed(const std::vector<double>& x) const;
+
+  /// Out-parameter variant of Apply: resizes `y` to rows() and overwrites
+  /// it. Once `y` has reached capacity (steady state) no allocation occurs;
+  /// capacity growths are counted in op_stats().grow_events so tests can
+  /// assert the zero-allocation invariant. `y` must not alias `x`.
+  void ApplyInto(const std::vector<double>& x, std::vector<double>* y) const;
+
+  /// Out-parameter variant of ApplyTransposed (y resized to cols()).
+  /// `y` must not alias `x`.
+  void ApplyTransposedInto(const std::vector<double>& x,
+                           std::vector<double>* y) const;
+
+  /// Telemetry of the out-param fast paths, mirroring the scheduler's
+  /// WorkspaceStats pattern: `grow_events` counts calls that had to grow
+  /// the destination's capacity. Process-wide (atomic) because matrices are
+  /// used from concurrent completion threads.
+  struct OpStats {
+    std::atomic<int64_t> grow_events{0};
+    std::atomic<int64_t> apply_into_calls{0};
+  };
+  static OpStats& op_stats();
 
   /// this += scale * (a outer b), where a has rows() entries and b cols().
   void AddOuterProduct(const std::vector<double>& a,

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/prob.h"
+#include "nn/kernels.h"
 
 namespace schemble {
 
@@ -76,37 +77,50 @@ size_t Mlp::ParameterCount() const {
 }
 
 std::vector<double> Mlp::Forward(const std::vector<double>& x) const {
-  SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), input_dim());
-  std::vector<double> a = x;
-  const int layers = num_layers();
-  for (int l = 0; l < layers; ++l) {
-    std::vector<double> z = weights_[l].Apply(a);
-    for (size_t i = 0; i < z.size(); ++i) z[i] += biases_[l][i];
-    if (l + 1 < layers) {
-      for (double& v : z) v = ApplyActivation(config_.hidden_activation, v);
-    }
-    a = std::move(z);
-  }
-  return a;
+  MlpInferenceScratch scratch;
+  std::vector<double> out;
+  ForwardInto(x, &scratch, &out);
+  return out;
 }
 
-std::vector<double> Mlp::ForwardCached(const std::vector<double>& x,
-                                       MlpForwardCache* cache) const {
-  SCHEMBLE_CHECK(cache != nullptr);
-  cache->activations.clear();
-  cache->activations.push_back(x);
-  std::vector<double> a = x;
+void Mlp::ForwardInto(const std::vector<double>& x,
+                      MlpInferenceScratch* scratch,
+                      std::vector<double>* out) const {
+  SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), input_dim());
+  SCHEMBLE_CHECK(scratch != nullptr);
+  SCHEMBLE_CHECK(out != nullptr && out != &scratch->a && out != &scratch->b);
   const int layers = num_layers();
+  const std::vector<double>* cur = &x;
   for (int l = 0; l < layers; ++l) {
-    std::vector<double> z = weights_[l].Apply(a);
+    std::vector<double>* dst =
+        (l + 1 == layers) ? out
+                          : (cur == &scratch->a ? &scratch->b : &scratch->a);
+    weights_[l].ApplyInto(*cur, dst);
+    std::vector<double>& z = *dst;
     for (size_t i = 0; i < z.size(); ++i) z[i] += biases_[l][i];
     if (l + 1 < layers) {
       for (double& v : z) v = ApplyActivation(config_.hidden_activation, v);
     }
-    a = z;
-    cache->activations.push_back(std::move(z));
+    cur = dst;
   }
-  return a;
+}
+
+const std::vector<double>& Mlp::ForwardCached(const std::vector<double>& x,
+                                              MlpForwardCache* cache) const {
+  SCHEMBLE_CHECK(cache != nullptr);
+  SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), input_dim());
+  const int layers = num_layers();
+  cache->activations.resize(layers + 1);
+  cache->activations[0].assign(x.begin(), x.end());
+  for (int l = 0; l < layers; ++l) {
+    std::vector<double>& z = cache->activations[l + 1];
+    weights_[l].ApplyInto(cache->activations[l], &z);
+    for (size_t i = 0; i < z.size(); ++i) z[i] += biases_[l][i];
+    if (l + 1 < layers) {
+      for (double& v : z) v = ApplyActivation(config_.hidden_activation, v);
+    }
+  }
+  return cache->activations.back();
 }
 
 void Mlp::Backward(const MlpForwardCache& cache,
@@ -115,19 +129,21 @@ void Mlp::Backward(const MlpForwardCache& cache,
   SCHEMBLE_CHECK(grads != nullptr);
   const int layers = num_layers();
   SCHEMBLE_CHECK_EQ(static_cast<int>(cache.activations.size()), layers + 1);
-  std::vector<double> delta = dloss_doutput;
+  std::vector<double>& delta = grads->delta;
+  delta.assign(dloss_doutput.begin(), dloss_doutput.end());
   for (int l = layers - 1; l >= 0; --l) {
     // delta holds dLoss/dz_l (output layer is linear, so this starts as
     // dloss_doutput directly).
     grads->weight_grads[l].AddOuterProduct(delta, cache.activations[l]);
     for (size_t i = 0; i < delta.size(); ++i) grads->bias_grads[l][i] += delta[i];
     if (l > 0) {
-      std::vector<double> prev = weights_[l].ApplyTransposed(delta);
+      std::vector<double>& prev = grads->delta_prev;
+      weights_[l].ApplyTransposedInto(delta, &prev);
       const std::vector<double>& a = cache.activations[l];
       for (size_t i = 0; i < prev.size(); ++i) {
         prev[i] *= ActivationGradFromOutput(config_.hidden_activation, a[i]);
       }
-      delta = std::move(prev);
+      std::swap(grads->delta, grads->delta_prev);
     }
   }
 }
@@ -215,12 +231,16 @@ double SoftmaxCrossEntropyLossGrad(const std::vector<double>& output,
                                    const std::vector<double>& target,
                                    std::vector<double>* grad) {
   SCHEMBLE_CHECK_EQ(output.size(), target.size());
-  std::vector<double> p = Softmax(output);
+  // Softmax computed in place inside `grad` (reusing its capacity), then
+  // turned into softmax - target: the train-step hot path stays
+  // allocation-free in steady state.
+  grad->assign(output.begin(), output.end());
+  kernels::SoftmaxInPlace(grad->data(), static_cast<int>(grad->size()));
   double loss = 0.0;
-  grad->assign(output.size(), 0.0);
   for (size_t i = 0; i < output.size(); ++i) {
-    if (target[i] > 0.0) loss -= target[i] * std::log(std::max(p[i], 1e-12));
-    (*grad)[i] = p[i] - target[i];
+    const double p = (*grad)[i];
+    if (target[i] > 0.0) loss -= target[i] * std::log(std::max(p, 1e-12));
+    (*grad)[i] = p - target[i];
   }
   return loss;
 }
@@ -248,7 +268,7 @@ double TrainMlp(Mlp* mlp, const std::vector<TrainExample>& examples,
       double batch_loss = 0.0;
       for (size_t i = cursor; i < batch_end; ++i) {
         const TrainExample& ex = examples[order[i]];
-        std::vector<double> out = mlp->ForwardCached(ex.input, &cache);
+        const std::vector<double>& out = mlp->ForwardCached(ex.input, &cache);
         batch_loss += loss(out, ex.target, &grad_out);
         mlp->Backward(cache, grad_out, &grads);
       }

@@ -30,14 +30,27 @@ struct MlpGradients {
   std::vector<Matrix> weight_grads;
   std::vector<std::vector<double>> bias_grads;
 
+  /// Backprop scratch reused across examples (not part of the gradients;
+  /// lets Backward run without heap allocation in steady state).
+  std::vector<double> delta;
+  std::vector<double> delta_prev;
+
   void Reset();
   void Scale(double s);
 };
 
-/// Intermediate activations kept by ForwardCached for backprop.
+/// Intermediate activations kept by ForwardCached for backprop. Reused
+/// across calls: the per-layer vectors keep their capacity, so repeated
+/// ForwardCached calls on the same cache are allocation-free.
 struct MlpForwardCache {
   /// activations[0] is the input; activations[L] the (linear) output.
   std::vector<std::vector<double>> activations;
+};
+
+/// Ping-pong buffers for allocation-free inference (ForwardInto).
+struct MlpInferenceScratch {
+  std::vector<double> a;
+  std::vector<double> b;
 };
 
 /// Multi-layer perceptron with linear output layer. Small and allocation-
@@ -59,9 +72,17 @@ class Mlp {
   /// as the task requires.
   std::vector<double> Forward(const std::vector<double>& x) const;
 
-  /// Forward pass that records activations for Backward.
-  std::vector<double> ForwardCached(const std::vector<double>& x,
-                                    MlpForwardCache* cache) const;
+  /// Allocation-free inference: writes the (linear) outputs into `out`
+  /// using the caller's ping-pong scratch. Bit-identical to Forward.
+  /// `out` must be distinct from both scratch buffers.
+  void ForwardInto(const std::vector<double>& x, MlpInferenceScratch* scratch,
+                   std::vector<double>* out) const;
+
+  /// Forward pass that records activations for Backward. Returns a
+  /// reference into `cache` (valid until the next call on the same cache);
+  /// allocation-free once the cache has warmed up.
+  const std::vector<double>& ForwardCached(const std::vector<double>& x,
+                                           MlpForwardCache* cache) const;
 
   /// Accumulates gradients for one example given dLoss/dOutput; `grads`
   /// must be shaped by InitGradients (or zeroed between batches via Reset).

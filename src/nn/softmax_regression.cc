@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/prob.h"
+#include "nn/kernels.h"
 
 namespace schemble {
 
@@ -28,6 +29,13 @@ double SoftmaxRegression::Train(const std::vector<std::vector<double>>& inputs,
 std::vector<double> SoftmaxRegression::PredictProba(
     const std::vector<double>& input) const {
   return Softmax(mlp_.Forward(input));
+}
+
+void SoftmaxRegression::PredictProbaInto(const std::vector<double>& input,
+                                         MlpInferenceScratch* scratch,
+                                         std::vector<double>* out) const {
+  mlp_.ForwardInto(input, scratch, out);
+  kernels::SoftmaxInPlace(out->data(), static_cast<int>(out->size()));
 }
 
 int SoftmaxRegression::Predict(const std::vector<double>& input) const {

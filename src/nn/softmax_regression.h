@@ -26,6 +26,12 @@ class SoftmaxRegression {
   /// Class-probability vector for one input.
   std::vector<double> PredictProba(const std::vector<double>& input) const;
 
+  /// Allocation-free PredictProba: the logits land in `out` via the caller's
+  /// scratch and are softmaxed in place. Bit-identical to PredictProba.
+  void PredictProbaInto(const std::vector<double>& input,
+                        MlpInferenceScratch* scratch,
+                        std::vector<double>* out) const;
+
   /// Most likely class.
   int Predict(const std::vector<double>& input) const;
 

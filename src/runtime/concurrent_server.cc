@@ -21,6 +21,76 @@ std::chrono::microseconds RealDuration(SimTime virtual_us, double speedup) {
 
 }  // namespace
 
+class ConcurrentServer::PolicyLock {
+ public:
+  explicit PolicyLock(ConcurrentServer* server)
+      : server_(server), lock_(server->mu_) {
+    Acquired();
+  }
+  ~PolicyLock() {
+    if (lock_.owns_lock()) Released();
+  }
+
+  PolicyLock(const PolicyLock&) = delete;
+  PolicyLock& operator=(const PolicyLock&) = delete;
+
+  /// Condition-variable waits release mu_ internally, so ownership
+  /// tracking (and held-time accounting) is suspended for the duration.
+  /// Wait predicates must not rely on HoldsPolicyLock().
+  template <typename Pred>
+  void Wait(std::condition_variable& cv, Pred pred) {
+    Released();
+    cv.wait(lock_, std::move(pred));
+    Acquired();
+  }
+  void WaitFor(std::condition_variable& cv, std::chrono::microseconds d) {
+    Released();
+    cv.wait_for(lock_, d);
+    Acquired();
+  }
+
+  /// Temporary release: DeadlineLoop drops the lock mid-scan to record
+  /// outcomes (aggregation + KNN fill) off-lock.
+  void Unlock() {
+    Released();
+    lock_.unlock();
+  }
+  void Relock() {
+    lock_.lock();
+    Acquired();
+  }
+
+ private:
+  void Acquired() {
+    server_->mu_owner_.store(std::this_thread::get_id(),
+                             std::memory_order_release);
+    server_->lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    acquired_at_ = std::chrono::steady_clock::now();
+  }
+  void Released() {
+    server_->mu_owner_.store(std::thread::id{}, std::memory_order_release);
+    const auto held = std::chrono::steady_clock::now() - acquired_at_;
+    server_->lock_held_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(held).count(),
+        std::memory_order_relaxed);
+  }
+
+  ConcurrentServer* server_;
+  std::unique_lock<std::mutex> lock_;
+  std::chrono::steady_clock::time_point acquired_at_;
+};
+
+bool ConcurrentServer::HoldsPolicyLock() const {
+  return mu_owner_.load(std::memory_order_acquire) ==
+         std::this_thread::get_id();
+}
+
+ConcurrentServer::LockStatsSnapshot ConcurrentServer::lock_stats() const {
+  return {lock_acquisitions_.load(std::memory_order_relaxed),
+          static_cast<double>(lock_held_ns_.load(std::memory_order_relaxed)) /
+              1e6};
+}
+
 ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
                                    ServingPolicy* policy,
                                    ConcurrentServerOptions options)
@@ -88,10 +158,13 @@ void ConcurrentServer::CommitLocked(int index, SubsetMask subset) {
 }
 
 void ConcurrentServer::EnqueueTasks(int index, SubsetMask subset) {
+  SCHEMBLE_DCHECK(!HoldsPolicyLock())
+      << "EnqueueTasks blocks on executor queues and must not be called "
+         "inside the policy critical section";
   {
     // Mirror the simulator: tasks for queries finalized while the commit
     // was in flight (deadline during scheduler overhead) are dropped.
-    std::lock_guard<std::mutex> lock(mu_);
+    PolicyLock lock(this);
     if (states_[index].finalized) return;
   }
   const SimTime now = clock_->Now();
@@ -141,10 +214,17 @@ bool ConcurrentServer::ClaimFinalizeLocked(int index) {
 
 void ConcurrentServer::RecordFinalized(int index, SubsetMask outputs,
                                        SimTime completion) {
+  SCHEMBLE_DCHECK(!HoldsPolicyLock())
+      << "aggregation and KNN fill must run outside the policy critical "
+         "section";
+  // One workspace per finalizing thread (workers, deadline, admission):
+  // the aggregation/fill/meta-classifier chain reuses it, so steady-state
+  // completions perform no heap allocations.
+  thread_local CompletionWorkspace completion_ws;
   const TracedQuery& tq = trace_->items[index];
   const QueryOutcome outcome =
       EvaluateCompletion(*task_, options_.aggregator, tq, outputs, completion,
-                         options_.allow_rejection);
+                         options_.allow_rejection, &completion_ws);
   total_.fetch_add(1, std::memory_order_relaxed);
   subset_size_counts_[static_cast<size_t>(outcome.subset_size)].fetch_add(
       1, std::memory_order_relaxed);
@@ -173,7 +253,7 @@ void ConcurrentServer::RecordFinalized(int index, SubsetMask outputs,
 
 void ConcurrentServer::NotifyScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    PolicyLock lock(this);
     scheduler_signal_ = true;
   }
   scheduler_cv_.notify_one();
@@ -189,7 +269,7 @@ void ConcurrentServer::AdmissionLoop() {
     std::pair<int, SubsetMask> to_enqueue{-1, 0};
     int reject_index = -1;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      PolicyLock lock(this);
       if (shutdown_) break;
       if (states_[index].finalized) continue;  // deadline beat the predictor
       const ServerView view = BuildView();
@@ -218,7 +298,7 @@ void ConcurrentServer::AdmissionLoop() {
     NotifyScheduler();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    PolicyLock lock(this);
     arrivals_done_ = true;
   }
   NotifyScheduler();
@@ -230,8 +310,8 @@ void ConcurrentServer::SchedulerLoop() {
     SimTime overhead = 0;
     bool idle_and_stuck = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      scheduler_cv_.wait(lock, [&] { return scheduler_signal_ || shutdown_; });
+      PolicyLock lock(this);
+      lock.Wait(scheduler_cv_, [&] { return scheduler_signal_ || shutdown_; });
       if (shutdown_) return;
       scheduler_signal_ = false;
       if (buffer_.empty()) continue;
@@ -288,12 +368,12 @@ void ConcurrentServer::DeadlineLoop() {
   std::sort(deadlines.begin(), deadlines.end());
 
   size_t next = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  PolicyLock lock(this);
   while (!shutdown_ && next < deadlines.size()) {
     const auto [when, index] = deadlines[next];
     const SimTime now = clock_->Now();
     if (now < when) {
-      deadline_cv_.wait_for(lock, RealDuration(when - now, options_.speedup));
+      lock.WaitFor(deadline_cv_, RealDuration(when - now, options_.speedup));
       continue;
     }
     ++next;
@@ -302,9 +382,9 @@ void ConcurrentServer::DeadlineLoop() {
     const SubsetMask outputs = state.done;
     const SimTime completion =
         outputs != 0 ? state.last_done_time : clock_->Now();
-    lock.unlock();
+    lock.Unlock();
     RecordFinalized(index, outputs, completion);
-    lock.lock();
+    lock.Relock();
   }
 }
 
@@ -343,7 +423,7 @@ void ConcurrentServer::WorkerLoop(int executor_id) {
     SubsetMask outputs = 0;
     SimTime completion = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      PolicyLock lock(this);
       QueryState& state = states_[index];
       if (!state.finalized) {
         state.done |= SubsetMask{1} << ex.model;
@@ -393,8 +473,8 @@ ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
   }
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
+    PolicyLock lock(this);
+    lock.Wait(done_cv_, [&] {
       return finalized_count_ == static_cast<int64_t>(states_.size());
     });
     shutdown_ = true;

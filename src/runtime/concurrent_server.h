@@ -85,7 +85,27 @@ class ConcurrentServer {
 
   int num_executors() const { return static_cast<int>(executors_.size()); }
 
+  /// Aggregate policy-mutex statistics (bench_runtime reports these): how
+  /// often the critical section was entered and total wall-clock time it
+  /// was held. Read after Run() returns.
+  struct LockStatsSnapshot {
+    int64_t acquisitions = 0;
+    double held_ms = 0.0;
+  };
+  LockStatsSnapshot lock_stats() const;
+
  private:
+  /// RAII policy-mutex guard: every acquisition of mu_ goes through this
+  /// wrapper, which tracks the owning thread in mu_owner_ (cleared for the
+  /// duration of condition-variable waits) and accumulates held-time
+  /// statistics. HoldsPolicyLock() + SCHEMBLE_DCHECK turn "aggregation and
+  /// KNN fill run outside the critical section" from a comment into an
+  /// executable invariant.
+  class PolicyLock;
+
+  /// True when the calling thread currently holds mu_ via PolicyLock.
+  bool HoldsPolicyLock() const;
+
   /// Per-query task; executed by the worker owning `executor`.
   struct Task {
     int query_index = 0;
@@ -147,8 +167,13 @@ class ConcurrentServer {
   std::unique_ptr<SteadyClock> clock_;
   const QueryTrace* trace_ = nullptr;
 
-  /// Guards policy calls, states_, buffer_ (see class comment).
+  /// Guards policy calls, states_, buffer_ (see class comment). Acquire
+  /// via PolicyLock only, so ownership tracking stays accurate.
   std::mutex mu_;
+  /// Thread currently inside the policy critical section (empty id: none).
+  std::atomic<std::thread::id> mu_owner_{};
+  std::atomic<int64_t> lock_acquisitions_{0};
+  std::atomic<int64_t> lock_held_ns_{0};
   std::vector<QueryState> states_;
   std::vector<int> buffer_;  // query indices in arrival order
   bool arrivals_done_ = false;

@@ -7,7 +7,8 @@ namespace schemble {
 QueryOutcome EvaluateCompletion(const SyntheticTask& task,
                                 const Aggregator* aggregator,
                                 const TracedQuery& tq, SubsetMask outputs,
-                                SimTime completion, bool allow_rejection) {
+                                SimTime completion, bool allow_rejection,
+                                CompletionWorkspace* ws) {
   QueryOutcome outcome;
   outcome.outputs = outputs;
   outcome.subset_size = SubsetSize(outputs);
@@ -15,17 +16,27 @@ QueryOutcome EvaluateCompletion(const SyntheticTask& task,
     outcome.missed = true;
     return outcome;
   }
-  std::vector<double> result;
   if (aggregator != nullptr) {
-    result = aggregator->Aggregate(tq.query, outputs);
+    aggregator->AggregateInto(tq.query, outputs, &ws->aggregation,
+                              &ws->result);
   } else {
-    result = task.AggregateSubset(tq.query, SubsetModels(outputs));
+    SubsetModelsInto(outputs, &ws->subset);
+    task.AggregateSubsetInto(tq.query, ws->subset, &ws->result);
   }
   outcome.processed = true;
-  outcome.match = task.MatchScore(result, tq.query.ensemble_output);
+  outcome.match = task.MatchScore(ws->result, tq.query.ensemble_output);
   outcome.latency_ms = SimTimeToMillis(completion - tq.arrival_time);
   outcome.missed = !allow_rejection && completion > tq.deadline;
   return outcome;
+}
+
+QueryOutcome EvaluateCompletion(const SyntheticTask& task,
+                                const Aggregator* aggregator,
+                                const TracedQuery& tq, SubsetMask outputs,
+                                SimTime completion, bool allow_rejection) {
+  thread_local CompletionWorkspace ws;
+  return EvaluateCompletion(task, aggregator, tq, outputs, completion,
+                            allow_rejection, &ws);
 }
 
 void RecordOutcome(const QueryOutcome& outcome, const TracedQuery& tq,

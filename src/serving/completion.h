@@ -23,15 +23,33 @@ struct QueryOutcome {
   bool missed = false;
 };
 
+/// Reusable scratch for the per-query completion path. One per thread: the
+/// concurrent runtime's workers each keep their own so finalizing a query
+/// (subset unpack, KNN fill, aggregation) allocates nothing in steady
+/// state.
+struct CompletionWorkspace {
+  Aggregator::Workspace aggregation;
+  std::vector<int> subset;      // no-aggregator reference-average path
+  std::vector<double> result;   // aggregated output vector
+};
+
 /// Aggregates whatever model outputs completed for `tq` and scores the
 /// result. `outputs == 0` means nothing finished by the deadline (a miss).
 /// When `aggregator` is null the task's reference weighted average is
 /// used. In force mode (`allow_rejection == false`) a query is processed
 /// *and* counted as missed when it finished after its deadline.
 ///
-/// Thread-safety: pure function of its arguments; `task` and `aggregator`
-/// are only read through const, state-free paths, so concurrent calls from
-/// worker threads are safe.
+/// Thread-safety: pure function of its arguments plus caller-owned
+/// scratch; `task` and `aggregator` are only read through const,
+/// state-free paths, so concurrent calls with distinct workspaces are
+/// safe.
+QueryOutcome EvaluateCompletion(const SyntheticTask& task,
+                                const Aggregator* aggregator,
+                                const TracedQuery& tq, SubsetMask outputs,
+                                SimTime completion, bool allow_rejection,
+                                CompletionWorkspace* ws);
+
+/// Convenience overload backed by a per-thread workspace.
 QueryOutcome EvaluateCompletion(const SyntheticTask& task,
                                 const Aggregator* aggregator,
                                 const TracedQuery& tq, SubsetMask outputs,

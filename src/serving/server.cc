@@ -232,7 +232,7 @@ void EnsembleServer::Finalize(int index, SubsetMask outputs,
 
   const QueryOutcome outcome =
       EvaluateCompletion(*task_, options_.aggregator, tq, outputs, completion,
-                         options_.allow_rejection);
+                         options_.allow_rejection, &completion_ws_);
   RecordOutcome(outcome, tq, options_.segment_duration, &metrics_);
 }
 

@@ -9,6 +9,7 @@
 #include "core/aggregation.h"
 #include "core/policy.h"
 #include "models/synthetic_task.h"
+#include "serving/completion.h"
 #include "serving/metrics.h"
 #include "simcore/simulation.h"
 #include "workload/trace.h"
@@ -87,6 +88,9 @@ class EnsembleServer {
   std::vector<int> buffer_;  // query indices in arrival order
   std::unordered_map<int64_t, int> id_to_index_;
   ServingMetrics metrics_;
+  /// Reused across every Finalize call: the single-threaded simulator
+  /// finalizes queries one at a time, so one workspace serves the run.
+  CompletionWorkspace completion_ws_;
   bool draining_ = false;
   bool ran_ = false;
 };

@@ -1,0 +1,163 @@
+#include "nn/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/prob.h"
+#include "common/rng.h"
+
+namespace schemble {
+namespace {
+
+// The kernels promise BITWISE identity with the naive strictly-ordered
+// scalar loops (the golden serving regression depends on it), so every
+// comparison here is EXPECT_EQ on doubles, not EXPECT_NEAR.
+
+std::vector<double> RandomVector(int n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Normal();
+  return v;
+}
+
+TEST(KernelsTest, DotMatchesNaiveLoopBitwise) {
+  Rng rng(11);
+  for (int n : {0, 1, 2, 3, 4, 5, 7, 8, 17, 64, 129}) {
+    const std::vector<double> x = RandomVector(n, rng);
+    const std::vector<double> y = RandomVector(n, rng);
+    double expected = 0.0;
+    for (int i = 0; i < n; ++i) expected += x[i] * y[i];
+    EXPECT_EQ(kernels::Dot(x.data(), y.data(), n), expected) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, AxpyMatchesNaiveLoopBitwise) {
+  Rng rng(12);
+  for (int n : {1, 3, 4, 9, 33}) {
+    const std::vector<double> x = RandomVector(n, rng);
+    std::vector<double> y = RandomVector(n, rng);
+    std::vector<double> expected = y;
+    const double a = rng.Normal();
+    for (int i = 0; i < n; ++i) expected[i] += a * x[i];
+    kernels::Axpy(a, x.data(), y.data(), n);
+    EXPECT_EQ(y, expected) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, GemvMatchesNaiveLoopBitwise) {
+  Rng rng(13);
+  const int rows = 5;
+  const int cols = 7;
+  const std::vector<double> a = RandomVector(rows * cols, rng);
+  const std::vector<double> x = RandomVector(cols, rng);
+  std::vector<double> y(rows);
+  kernels::Gemv(a.data(), rows, cols, x.data(), y.data());
+  for (int r = 0; r < rows; ++r) {
+    double expected = 0.0;
+    for (int c = 0; c < cols; ++c) expected += a[r * cols + c] * x[c];
+    EXPECT_EQ(y[r], expected) << "row " << r;
+  }
+}
+
+TEST(KernelsTest, GemvTransposedMatchesRowMajorAccumulation) {
+  Rng rng(14);
+  const int rows = 6;
+  const int cols = 4;
+  const std::vector<double> a = RandomVector(rows * cols, rng);
+  const std::vector<double> x = RandomVector(rows, rng);
+  std::vector<double> y(cols);
+  kernels::GemvTransposed(a.data(), rows, cols, x.data(), y.data());
+  // The contract pins the historical ApplyTransposed order: r-outer
+  // accumulation, not c-outer dot products.
+  std::vector<double> expected(cols, 0.0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) expected[c] += a[r * cols + c] * x[r];
+  }
+  EXPECT_EQ(y, expected);
+}
+
+TEST(KernelsTest, SquaredDistanceMatchesNaiveLoopBitwise) {
+  Rng rng(15);
+  for (int n : {1, 4, 6, 13, 40}) {
+    const std::vector<double> a = RandomVector(n, rng);
+    const std::vector<double> b = RandomVector(n, rng);
+    double expected = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double d = a[i] - b[i];
+      expected += d * d;
+    }
+    EXPECT_EQ(kernels::SquaredDistance(a.data(), b.data(), n), expected)
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, MaskedSquaredDistancesMatchesMaskedScan) {
+  Rng rng(16);
+  const int dim = 9;
+  const int num_rows = 7;
+  const std::vector<double> rows = RandomVector(num_rows * dim, rng);
+  const std::vector<double> point = RandomVector(dim, rng);
+  const std::vector<bool> mask = {true, false, true, true, false,
+                                  true, false, false, true};
+  std::vector<int> obs;
+  std::vector<double> point_obs;
+  for (int d = 0; d < dim; ++d) {
+    if (mask[d]) {
+      obs.push_back(d);
+      point_obs.push_back(point[d]);
+    }
+  }
+  std::vector<double> out(num_rows);
+  kernels::MaskedSquaredDistances(rows.data(), num_rows, dim, point_obs.data(),
+                                  obs.data(), static_cast<int>(obs.size()),
+                                  out.data());
+  for (int r = 0; r < num_rows; ++r) {
+    double expected = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      if (!mask[d]) continue;
+      const double diff = rows[r * dim + d] - point[d];
+      expected += diff * diff;
+    }
+    EXPECT_EQ(out[r], expected) << "row " << r;
+  }
+}
+
+TEST(KernelsTest, GatherAxpyMatchesNaiveGather) {
+  Rng rng(17);
+  const int dim = 11;
+  const std::vector<double> row = RandomVector(dim, rng);
+  const std::vector<int> idx = {0, 2, 3, 7, 10};
+  const double a = rng.Normal();
+  std::vector<double> acc = RandomVector(static_cast<int>(idx.size()), rng);
+  std::vector<double> expected = acc;
+  for (size_t t = 0; t < idx.size(); ++t) expected[t] += a * row[idx[t]];
+  kernels::GatherAxpy(a, row.data(), idx.data(), static_cast<int>(idx.size()),
+                      acc.data());
+  EXPECT_EQ(acc, expected);
+}
+
+TEST(KernelsTest, MaxValueTakesFirstOnTies) {
+  const std::vector<double> x = {1.0, 3.0, 3.0, 2.0};
+  EXPECT_EQ(kernels::MaxValue(x.data(), 4), 3.0);
+  EXPECT_EQ(kernels::MaxValue(x.data(), 1), 1.0);
+}
+
+TEST(KernelsTest, LogSumExpIsStableForLargeInputs) {
+  const std::vector<double> x = {1000.0, 1000.0};
+  EXPECT_NEAR(kernels::LogSumExp(x.data(), 2), 1000.0 + std::log(2.0), 1e-12);
+}
+
+TEST(KernelsTest, SoftmaxInPlaceMatchesProbSoftmaxBitwise) {
+  Rng rng(18);
+  for (int n : {1, 2, 5, 16}) {
+    std::vector<double> logits = RandomVector(n, rng);
+    for (double& v : logits) v *= 5.0;
+    const std::vector<double> expected = Softmax(logits);
+    kernels::SoftmaxInPlace(logits.data(), n);
+    EXPECT_EQ(logits, expected) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace schemble

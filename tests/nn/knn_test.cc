@@ -11,6 +11,68 @@ TEST(KnnIndexTest, BuildRejectsBadInput) {
   EXPECT_FALSE(KnnIndex::Build({}).ok());
   EXPECT_FALSE(KnnIndex::Build({{}}).ok());
   EXPECT_FALSE(KnnIndex::Build({{1.0}, {1.0, 2.0}}).ok());
+  // Mismatch after a long valid prefix, and an empty row mid-list.
+  EXPECT_FALSE(KnnIndex::Build({{1.0, 2.0}, {3.0, 4.0}, {5.0}}).ok());
+  EXPECT_FALSE(KnnIndex::Build({{1.0}, {}, {2.0}}).ok());
+}
+
+TEST(KnnIndexTest, BuildRepacksRowMajor) {
+  auto index = KnnIndex::Build({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().size(), 3);
+  EXPECT_EQ(index.value().dim(), 2);
+  // Records live in one flat row-major buffer.
+  const double* row1 = index.value().row(1);
+  EXPECT_DOUBLE_EQ(row1[0], 3.0);
+  EXPECT_DOUBLE_EQ(row1[1], 4.0);
+  EXPECT_EQ(index.value().row(2), index.value().row(0) + 4);
+}
+
+TEST(KnnIndexTest, DistanceTiesBreakByRecordIndex) {
+  // Records 1 and 3 are equidistant from the query (distance 1 on each
+  // side); so are 0 and 4 (distance 2). The deterministic ordering contract
+  // ranks equal distances by ascending record index on every platform.
+  auto index = KnnIndex::Build({{0.0}, {1.0}, {5.0}, {3.0}, {4.0}});
+  ASSERT_TRUE(index.ok());
+  auto neighbors = index.value().Query({2.0}, {true}, 4);
+  ASSERT_EQ(neighbors.size(), 4u);
+  EXPECT_EQ(neighbors[0].index, 1);
+  EXPECT_EQ(neighbors[1].index, 3);
+  EXPECT_EQ(neighbors[2].index, 0);
+  EXPECT_EQ(neighbors[3].index, 4);
+  // Ties must also resolve identically when they straddle the top-k
+  // boundary: k=1 keeps the lower index of the {1, 3} pair.
+  EXPECT_EQ(index.value().Query({2.0}, {true}, 1)[0].index, 1);
+}
+
+TEST(KnnIndexTest, QueryIntoReusesWorkspaceWithoutGrowth) {
+  auto built = KnnIndex::Build(
+      {{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}, {4.0, 4.0}});
+  ASSERT_TRUE(built.ok());
+  const KnnIndex& index = built.value();
+  KnnIndex::Workspace ws;
+  std::vector<KnnIndex::Neighbor> out;
+  index.QueryInto({1.2, 1.2}, {true, true}, 3, &ws, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].index, 1);
+  const int64_t warm = ws.stats.grow_events;
+  for (int i = 0; i < 50; ++i) {
+    index.QueryInto({0.1 * i, 0.2 * i}, {true, true}, 3, &ws, &out);
+  }
+  EXPECT_EQ(ws.stats.grow_events, warm) << "steady-state queries allocated";
+  EXPECT_EQ(ws.stats.queries, 51);
+}
+
+TEST(KnnIndexTest, FillMissingIntoSupportsInPlaceFill) {
+  auto built = KnnIndex::Build({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+  ASSERT_TRUE(built.ok());
+  const KnnIndex& index = built.value();
+  const std::vector<double> expected =
+      index.FillMissing({2.0, 0.0}, {true, false}, 1);
+  KnnIndex::Workspace ws;
+  std::vector<double> point = {2.0, 0.0};
+  index.FillMissingInto(point, {true, false}, 1, &ws, &point);
+  EXPECT_EQ(point, expected);
 }
 
 TEST(KnnIndexTest, FindsNearestNeighbor) {
