@@ -21,74 +21,9 @@ std::chrono::microseconds RealDuration(SimTime virtual_us, double speedup) {
 
 }  // namespace
 
-class ConcurrentServer::PolicyLock {
- public:
-  explicit PolicyLock(ConcurrentServer* server)
-      : server_(server), lock_(server->mu_) {
-    Acquired();
-  }
-  ~PolicyLock() {
-    if (lock_.owns_lock()) Released();
-  }
-
-  PolicyLock(const PolicyLock&) = delete;
-  PolicyLock& operator=(const PolicyLock&) = delete;
-
-  /// Condition-variable waits release mu_ internally, so ownership
-  /// tracking (and held-time accounting) is suspended for the duration.
-  /// Wait predicates must not rely on HoldsPolicyLock().
-  template <typename Pred>
-  void Wait(std::condition_variable& cv, Pred pred) {
-    Released();
-    cv.wait(lock_, std::move(pred));
-    Acquired();
-  }
-  void WaitFor(std::condition_variable& cv, std::chrono::microseconds d) {
-    Released();
-    cv.wait_for(lock_, d);
-    Acquired();
-  }
-
-  /// Temporary release: DeadlineLoop drops the lock mid-scan to record
-  /// outcomes (aggregation + KNN fill) off-lock.
-  void Unlock() {
-    Released();
-    lock_.unlock();
-  }
-  void Relock() {
-    lock_.lock();
-    Acquired();
-  }
-
- private:
-  void Acquired() {
-    server_->mu_owner_.store(std::this_thread::get_id(),
-                             std::memory_order_release);
-    server_->lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-    acquired_at_ = std::chrono::steady_clock::now();
-  }
-  void Released() {
-    server_->mu_owner_.store(std::thread::id{}, std::memory_order_release);
-    const auto held = std::chrono::steady_clock::now() - acquired_at_;
-    server_->lock_held_ns_.fetch_add(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(held).count(),
-        std::memory_order_relaxed);
-  }
-
-  ConcurrentServer* server_;
-  std::unique_lock<std::mutex> lock_;
-  std::chrono::steady_clock::time_point acquired_at_;
-};
-
-bool ConcurrentServer::HoldsPolicyLock() const {
-  return mu_owner_.load(std::memory_order_acquire) ==
-         std::this_thread::get_id();
-}
-
 ConcurrentServer::LockStatsSnapshot ConcurrentServer::lock_stats() const {
-  return {lock_acquisitions_.load(std::memory_order_relaxed),
-          static_cast<double>(lock_held_ns_.load(std::memory_order_relaxed)) /
-              1e6};
+  const Mutex::Stats stats = mu_.stats();
+  return {stats.acquisitions, static_cast<double>(stats.held_ns) / 1e6};
 }
 
 ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
@@ -158,13 +93,13 @@ void ConcurrentServer::CommitLocked(int index, SubsetMask subset) {
 }
 
 void ConcurrentServer::EnqueueTasks(int index, SubsetMask subset) {
-  SCHEMBLE_DCHECK(!HoldsPolicyLock())
+  SCHEMBLE_DCHECK(!mu_.HeldByCurrentThread())
       << "EnqueueTasks blocks on executor queues and must not be called "
          "inside the policy critical section";
   {
     // Mirror the simulator: tasks for queries finalized while the commit
     // was in flight (deadline during scheduler overhead) are dropped.
-    PolicyLock lock(this);
+    MutexLock lock(&mu_);
     if (states_[index].finalized) return;
   }
   const SimTime now = clock_->Now();
@@ -207,14 +142,14 @@ bool ConcurrentServer::ClaimFinalizeLocked(int index) {
   }
   ++finalized_count_;
   if (finalized_count_ == static_cast<int64_t>(states_.size())) {
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
   return true;
 }
 
 void ConcurrentServer::RecordFinalized(int index, SubsetMask outputs,
                                        SimTime completion) {
-  SCHEMBLE_DCHECK(!HoldsPolicyLock())
+  SCHEMBLE_DCHECK(!mu_.HeldByCurrentThread())
       << "aggregation and KNN fill must run outside the policy critical "
          "section";
   // One workspace per finalizing thread (workers, deadline, admission):
@@ -253,10 +188,10 @@ void ConcurrentServer::RecordFinalized(int index, SubsetMask outputs,
 
 void ConcurrentServer::NotifyScheduler() {
   {
-    PolicyLock lock(this);
+    MutexLock lock(&mu_);
     scheduler_signal_ = true;
   }
-  scheduler_cv_.notify_one();
+  scheduler_cv_.NotifyOne();
 }
 
 void ConcurrentServer::AdmissionLoop() {
@@ -269,7 +204,7 @@ void ConcurrentServer::AdmissionLoop() {
     std::pair<int, SubsetMask> to_enqueue{-1, 0};
     int reject_index = -1;
     {
-      PolicyLock lock(this);
+      MutexLock lock(&mu_);
       if (shutdown_) break;
       if (states_[index].finalized) continue;  // deadline beat the predictor
       const ServerView view = BuildView();
@@ -298,7 +233,7 @@ void ConcurrentServer::AdmissionLoop() {
     NotifyScheduler();
   }
   {
-    PolicyLock lock(this);
+    MutexLock lock(&mu_);
     arrivals_done_ = true;
   }
   NotifyScheduler();
@@ -310,8 +245,8 @@ void ConcurrentServer::SchedulerLoop() {
     SimTime overhead = 0;
     bool idle_and_stuck = false;
     {
-      PolicyLock lock(this);
-      lock.Wait(scheduler_cv_, [&] { return scheduler_signal_ || shutdown_; });
+      MutexLock lock(&mu_);
+      while (!scheduler_signal_ && !shutdown_) scheduler_cv_.Wait(mu_);
       if (shutdown_) return;
       scheduler_signal_ = false;
       if (buffer_.empty()) continue;
@@ -351,8 +286,8 @@ void ConcurrentServer::SchedulerLoop() {
       // a policy that leaves the buffer untouched forever would hang the
       // run. The simulator CHECK-fails the equivalent state at drain time.
       SCHEMBLE_LOG(kError) << "policy left " << buffer_.size()
-                          << " buffered queries with idle executors in "
-                             "force mode";
+                           << " buffered queries with idle executors in "
+                              "force mode";
     }
   }
 }
@@ -368,12 +303,12 @@ void ConcurrentServer::DeadlineLoop() {
   std::sort(deadlines.begin(), deadlines.end());
 
   size_t next = 0;
-  PolicyLock lock(this);
+  MutexLock lock(&mu_);
   while (!shutdown_ && next < deadlines.size()) {
     const auto [when, index] = deadlines[next];
     const SimTime now = clock_->Now();
     if (now < when) {
-      lock.WaitFor(deadline_cv_, RealDuration(when - now, options_.speedup));
+      deadline_cv_.WaitFor(mu_, RealDuration(when - now, options_.speedup));
       continue;
     }
     ++next;
@@ -382,9 +317,9 @@ void ConcurrentServer::DeadlineLoop() {
     const SubsetMask outputs = state.done;
     const SimTime completion =
         outputs != 0 ? state.last_done_time : clock_->Now();
-    lock.Unlock();
+    lock.Release();
     RecordFinalized(index, outputs, completion);
-    lock.Relock();
+    lock.Acquire();
   }
 }
 
@@ -423,7 +358,7 @@ void ConcurrentServer::WorkerLoop(int executor_id) {
     SubsetMask outputs = 0;
     SimTime completion = 0;
     {
-      PolicyLock lock(this);
+      MutexLock lock(&mu_);
       QueryState& state = states_[index];
       if (!state.finalized) {
         state.done |= SubsetMask{1} << ex.model;
@@ -445,8 +380,12 @@ ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
   ran_ = true;
   trace_ = &trace;
   const size_t n = trace.items.size();
-  states_.assign(n, QueryState{});
-  buffer_.clear();
+  {
+    MutexLock lock(&mu_);
+    states_.assign(n, QueryState{});
+    buffer_.clear();
+    finalized_count_ = 0;
+  }
   id_to_index_.clear();
   for (size_t i = 0; i < n; ++i) {
     id_to_index_[trace.items[i].query.id] = static_cast<int>(i);
@@ -460,7 +399,6 @@ ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
   subset_size_counts_ = std::vector<std::atomic<int64_t>>(
       static_cast<size_t>(task_->num_models()) + 1);
   latency_slots_.assign(n, std::numeric_limits<double>::quiet_NaN());
-  finalized_count_ = 0;
 
   clock_ = std::make_unique<SteadyClock>(options_.speedup);
   threads_.emplace_back([this] { AdmissionLoop(); });
@@ -473,14 +411,14 @@ ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
   }
 
   {
-    PolicyLock lock(this);
-    lock.Wait(done_cv_, [&] {
-      return finalized_count_ == static_cast<int64_t>(states_.size());
-    });
+    MutexLock lock(&mu_);
+    while (finalized_count_ != static_cast<int64_t>(states_.size())) {
+      done_cv_.Wait(mu_);
+    }
     shutdown_ = true;
   }
-  scheduler_cv_.notify_all();
-  deadline_cv_.notify_all();
+  scheduler_cv_.NotifyAll();
+  deadline_cv_.NotifyAll();
   for (Executor& ex : executors_) ex.queue->Close();
   for (std::thread& t : threads_) t.join();
   threads_.clear();

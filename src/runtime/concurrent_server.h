@@ -2,15 +2,14 @@
 #define SCHEMBLE_RUNTIME_CONCURRENT_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "core/aggregation.h"
 #include "core/policy.h"
 #include "models/synthetic_task.h"
@@ -62,9 +61,11 @@ struct ConcurrentServerOptions {
 ///
 /// Threading model:
 ///  - All policy calls (OnArrival / OnIdle) and query-state transitions
-///    are serialized under one mutex, so policies keep the single-threaded
-///    contract they were written against (DpScheduler's mutable workspace
-///    in particular).
+///    are serialized under one annotated Mutex, so policies keep the
+///    single-threaded contract they were written against (DpScheduler's
+///    mutable workspace in particular). The SCHEMBLE_GUARDED_BY /
+///    SCHEMBLE_REQUIRES annotations below make any off-lock access a clang
+///    build error (-Werror=thread-safety).
 ///  - Task execution, aggregation and metric recording run outside that
 ///    mutex; metrics feed std::atomic counters (the mutex-free fast path),
 ///    and each query's latency sample is written to its own slot.
@@ -87,7 +88,8 @@ class ConcurrentServer {
 
   /// Aggregate policy-mutex statistics (bench_runtime reports these): how
   /// often the critical section was entered and total wall-clock time it
-  /// was held. Read after Run() returns.
+  /// was held. Backed by the annotated Mutex's built-in stats collection;
+  /// read after Run() returns.
   struct LockStatsSnapshot {
     int64_t acquisitions = 0;
     double held_ms = 0.0;
@@ -95,16 +97,6 @@ class ConcurrentServer {
   LockStatsSnapshot lock_stats() const;
 
  private:
-  /// RAII policy-mutex guard: every acquisition of mu_ goes through this
-  /// wrapper, which tracks the owning thread in mu_owner_ (cleared for the
-  /// duration of condition-variable waits) and accumulates held-time
-  /// statistics. HoldsPolicyLock() + SCHEMBLE_DCHECK turn "aggregation and
-  /// KNN fill run outside the critical section" from a comment into an
-  /// executable invariant.
-  class PolicyLock;
-
-  /// True when the calling thread currently holds mu_ via PolicyLock.
-  bool HoldsPolicyLock() const;
 
   /// Per-query task; executed by the worker owning `executor`.
   struct Task {
@@ -138,25 +130,27 @@ class ConcurrentServer {
     std::atomic<double> latency_ms_sum{0.0};
   };
 
-  void AdmissionLoop();
-  void SchedulerLoop();
-  void DeadlineLoop();
-  void WorkerLoop(int executor_id);
+  void AdmissionLoop() SCHEMBLE_EXCLUDES(mu_);
+  void SchedulerLoop() SCHEMBLE_EXCLUDES(mu_);
+  void DeadlineLoop() SCHEMBLE_EXCLUDES(mu_);
+  void WorkerLoop(int executor_id) SCHEMBLE_EXCLUDES(mu_);
 
-  /// Builds the policy's server view; requires mu_.
-  ServerView BuildView() const;
-  /// Marks `subset` assigned and removes the query from the buffer;
-  /// requires mu_. Tasks are enqueued by the caller outside the lock.
-  void CommitLocked(int index, SubsetMask subset);
+  /// Builds the policy's server view.
+  ServerView BuildView() const SCHEMBLE_REQUIRES(mu_);
+  /// Marks `subset` assigned and removes the query from the buffer.
+  /// Tasks are enqueued by the caller outside the lock.
+  void CommitLocked(int index, SubsetMask subset) SCHEMBLE_REQUIRES(mu_);
   /// Pushes the query's tasks onto the least-loaded executor of each
-  /// member model. Blocks when queues are full; must not hold mu_.
-  void EnqueueTasks(int index, SubsetMask subset);
-  /// Claims finalization under mu_; returns false if already finalized.
-  bool ClaimFinalizeLocked(int index);
+  /// member model. Blocks when queues are full, hence must not hold mu_
+  /// (annotation-enforced).
+  void EnqueueTasks(int index, SubsetMask subset) SCHEMBLE_EXCLUDES(mu_);
+  /// Claims finalization; returns false if already finalized.
+  bool ClaimFinalizeLocked(int index) SCHEMBLE_REQUIRES(mu_);
   /// Aggregates, scores and records one finalized query. Must not hold
-  /// mu_. `outputs == 0` records a miss.
-  void RecordFinalized(int index, SubsetMask outputs, SimTime completion);
-  void NotifyScheduler();
+  /// mu_ (annotation-enforced). `outputs == 0` records a miss.
+  void RecordFinalized(int index, SubsetMask outputs, SimTime completion)
+      SCHEMBLE_EXCLUDES(mu_);
+  void NotifyScheduler() SCHEMBLE_EXCLUDES(mu_);
 
   const SyntheticTask* task_;
   ServingPolicy* policy_;
@@ -167,27 +161,26 @@ class ConcurrentServer {
   std::unique_ptr<SteadyClock> clock_;
   const QueryTrace* trace_ = nullptr;
 
-  /// Guards policy calls, states_, buffer_ (see class comment). Acquire
-  /// via PolicyLock only, so ownership tracking stays accurate.
-  std::mutex mu_;
-  /// Thread currently inside the policy critical section (empty id: none).
-  std::atomic<std::thread::id> mu_owner_{};
-  std::atomic<int64_t> lock_acquisitions_{0};
-  std::atomic<int64_t> lock_held_ns_{0};
-  std::vector<QueryState> states_;
-  std::vector<int> buffer_;  // query indices in arrival order
-  bool arrivals_done_ = false;
+  /// Guards policy calls, states_, buffer_ (see class comment). Stats
+  /// collection is on: bench_runtime reports critical-section pressure via
+  /// lock_stats(). Owner tracking (built into Mutex) keeps "completion
+  /// work runs off-lock" a DCHECKed invariant in RecordFinalized.
+  Mutex mu_{Mutex::StatsMode::kEnabled};
+  std::vector<QueryState> states_ SCHEMBLE_GUARDED_BY(mu_);
+  /// Query indices in arrival order.
+  std::vector<int> buffer_ SCHEMBLE_GUARDED_BY(mu_);
+  bool arrivals_done_ SCHEMBLE_GUARDED_BY(mu_) = false;
 
   /// Scheduler wakeup: completions/arrivals set the flag and notify.
-  std::condition_variable scheduler_cv_;
+  CondVar scheduler_cv_;
   /// Interrupts the deadline thread's timed waits at shutdown.
-  std::condition_variable deadline_cv_;
-  bool scheduler_signal_ = false;
-  bool shutdown_ = false;
+  CondVar deadline_cv_;
+  bool scheduler_signal_ SCHEMBLE_GUARDED_BY(mu_) = false;
+  bool shutdown_ SCHEMBLE_GUARDED_BY(mu_) = false;
 
   /// Completion tracking: Run() waits until every query is finalized.
-  std::condition_variable done_cv_;
-  int64_t finalized_count_ = 0;
+  CondVar done_cv_;
+  int64_t finalized_count_ SCHEMBLE_GUARDED_BY(mu_) = 0;
 
   /// Metrics fast path (no mutex): totals, per-segment cells, per-query
   /// latency slots (NaN = not processed), subset-size histogram.

@@ -1,14 +1,13 @@
 #ifndef SCHEMBLE_RUNTIME_MPMC_QUEUE_H_
 #define SCHEMBLE_RUNTIME_MPMC_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace schemble {
 
@@ -17,7 +16,9 @@ namespace schemble {
 /// while full, consumers block while empty. `Close` wakes every waiter;
 /// after close, pushes fail and pops drain the remaining items before
 /// reporting exhaustion. Safe for any number of concurrent producers and
-/// consumers.
+/// consumers: every state transition happens under mu_, and the
+/// thread-safety annotations make any future off-lock access a clang build
+/// error.
 template <typename T>
 class MpmcQueue {
  public:
@@ -30,90 +31,93 @@ class MpmcQueue {
 
   /// Blocks until space frees up; returns false (dropping `value`) when the
   /// queue is closed before space is available.
-  bool Push(T value) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return size_ < ring_.size() || closed_; });
-    if (closed_) return false;
-    PushLocked(std::move(value));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T value) SCHEMBLE_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (size_ == ring_.size() && !closed_) not_full_.Wait(mu_);
+      if (closed_) return false;
+      PushLocked(std::move(value));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push; false when full or closed.
-  bool TryPush(T value) {
+  bool TryPush(T value) SCHEMBLE_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (closed_ || size_ == ring_.size()) return false;
       PushLocked(std::move(value));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item arrives; nullopt once the queue is closed and
   /// drained (the consumer-side shutdown signal).
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
-    if (size_ == 0) return std::nullopt;
-    T value = PopLocked();
-    lock.unlock();
-    not_full_.notify_one();
+  std::optional<T> Pop() SCHEMBLE_EXCLUDES(mu_) {
+    std::optional<T> value;
+    {
+      MutexLock lock(&mu_);
+      while (size_ == 0 && !closed_) not_empty_.Wait(mu_);
+      if (size_ == 0) return std::nullopt;
+      value = PopLocked();
+    }
+    not_full_.NotifyOne();
     return value;
   }
 
   /// Non-blocking pop; nullopt when currently empty.
-  std::optional<T> TryPop() {
+  std::optional<T> TryPop() SCHEMBLE_EXCLUDES(mu_) {
     std::optional<T> value;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (size_ == 0) return std::nullopt;
       value = PopLocked();
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return value;
   }
 
   /// Irreversibly stops accepting new items and wakes all blocked threads.
-  void Close() {
+  void Close() SCHEMBLE_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const SCHEMBLE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return size_;
   }
   size_t capacity() const { return ring_.size(); }
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const SCHEMBLE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
  private:
-  void PushLocked(T value) {
+  void PushLocked(T value) SCHEMBLE_REQUIRES(mu_) {
     ring_[(head_ + size_) % ring_.size()] = std::move(value);
     ++size_;
   }
-  T PopLocked() {
+  T PopLocked() SCHEMBLE_REQUIRES(mu_) {
     T value = std::move(ring_[head_]);
     head_ = (head_ + 1) % ring_.size();
     --size_;
     return value;
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::vector<T> ring_;
-  size_t head_ = 0;
-  size_t size_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::vector<T> ring_ SCHEMBLE_GUARDED_BY(mu_);
+  size_t head_ SCHEMBLE_GUARDED_BY(mu_) = 0;
+  size_t size_ SCHEMBLE_GUARDED_BY(mu_) = 0;
+  bool closed_ SCHEMBLE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace schemble

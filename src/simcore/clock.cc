@@ -32,31 +32,31 @@ void SteadyClock::SleepUntil(SimTime when) {
 }
 
 SimTime ManualClock::Now() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return now_;
 }
 
 void ManualClock::SleepUntil(SimTime when) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return now_ >= when; });
+  MutexLock lock(&mu_);
+  while (now_ < when) cv_.Wait(mu_);
 }
 
 void ManualClock::AdvanceTo(SimTime when) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     SCHEMBLE_CHECK_GE(when, now_);
     now_ = when;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ManualClock::Advance(SimTime delta) {
   SCHEMBLE_CHECK_GE(delta, 0);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     now_ += delta;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace schemble

@@ -2,9 +2,8 @@
 #define SCHEMBLE_SIMCORE_CLOCK_H_
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "simcore/simulation.h"
 
 namespace schemble {
@@ -66,9 +65,9 @@ class ManualClock final : public Clock {
   void Advance(SimTime delta);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  SimTime now_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  SimTime now_ SCHEMBLE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace schemble
