@@ -244,6 +244,7 @@ void ConcurrentServer::SchedulerLoop() {
     std::vector<std::pair<int, SubsetMask>> commits;
     SimTime overhead = 0;
     bool idle_and_stuck = false;
+    size_t stuck_buffered = 0;
     {
       MutexLock lock(&mu_);
       while (!scheduler_signal_ && !shutdown_) scheduler_cv_.Wait(mu_);
@@ -272,6 +273,9 @@ void ConcurrentServer::SchedulerLoop() {
       }
       overhead = output.overhead_us;
       idle_and_stuck = commits.empty() && arrivals_done_ && !buffer_.empty();
+      // Snapshot for the off-lock error log below: buffer_ is guarded and
+      // workers may finalize (and un-buffer) queries concurrently.
+      stuck_buffered = buffer_.size();
     }
     if (!commits.empty()) {
       // The simulator charges scheduling overhead by delaying the
@@ -285,9 +289,9 @@ void ConcurrentServer::SchedulerLoop() {
       // Force mode has no deadline thread to finalize abandoned queries;
       // a policy that leaves the buffer untouched forever would hang the
       // run. The simulator CHECK-fails the equivalent state at drain time.
-      SCHEMBLE_LOG(kError) << "policy left " << buffer_.size()
-                           << " buffered queries with idle executors in "
-                              "force mode";
+      SCHEMBLE_LOG(kError) << "policy left " << stuck_buffered
+                          << " buffered queries with idle executors in "
+                             "force mode";
     }
   }
 }
