@@ -22,7 +22,7 @@ namespace schemble {
 template <typename T>
 class MpmcQueue {
  public:
-  explicit MpmcQueue(size_t capacity) : ring_(capacity) {
+  explicit MpmcQueue(size_t capacity) : capacity_(capacity), ring_(capacity) {
     SCHEMBLE_CHECK_GT(capacity, 0u);
   }
 
@@ -34,7 +34,7 @@ class MpmcQueue {
   bool Push(T value) SCHEMBLE_EXCLUDES(mu_) {
     {
       MutexLock lock(&mu_);
-      while (size_ == ring_.size() && !closed_) not_full_.Wait(mu_);
+      while (size_ == capacity_ && !closed_) not_full_.Wait(mu_);
       if (closed_) return false;
       PushLocked(std::move(value));
     }
@@ -46,7 +46,7 @@ class MpmcQueue {
   bool TryPush(T value) SCHEMBLE_EXCLUDES(mu_) {
     {
       MutexLock lock(&mu_);
-      if (closed_ || size_ == ring_.size()) return false;
+      if (closed_ || size_ == capacity_) return false;
       PushLocked(std::move(value));
     }
     not_empty_.NotifyOne();
@@ -93,7 +93,8 @@ class MpmcQueue {
     MutexLock lock(&mu_);
     return size_;
   }
-  size_t capacity() const { return ring_.size(); }
+  /// Immutable after construction; lock-free by design.
+  size_t capacity() const { return capacity_; }
   bool closed() const SCHEMBLE_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return closed_;
@@ -101,15 +102,19 @@ class MpmcQueue {
 
  private:
   void PushLocked(T value) SCHEMBLE_REQUIRES(mu_) {
-    ring_[(head_ + size_) % ring_.size()] = std::move(value);
+    ring_[(head_ + size_) % capacity_] = std::move(value);
     ++size_;
   }
   T PopLocked() SCHEMBLE_REQUIRES(mu_) {
     T value = std::move(ring_[head_]);
-    head_ = (head_ + 1) % ring_.size();
+    head_ = (head_ + 1) % capacity_;
     --size_;
     return value;
   }
+
+  /// Stored outside the guarded state so capacity() needs no lock (the
+  /// ring itself never resizes after construction).
+  const size_t capacity_;
 
   mutable Mutex mu_;
   CondVar not_empty_;
