@@ -1,5 +1,7 @@
 #include "core/scheduler.h"
 
+#include "common/hot_path.h"
+
 #include <algorithm>
 #include <bit>
 #include <cmath>
@@ -94,7 +96,7 @@ void GrowTo(V& v, size_t n, DpScheduler::WorkspaceStats& stats) {
 
 }  // namespace
 
-int DpScheduler::ActivateCell(Cell& cell, int m) const {
+SCHEMBLE_HOT int DpScheduler::ActivateCell(Cell& cell, int m) const {
   const int slots = options_.max_solutions_per_cell + 1;
   cell.begin = ws_.slots_used;
   const size_t new_used = static_cast<size_t>(ws_.slots_used) + slots;
@@ -157,9 +159,10 @@ void DpScheduler::BuildCandidates(const SchedulerQuery& query,
 }
 
 template <int M>
-void DpScheduler::InsertSorted(Cell& cell, const SimTime* trial, SimTime total,
-                               SimTime completion, int parent_u,
-                               int parent_sol, SubsetMask subset) const {
+SCHEMBLE_HOT void DpScheduler::InsertSorted(Cell& cell, const SimTime* trial,
+                                            SimTime total, SimTime completion,
+                                            int parent_u, int parent_sol,
+                                            SubsetMask subset) const {
   // Cell entries stay sorted by total load (ascending). Componentwise
   // dominance implies total-load ordering, so entries with a smaller total
   // can only dominate the candidate and entries with a larger total can
@@ -243,7 +246,7 @@ void DpScheduler::InsertSorted(Cell& cell, const SimTime* trial, SimTime total,
 }
 
 template <int M>
-SCHEMBLE_ALWAYS_INLINE void DpScheduler::InsertPruned(
+SCHEMBLE_HOT SCHEMBLE_ALWAYS_INLINE void DpScheduler::InsertPruned(
     int cell_index, const SimTime* trial, SimTime total, SimTime completion,
     int parent_u, int parent_sol, SubsetMask subset) const {
   Cell& cell = ws_.cells[cell_index];

@@ -1,5 +1,7 @@
 #include "nn/kernels.h"
 
+#include "common/hot_path.h"
+
 #include <cmath>
 
 #include "common/logging.h"
@@ -12,7 +14,7 @@ namespace kernels {
 // bitwise-determinism contract in the header. The win is loop-overhead
 // removal and wider scheduling windows, not SIMD reduction.
 
-double Dot(const double* x, const double* y, int n) {
+SCHEMBLE_HOT double Dot(const double* x, const double* y, int n) {
   double acc = 0.0;
   int i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -25,7 +27,7 @@ double Dot(const double* x, const double* y, int n) {
   return acc;
 }
 
-void Axpy(double a, const double* x, double* y, int n) {
+SCHEMBLE_HOT void Axpy(double a, const double* x, double* y, int n) {
   int i = 0;
   for (; i + 4 <= n; i += 4) {
     y[i] += a * x[i];
@@ -36,15 +38,16 @@ void Axpy(double a, const double* x, double* y, int n) {
   for (; i < n; ++i) y[i] += a * x[i];
 }
 
-void Gemv(const double* a, int rows, int cols, const double* x, double* y) {
+SCHEMBLE_HOT void Gemv(const double* a, int rows, int cols, const double* x,
+                       double* y) {
   const double* row = a;
   for (int r = 0; r < rows; ++r, row += cols) {
     y[r] = Dot(row, x, cols);
   }
 }
 
-void GemvTransposed(const double* a, int rows, int cols, const double* x,
-                    double* y) {
+SCHEMBLE_HOT void GemvTransposed(const double* a, int rows, int cols,
+                                 const double* x, double* y) {
   for (int c = 0; c < cols; ++c) y[c] = 0.0;
   const double* row = a;
   for (int r = 0; r < rows; ++r, row += cols) {
@@ -52,7 +55,7 @@ void GemvTransposed(const double* a, int rows, int cols, const double* x,
   }
 }
 
-double SquaredDistance(const double* a, const double* b, int n) {
+SCHEMBLE_HOT double SquaredDistance(const double* a, const double* b, int n) {
   double acc = 0.0;
   int i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -72,9 +75,10 @@ double SquaredDistance(const double* a, const double* b, int n) {
   return acc;
 }
 
-void MaskedSquaredDistances(const double* rows, int num_rows, int dim,
-                            const double* point_obs, const int* obs,
-                            int num_obs, double* out) {
+SCHEMBLE_HOT void MaskedSquaredDistances(const double* rows, int num_rows,
+                                         int dim, const double* point_obs,
+                                         const int* obs, int num_obs,
+                                         double* out) {
   const double* row = rows;
   for (int r = 0; r < num_rows; ++r, row += dim) {
     double acc = 0.0;
@@ -97,8 +101,8 @@ void MaskedSquaredDistances(const double* rows, int num_rows, int dim,
   }
 }
 
-void GatherAxpy(double a, const double* row, const int* idx, int n,
-                double* acc) {
+SCHEMBLE_HOT void GatherAxpy(double a, const double* row, const int* idx,
+                             int n, double* acc) {
   int t = 0;
   for (; t + 4 <= n; t += 4) {
     acc[t] += a * row[idx[t]];
@@ -109,7 +113,7 @@ void GatherAxpy(double a, const double* row, const int* idx, int n,
   for (; t < n; ++t) acc[t] += a * row[idx[t]];
 }
 
-double MaxValue(const double* x, int n) {
+SCHEMBLE_HOT double MaxValue(const double* x, int n) {
   SCHEMBLE_DCHECK(n >= 1);
   double best = x[0];
   for (int i = 1; i < n; ++i) {
@@ -118,14 +122,14 @@ double MaxValue(const double* x, int n) {
   return best;
 }
 
-double LogSumExp(const double* x, int n) {
+SCHEMBLE_HOT double LogSumExp(const double* x, int n) {
   const double shift = MaxValue(x, n);
   double sum = 0.0;
   for (int i = 0; i < n; ++i) sum += std::exp(x[i] - shift);
   return shift + std::log(sum);
 }
 
-void SoftmaxInPlace(double* x, int n) {
+SCHEMBLE_HOT void SoftmaxInPlace(double* x, int n) {
   SCHEMBLE_DCHECK(n >= 1);
   const double shift = MaxValue(x, n);
   double sum = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hot_path.h"
 #include "common/logging.h"
 #include "nn/kernels.h"
 
@@ -54,7 +55,8 @@ Result<KnnIndex> KnnIndex::Build(std::vector<std::vector<double>> records) {
                   std::move(data));
 }
 
-void KnnIndex::PackMask(const std::vector<bool>& mask, Workspace* ws) const {
+SCHEMBLE_HOT void KnnIndex::PackMask(const std::vector<bool>& mask,
+                                     Workspace* ws) const {
   const size_t n = mask.size();
   if (ws->observed.capacity() < n) ++ws->stats.grow_events;
   if (ws->missing.capacity() < n) ++ws->stats.grow_events;
@@ -71,7 +73,7 @@ void KnnIndex::PackMask(const std::vector<bool>& mask, Workspace* ws) const {
   }
 }
 
-void KnnIndex::SelectTopK(int k, Workspace* ws) const {
+SCHEMBLE_HOT void KnnIndex::SelectTopK(int k, Workspace* ws) const {
   const size_t take = std::min<size_t>(k, num_records_);
   if (ws->heap.capacity() < take) ++ws->stats.grow_events;
   ws->heap.clear();
@@ -104,9 +106,10 @@ void KnnIndex::SelectTopK(int k, Workspace* ws) const {
   ++ws->stats.queries;
 }
 
-void KnnIndex::QueryInto(const std::vector<double>& point,
-                         const std::vector<bool>& mask, int k, Workspace* ws,
-                         std::vector<Neighbor>* out) const {
+SCHEMBLE_HOT void KnnIndex::QueryInto(const std::vector<double>& point,
+                                      const std::vector<bool>& mask, int k,
+                                      Workspace* ws,
+                                      std::vector<Neighbor>* out) const {
   SCHEMBLE_CHECK(ws != nullptr && out != nullptr);
   SCHEMBLE_CHECK_EQ(point.size(), mask.size());
   SCHEMBLE_CHECK_EQ(static_cast<int>(point.size()), dim_);
@@ -133,9 +136,9 @@ std::vector<KnnIndex::Neighbor> KnnIndex::Query(
   return out;
 }
 
-void KnnIndex::FillFromNeighbors(const std::vector<double>& point,
-                                 Workspace* ws,
-                                 std::vector<double>* out) const {
+SCHEMBLE_HOT void KnnIndex::FillFromNeighbors(
+    const std::vector<double>& point, Workspace* ws,
+    std::vector<double>* out) const {
   if (out != &point) {
     ResizeTracked(out, point.size(), &ws->stats.grow_events);
     std::copy(point.begin(), point.end(), out->begin());
@@ -161,10 +164,9 @@ void KnnIndex::FillFromNeighbors(const std::vector<double>& point,
   }
 }
 
-void KnnIndex::FillMissingInto(const std::vector<double>& point,
-                               const std::vector<bool>& mask, int k,
-                               Workspace* ws,
-                               std::vector<double>* out) const {
+SCHEMBLE_HOT void KnnIndex::FillMissingInto(
+    const std::vector<double>& point, const std::vector<bool>& mask, int k,
+    Workspace* ws, std::vector<double>* out) const {
   SCHEMBLE_CHECK(ws != nullptr && out != nullptr);
   SCHEMBLE_CHECK_EQ(point.size(), mask.size());
   SCHEMBLE_CHECK_EQ(static_cast<int>(point.size()), dim_);
@@ -188,9 +190,10 @@ std::vector<double> KnnIndex::FillMissing(const std::vector<double>& point,
   return out;
 }
 
-void KnnIndex::QueryBatch(const std::vector<std::vector<double>>& points,
-                          const std::vector<bool>& mask, int k, Workspace* ws,
-                          std::vector<std::vector<Neighbor>>* out) const {
+SCHEMBLE_HOT void KnnIndex::QueryBatch(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<bool>& mask, int k, Workspace* ws,
+    std::vector<std::vector<Neighbor>>* out) const {
   SCHEMBLE_CHECK(ws != nullptr && out != nullptr);
   SCHEMBLE_CHECK_GT(k, 0);
   SCHEMBLE_CHECK_EQ(static_cast<int>(mask.size()), dim_);
@@ -215,10 +218,10 @@ void KnnIndex::QueryBatch(const std::vector<std::vector<double>>& points,
   }
 }
 
-void KnnIndex::FillMissingBatch(const std::vector<std::vector<double>>& points,
-                                const std::vector<bool>& mask, int k,
-                                Workspace* ws,
-                                std::vector<std::vector<double>>* out) const {
+SCHEMBLE_HOT void KnnIndex::FillMissingBatch(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<bool>& mask, int k, Workspace* ws,
+    std::vector<std::vector<double>>* out) const {
   SCHEMBLE_CHECK(ws != nullptr && out != nullptr);
   SCHEMBLE_CHECK_GT(k, 0);
   SCHEMBLE_CHECK_EQ(static_cast<int>(mask.size()), dim_);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/hot_path.h"
 #include "common/logging.h"
 #include "nn/kernels.h"
 
@@ -31,14 +32,15 @@ std::vector<double> Matrix::Apply(const std::vector<double>& x) const {
   return y;
 }
 
-std::vector<double> Matrix::ApplyTransposed(const std::vector<double>& x) const {
+std::vector<double> Matrix::ApplyTransposed(
+    const std::vector<double>& x) const {
   std::vector<double> y;
   ApplyTransposedInto(x, &y);
   return y;
 }
 
-void Matrix::ApplyInto(const std::vector<double>& x,
-                       std::vector<double>* y) const {
+SCHEMBLE_HOT void Matrix::ApplyInto(const std::vector<double>& x,
+                                    std::vector<double>* y) const {
   SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), cols_);
   SCHEMBLE_DCHECK(y != &x);
   op_stats().apply_into_calls.fetch_add(1, std::memory_order_relaxed);
@@ -49,8 +51,8 @@ void Matrix::ApplyInto(const std::vector<double>& x,
   kernels::Gemv(data_.data(), rows_, cols_, x.data(), y->data());
 }
 
-void Matrix::ApplyTransposedInto(const std::vector<double>& x,
-                                 std::vector<double>* y) const {
+SCHEMBLE_HOT void Matrix::ApplyTransposedInto(
+    const std::vector<double>& x, std::vector<double>* y) const {
   SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), rows_);
   SCHEMBLE_DCHECK(y != &x);
   op_stats().apply_into_calls.fetch_add(1, std::memory_order_relaxed);
