@@ -127,7 +127,9 @@ TEST(AggregatorTest, StackingRobustToKChoice) {
       if (Argmax(out) == Argmax(q.ensemble_output)) ++agree;
     }
     const double acc = static_cast<double>(agree) / test.size();
-    if (previous >= 0.0) EXPECT_NEAR(acc, previous, 0.08);
+    if (previous >= 0.0) {
+      EXPECT_NEAR(acc, previous, 0.08);
+    }
     previous = acc;
   }
 }

@@ -91,10 +91,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 10, 100),  // samples
                        ::testing::Values(2, 3, 4),      // models
                        ::testing::Values(1, 2)),        // seeds
-    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "m" +
-             std::to_string(std::get<1>(info.param)) + "s" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "m" +
+             std::to_string(std::get<1>(param_info.param)) + "s" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 }  // namespace

@@ -141,11 +141,11 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(2, 3, 4),           // models
                        ::testing::Values(100, 20),           // delta * 1000
                        ::testing::Values(1, 2, 3)),          // seeds
-    [](const ::testing::TestParamInfo<std::tuple<int, int, int, int>>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "m" +
-             std::to_string(std::get<1>(info.param)) + "d" +
-             std::to_string(std::get<2>(info.param)) + "s" +
-             std::to_string(std::get<3>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int, int>>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "m" +
+             std::to_string(std::get<1>(param_info.param)) + "d" +
+             std::to_string(std::get<2>(param_info.param)) + "s" +
+             std::to_string(std::get<3>(param_info.param));
     });
 
 // Deferral path (more buffered queries than the DP window) is equivalent

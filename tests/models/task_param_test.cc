@@ -119,9 +119,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Kind::kTm, Kind::kVc, Kind::kIr,
                                          Kind::kCifar),
                        ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0)),
-    [](const ::testing::TestParamInfo<std::tuple<Kind, double>>& info) {
-      return KindName(std::get<0>(info.param)) + "h" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    [](const ::testing::TestParamInfo<std::tuple<Kind, double>>& param_info) {
+      return KindName(std::get<0>(param_info.param)) + "h" +
+             std::to_string(static_cast<int>(std::get<1>(param_info.param) * 100));
     });
 
 // Agreement with the ensemble decreases with difficulty on every task.
@@ -146,8 +146,8 @@ TEST_P(TaskAgreementTest, SingleModelAgreementDecreasesWithDifficulty) {
 INSTANTIATE_TEST_SUITE_P(AllTasks, TaskAgreementTest,
                          ::testing::Values(Kind::kTm, Kind::kVc, Kind::kIr,
                                            Kind::kCifar),
-                         [](const ::testing::TestParamInfo<Kind>& info) {
-                           return KindName(info.param);
+                         [](const ::testing::TestParamInfo<Kind>& param_info) {
+                           return KindName(param_info.param);
                          });
 
 }  // namespace

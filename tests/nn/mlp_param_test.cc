@@ -82,9 +82,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          Activation::kTanh,
                                          Activation::kSigmoid),
                        ::testing::Values(1, 2, 3)),
-    [](const ::testing::TestParamInfo<std::tuple<Activation, int>>& info) {
-      return ActName(std::get<0>(info.param)) + "d" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<Activation, int>>& param_info) {
+      return ActName(std::get<0>(param_info.param)) + "d" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 class CrossEntropyGradientTest : public ::testing::TestWithParam<int> {};

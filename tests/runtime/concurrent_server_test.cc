@@ -101,7 +101,9 @@ TEST_F(ConcurrentServerTest, ForceModeProcessesEverything) {
   const ServingMetrics metrics = server.Run(trace);
   CheckInvariants(metrics, trace);
   EXPECT_EQ(metrics.processed, trace.size());
-  if (!kSanitized) EXPECT_EQ(metrics.missed, 0);
+  if (!kSanitized) {
+    EXPECT_EQ(metrics.missed, 0);
+  }
 }
 
 TEST_F(ConcurrentServerTest, OverloadDropsQueriesInRejectionMode) {

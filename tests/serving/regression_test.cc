@@ -5,8 +5,8 @@
 // introduced with the concurrent runtime) provably behaviour-preserving.
 //
 // To regenerate the goldens after an *intentional* behaviour change, run
-//   SCHEMBLE_REGEN_GOLDEN=1 ./tests/serving_test \
-//     --gtest_filter='ServingRegressionTest.*'
+//   SCHEMBLE_REGEN_GOLDEN=1 ./tests/serving_test
+//     --gtest_filter='ServingRegressionTest.*'  (one command line)
 // and paste the printed block. Builds use -ffp-contract=off, so the values
 // are bit-stable across optimization levels and compilers on one
 // architecture.

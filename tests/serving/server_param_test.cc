@@ -171,10 +171,10 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(5.0, 30.0, 60.0),
         ::testing::Bool()),
     [](const ::testing::TestParamInfo<std::tuple<PolicyKind, double, bool>>&
-           info) {
-      return PolicyName(std::get<0>(info.param)) + "r" +
-             std::to_string(static_cast<int>(std::get<1>(info.param))) +
-             (std::get<2>(info.param) ? "rej" : "force");
+           param_info) {
+      return PolicyName(std::get<0>(param_info.param)) + "r" +
+             std::to_string(static_cast<int>(std::get<1>(param_info.param))) +
+             (std::get<2>(param_info.param) ? "rej" : "force");
     });
 
 }  // namespace
