@@ -1,0 +1,52 @@
+// Deliberate thread-safety violations. This TU must NOT compile when the
+// clang analysis is on: the static-analysis CI job builds the
+// `thread_safety_violation` target (excluded from ALL) through a ctest
+// WILL_FAIL test and fails if the build unexpectedly succeeds — proving the
+// -Werror=thread-safety gate actually rejects lock-discipline bugs rather
+// than silently passing an unannotated tree.
+//
+// Keep every violation below something the analysis is documented to catch;
+// building this TU with plain gcc (no analysis) succeeds by design.
+
+#include "common/thread_annotations.h"
+
+namespace schemble {
+
+// External linkage throughout: an anonymous namespace would add unused-
+// function warnings, and this TU must fail ONLY through the thread-safety
+// diagnostics.
+class Account {
+ public:
+  void Deposit(int amount) SCHEMBLE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  // VIOLATION: reads a SCHEMBLE_GUARDED_BY member without the lock.
+  int UnsafeRead() const { return balance_; }
+
+  // VIOLATION: calls a SCHEMBLE_REQUIRES helper without the capability.
+  void UnsafeWithdraw(int amount) { WithdrawLocked(amount); }
+
+  // VIOLATION: acquires and never releases (still held at end of function).
+  void LeakLock() { mu_.Lock(); }
+
+ private:
+  void WithdrawLocked(int amount) SCHEMBLE_REQUIRES(mu_) {
+    balance_ -= amount;
+  }
+
+  mutable Mutex mu_;
+  int balance_ SCHEMBLE_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so the class is fully instantiated.
+void Touch() {
+  Account account;
+  account.Deposit(1);
+  account.UnsafeWithdraw(1);
+  static_cast<void>(account.UnsafeRead());
+  account.LeakLock();
+}
+
+}  // namespace schemble

@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""Project lint pass: rules clang-tidy cannot express, plus a clang-tidy
+driver when a binary is available.
+
+Rules (see DESIGN.md "Static analysis & lock discipline"):
+
+  naked-mutex           std::mutex / std::condition_variable / std::lock_guard
+                        / std::unique_lock / std::scoped_lock are banned
+                        outside src/common/thread_annotations.h; use the
+                        annotated Mutex / MutexLock / CondVar wrappers so the
+                        clang thread-safety analysis sees every lock.
+
+  ts-suppression        SCHEMBLE_NO_THREAD_SAFETY_ANALYSIS (or the raw
+                        attribute) must not appear outside
+                        thread_annotations.h: the analysis is satisfied, not
+                        silenced.
+
+  hot-path              Inside a SCHEMBLE_HOT function body, heap-allocation
+                        expressions (new / make_unique / make_shared /
+                        malloc) are banned outright, and container-growth
+                        calls (push_back / resize / reserve / ...) are only
+                        allowed when the function routes growth through the
+                        repo's grow-event telemetry (ResizeTracked / GrowTo /
+                        an explicit grow_events increment) or the line
+                        carries `// hot-ok: <reason>`.
+
+  fp-determinism        src/ is golden-pinned (bit-identical metrics across
+                        compilers at -ffp-contract=off), so fused-multiply-
+                        add intrinsics, FP_CONTRACT pragmas, fast-math hints
+                        and nondeterministic parallel reductions are banned.
+
+Exit status is non-zero when any rule fires or clang-tidy (when run)
+reports a diagnostic. Run from the repo root, or pass --repo.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+LINT_EXEMPT = {os.path.join("src", "common", "thread_annotations.h")}
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable|condition_variable_any|lock_guard|unique_lock|"
+    r"scoped_lock)\b")
+
+TS_SUPPRESSION_RE = re.compile(
+    r"SCHEMBLE_NO_THREAD_SAFETY_ANALYSIS|no_thread_safety_analysis")
+
+HOT_ALLOC_RE = re.compile(
+    r"\bnew\b(?!\s*\()|"  # `new T`; placement new `new (buf)` is alloc-free
+    r"\bstd::make_unique\b|\bstd::make_shared\b|"
+    r"\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(")
+
+HOT_GROWTH_RE = re.compile(
+    r"[.>](push_back|emplace_back|resize|reserve|insert|assign|append|"
+    r"emplace)\s*\(")
+
+GROWTH_TRACKED_RE = re.compile(r"grow_events|ResizeTracked|GrowTo")
+
+HOT_OK_RE = re.compile(r"//\s*hot-ok:")
+
+FP_BANNED = [
+    (re.compile(r"\bstd::fmaf?\b|\b__builtin_fmaf?\b"),
+     "fused multiply-add breaks the -ffp-contract=off bit-stability pin"),
+    (re.compile(r"FP_CONTRACT"),
+     "FP_CONTRACT pragma overrides the project-wide -ffp-contract=off"),
+    (re.compile(r"ffast-math|funsafe-math"),
+     "fast-math flags break bit-identical golden metrics"),
+    (re.compile(r"\bstd::reduce\b|\bstd::transform_reduce\b|"
+                r"std::execution::par"),
+     "unordered reductions are nondeterministic; accumulate left-to-right"),
+]
+
+
+def strip_comments_and_strings(line):
+    """Blanks out string/char literals and comments for token scans. Keeps
+    the line length stable so column hints survive. Crude (no multi-line
+    awareness) but sufficient for this codebase's style."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" " if c != in_str else c)
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+        elif c == "/" and i + 1 < n and line[i + 1] in "/*":
+            break  # rest of line is (or starts) a comment
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def find_hot_function_bodies(text):
+    """Yields (start_line, body_lines) for every SCHEMBLE_HOT function.
+    The body is delimited by the first '{' after the marker and its brace
+    match (code stripped of comments/strings line-by-line)."""
+    lines = text.split("\n")
+    stripped = [strip_comments_and_strings(l) for l in lines]
+    for idx, raw in enumerate(stripped):
+        if "SCHEMBLE_HOT" not in raw:
+            continue
+        depth = 0
+        body = []
+        started = False
+        for j in range(idx, len(lines)):
+            for ch in stripped[j]:
+                if ch == "{":
+                    depth += 1
+                    started = True
+                elif ch == "}":
+                    depth -= 1
+            body.append(j)
+            if started and depth <= 0:
+                break
+        if started:
+            yield idx + 1, body
+
+
+class Linter:
+    def __init__(self, repo):
+        self.repo = repo
+        self.errors = []
+
+    def error(self, path, line, rule, message):
+        self.errors.append(f"{path}:{line}: [{rule}] {message}")
+
+    def lint_file(self, rel):
+        path = os.path.join(self.repo, rel)
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except (OSError, UnicodeDecodeError) as e:
+            self.error(rel, 0, "io", f"unreadable: {e}")
+            return
+        lines = text.split("\n")
+        exempt = rel in LINT_EXEMPT
+
+        if not exempt:
+            for i, raw in enumerate(lines, 1):
+                code = strip_comments_and_strings(raw)
+                m = NAKED_MUTEX_RE.search(code)
+                if m:
+                    self.error(rel, i, "naked-mutex",
+                               f"use the annotated primitives from "
+                               f"common/thread_annotations.h instead of "
+                               f"{m.group(0)}")
+                if TS_SUPPRESSION_RE.search(code):
+                    self.error(rel, i, "ts-suppression",
+                               "thread-safety analysis must not be "
+                               "suppressed outside thread_annotations.h")
+
+        if rel.startswith("src" + os.sep):
+            for i, raw in enumerate(lines, 1):
+                code = strip_comments_and_strings(raw)
+                for pattern, why in FP_BANNED:
+                    if pattern.search(code):
+                        self.error(rel, i, "fp-determinism", why)
+
+        for start, body in find_hot_function_bodies(text):
+            body_text = "\n".join(strip_comments_and_strings(lines[j])
+                                  for j in body)
+            tracked = GROWTH_TRACKED_RE.search(body_text) is not None
+            for j in body:
+                raw = lines[j]
+                if HOT_OK_RE.search(raw):
+                    continue
+                code = strip_comments_and_strings(raw)
+                if HOT_ALLOC_RE.search(code):
+                    self.error(rel, j + 1, "hot-path",
+                               "heap allocation in a SCHEMBLE_HOT function "
+                               "(add `// hot-ok: <reason>` only if truly "
+                               "unavoidable)")
+                elif HOT_GROWTH_RE.search(code) and not tracked:
+                    self.error(rel, j + 1, "hot-path",
+                               "untracked container growth in a SCHEMBLE_HOT "
+                               "function (body starting at line "
+                               f"{start}): route it through ResizeTracked / "
+                               "GrowTo / a grow_events counter")
+
+
+def repo_sources(repo, roots=("src", "tests", "bench", "examples")):
+    out = []
+    for root in roots:
+        top = os.path.join(repo, root)
+        for dirpath, _, names in os.walk(top):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc")):
+                    out.append(os.path.relpath(os.path.join(dirpath, name),
+                                               repo))
+    return sorted(out)
+
+
+def changed_sources(repo, base):
+    """Fast path: only files that differ from `base` (falls back to the
+    full set when git fails, e.g. a shallow clone without the base ref)."""
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", base, "--"],
+            cwd=repo, capture_output=True, text=True, check=True).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    return [f for f in diff.split("\n")
+            if f.endswith((".h", ".cc")) and
+            f.split(os.sep, 1)[0] in ("src", "tests", "bench", "examples")]
+
+
+def run_clang_tidy(repo, build_dir, files, jobs):
+    """Runs clang-tidy over the given .cc files via compile_commands.json.
+    Returns (ran, ok). Missing binary or database => skipped (ran=False):
+    the container may not ship clang-tidy; CI always does."""
+    binary = None
+    for name in ("clang-tidy", "clang-tidy-20", "clang-tidy-19",
+                 "clang-tidy-18", "clang-tidy-17", "clang-tidy-16",
+                 "clang-tidy-15", "clang-tidy-14"):
+        binary = shutil.which(name)
+        if binary:
+            break
+    cdb = os.path.join(build_dir, "compile_commands.json")
+    if not binary:
+        print("lint: clang-tidy not found; skipping the tidy pass "
+              "(CI runs it)")
+        return False, True
+    if not os.path.exists(cdb):
+        print(f"lint: {cdb} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON to run clang-tidy")
+        return False, True
+    with open(cdb, encoding="utf-8") as f:
+        known = {entry["file"] for entry in json.load(f)}
+    targets = [f for f in files
+               if f.endswith(".cc") and f.startswith("src" + os.sep) and
+               os.path.join(repo, f) in known]
+    if not targets:
+        print("lint: no clang-tidy targets in scope")
+        return True, True
+    ok = True
+    # Batch to keep command lines sane; clang-tidy parallelism is per-file.
+    for i in range(0, len(targets), max(1, jobs)):
+        batch = targets[i:i + max(1, jobs)]
+        procs = [subprocess.Popen(
+            [binary, "-p", build_dir, "--quiet", os.path.join(repo, f)],
+            cwd=repo, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True) for f in batch]
+        for f, proc in zip(batch, procs):
+            out, err = proc.communicate()
+            if proc.returncode != 0 or "warning:" in out or "error:" in out:
+                ok = False
+                sys.stdout.write(out)
+                sys.stderr.write(err)
+                print(f"lint: clang-tidy failed on {f}")
+    return True, ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=os.getcwd(),
+                        help="repository root (default: cwd)")
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--clang-tidy", action="store_true",
+                        help="also run clang-tidy over src/ (skipped with a "
+                             "notice when no binary is installed)")
+    parser.add_argument("--changed-only", metavar="BASE", default=None,
+                        help="lint only files changed vs the given git ref "
+                             "(CI fast path); falls back to the full tree")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 4)
+    args = parser.parse_args()
+
+    repo = os.path.abspath(args.repo)
+    build_dir = args.build_dir
+    if not os.path.isabs(build_dir):
+        build_dir = os.path.join(repo, build_dir)
+
+    files = None
+    if args.changed_only:
+        files = changed_sources(repo, args.changed_only)
+        if files is None:
+            print(f"lint: git diff vs {args.changed_only} failed; "
+                  "linting the full tree")
+    if files is None:
+        files = repo_sources(repo)
+
+    linter = Linter(repo)
+    for rel in files:
+        linter.lint_file(rel)
+
+    tidy_ok = True
+    if args.clang_tidy:
+        _, tidy_ok = run_clang_tidy(repo, build_dir, files, args.jobs)
+
+    for e in linter.errors:
+        print(e)
+    checked = len(files)
+    if linter.errors or not tidy_ok:
+        print(f"lint: FAILED ({len(linter.errors)} rule violation(s) "
+              f"across {checked} file(s)"
+              + ("" if tidy_ok else "; clang-tidy reported diagnostics")
+              + ")")
+        return 1
+    print(f"lint: OK ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
