@@ -51,6 +51,16 @@ add_custom_target(schemble_bench_scheduler
   COMMENT "Running scheduler benchmarks -> bench/BENCH_scheduler.json"
   VERBATIM)
 
+# Same one-command wrapper for the concurrent-runtime baseline
+# (worker scaling + Schemble-pressure lock contention).
+add_custom_target(schemble_bench_runtime
+  COMMAND ${CMAKE_COMMAND} -E env BENCH_BIN=$<TARGET_FILE:bench_runtime>
+          ${CMAKE_SOURCE_DIR}/bench/run_runtime_bench.sh
+  DEPENDS bench_runtime
+  WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+  COMMENT "Running runtime benchmarks -> bench/BENCH_runtime.json"
+  VERBATIM)
+
 # Same one-command wrapper for the numeric-kernel baseline.
 add_custom_target(schemble_bench_nn
   COMMAND ${CMAKE_COMMAND} -E env BENCH_BIN=$<TARGET_FILE:bench_nn>

@@ -1,17 +1,32 @@
-// Throughput scaling of the wall-clock concurrent runtime: one base model
-// (RoBERTa, 45 ms) replicated across 1..8 executors, a saturating
-// open-loop arrival stream, force mode (every query processed). Reported
-// throughput is completed queries per second of runtime wall time; the
-// acceptance bar is >2x at 4 workers vs 1. Service consumption sleeps on
-// the OS timer (accelerator-offloaded inference), so scaling tracks
-// executor parallelism rather than host core count.
+// Wall-clock benchmarks of the concurrent runtime, in two parts:
+//
+//  1. Throughput scaling: one base model (RoBERTa, 45 ms) replicated
+//     across 1..8 executors, a saturating open-loop arrival stream, force
+//     mode (every query processed). Reported throughput is completed
+//     queries per second of runtime wall time; the acceptance bar is >2x
+//     at 4 workers vs 1. Service consumption sleeps on the OS timer
+//     (accelerator-offloaded inference), so scaling tracks executor
+//     parallelism rather than host core count.
+//
+//  2. Policy critical-section pressure: the full Schemble policy (oracle
+//     scores, DP scheduler) under sustained overload, where every
+//     scheduling round used to solve the DP inside the policy mutex.
+//     lock_held_ms is the headline number the snapshot-planning runtime
+//     drives down (EXPERIMENTS.md Exp-9).
+//
+// With --json=PATH the results are also written in google-benchmark JSON
+// format so bench/check_regression.py can compare runs against the pinned
+// bench/BENCH_runtime.json baseline (see bench/run_runtime_bench.sh).
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "baselines/static_policy.h"
 #include "common/table.h"
+#include "core/discrepancy.h"
+#include "core/schemble_policy.h"
 #include "models/task_factory.h"
 #include "runtime/concurrent_server.h"
 #include "workload/trace.h"
@@ -30,6 +45,16 @@ struct ScalingPoint {
   double throughput_qps = 0.0;
   double mean_latency_ms = 0.0;
   ConcurrentServer::LockStatsSnapshot lock;
+  ConcurrentServer::SchedulerStatsSnapshot sched;
+};
+
+/// One row of the eventual JSON report: google-benchmark's per-iteration
+/// schema, with cpu_time/real_time carrying the headline metric in
+/// microseconds and everything else attached as custom counters.
+struct JsonEntry {
+  std::string name;
+  double value_us = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 ScalingPoint RunOnce(const SyntheticTask& task, const QueryTrace& trace,
@@ -56,10 +81,99 @@ ScalingPoint RunOnce(const SyntheticTask& task, const QueryTrace& trace,
   point.throughput_qps = static_cast<double>(metrics.processed) / seconds;
   point.mean_latency_ms = metrics.mean_latency_ms();
   point.lock = server.lock_stats();
+  point.sched = server.scheduler_stats();
   return point;
 }
 
-int Main() {
+/// The policy-pressure scenario: Schemble with oracle scores and the DP
+/// buffer scheduler, three-model ensemble, rejection mode, arrival rate
+/// ~2x the bottleneck capacity so the buffer stays populated and the
+/// scheduler plans continuously.
+struct SchemblePoint {
+  double wall_seconds = 0.0;
+  double processed_fraction = 0.0;
+  int64_t scheduler_runs = 0;
+  ConcurrentServer::LockStatsSnapshot lock;
+  ConcurrentServer::SchedulerStatsSnapshot sched;
+};
+
+SchemblePoint RunSchemble(double speedup) {
+  const SyntheticTask task = MakeTextMatchingTask(3);
+  const auto history =
+      task.GenerateDataset(2000, DifficultyDistribution::UniformFull(), 5);
+  auto scorer_result = DiscrepancyScorer::Fit(task, history);
+  SCHEMBLE_CHECK(scorer_result.ok());
+  const DiscrepancyScorer scorer = std::move(scorer_result).value();
+  auto profile_result =
+      AccuracyProfile::Build(task, history, scorer.ScoreAll(history));
+  SCHEMBLE_CHECK(profile_result.ok());
+  const AccuracyProfile profile = std::move(profile_result).value();
+
+  SchembleConfig config;
+  config.score_source = ScoreSource::kOracle;
+  SchemblePolicy policy(task, profile, nullptr, &scorer, std::move(config));
+
+  ConcurrentServerOptions options;
+  options.speedup = speedup;
+  ConcurrentServer server(task, &policy, options);
+
+  PoissonTraffic traffic(45.0);
+  ConstantDeadline deadlines(300 * kMillisecond);
+  TraceOptions trace_options;
+  trace_options.seed = 17;
+  const QueryTrace trace =
+      BuildTrace(task, traffic, deadlines, 20 * kSecond, trace_options);
+
+  SteadyClock wall(1.0);
+  const SimTime start = wall.Now();
+  const ServingMetrics metrics = server.Run(trace);
+
+  SchemblePoint point;
+  point.wall_seconds = SimTimeToSeconds(wall.Now() - start);
+  point.processed_fraction =
+      static_cast<double>(metrics.processed) / static_cast<double>(trace.size());
+  point.scheduler_runs = policy.scheduler_runs();
+  point.lock = server.lock_stats();
+  point.sched = server.scheduler_stats();
+  return point;
+}
+
+bool WriteJson(const char* path, const std::vector<JsonEntry>& entries) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_runtime: cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"executable\": \"bench_runtime\",\n");
+  std::fprintf(f, "    \"library_build_type\": \"release\"\n  },\n");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const JsonEntry& e = entries[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", e.name.c_str());
+    std::fprintf(f, "      \"run_name\": \"%s\",\n", e.name.c_str());
+    std::fprintf(f, "      \"run_type\": \"iteration\",\n");
+    std::fprintf(f, "      \"iterations\": 1,\n");
+    std::fprintf(f, "      \"real_time\": %.6e,\n", e.value_us);
+    std::fprintf(f, "      \"cpu_time\": %.6e,\n", e.value_us);
+    std::fprintf(f, "      \"time_unit\": \"us\"");
+    for (const auto& [key, value] : e.counters) {
+      std::fprintf(f, ",\n      \"%s\": %.6e", key.c_str(), value);
+    }
+    std::fprintf(f, "\n    }%s\n", i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
   const SyntheticTask task = MakeTextMatchingTask();
   // 160 qps against a 22 qps single-executor capacity: ~7.2x oversubscribed,
   // so queues stay saturated through the 8-worker run.
@@ -77,6 +191,7 @@ int Main() {
   // small fraction of wall time even as workers scale.
   TextTable table({"workers", "wall_s", "throughput_qps", "mean_latency_ms",
                    "speedup_vs_1", "lock_acq", "lock_held_ms"});
+  std::vector<JsonEntry> entries;
   double base_qps = 0.0;
   double qps_at_4 = 0.0;
   for (int workers : {1, 2, 4, 8}) {
@@ -91,11 +206,55 @@ int Main() {
     std::snprintf(held, sizeof(held), "%.1f", point.lock.held_ms);
     table.AddRow({std::to_string(point.workers), wall, qps, lat, rel,
                   std::to_string(point.lock.acquisitions), held});
+    JsonEntry entry;
+    entry.name = "BM_RuntimeStatic/workers:" + std::to_string(workers);
+    entry.value_us = point.wall_seconds * 1e6;
+    entry.counters = {
+        {"throughput_qps", point.throughput_qps},
+        {"lock_acquisitions", static_cast<double>(point.lock.acquisitions)},
+        {"lock_held_ms", point.lock.held_ms},
+    };
+    entries.push_back(std::move(entry));
   }
   table.Print();
 
   const double scaling = qps_at_4 / base_qps;
-  std::printf("\n4-worker scaling: %.2fx (acceptance bar: >2x)\n", scaling);
+  std::printf("\n4-worker scaling: %.2fx (acceptance bar: >2x)\n\n", scaling);
+
+  std::printf("schemble policy pressure (oracle scores, DP scheduler, "
+              "rejection mode):\n");
+  TextTable schemble_table({"wall_s", "processed_frac", "sched_runs",
+                            "plans_invalidated", "lock_acq", "lock_held_ms"});
+  const SchemblePoint sp = RunSchemble(50.0);
+  {
+    char wall[32], frac[32], held[32];
+    std::snprintf(wall, sizeof(wall), "%.2f", sp.wall_seconds);
+    std::snprintf(frac, sizeof(frac), "%.3f", sp.processed_fraction);
+    std::snprintf(held, sizeof(held), "%.1f", sp.lock.held_ms);
+    schemble_table.AddRow({wall, frac, std::to_string(sp.scheduler_runs),
+                           std::to_string(sp.sched.plans_invalidated),
+                           std::to_string(sp.lock.acquisitions), held});
+  }
+  schemble_table.Print();
+
+  {
+    // The Schemble row pins lock-held time (the number snapshot planning
+    // exists to shrink) rather than makespan, which is trace-length-bound.
+    JsonEntry entry;
+    entry.name = "BM_RuntimeSchemble/lock_held";
+    entry.value_us = sp.lock.held_ms * 1e3;
+    entry.counters = {
+        {"wall_seconds", sp.wall_seconds},
+        {"processed_fraction", sp.processed_fraction},
+        {"scheduler_runs", static_cast<double>(sp.scheduler_runs)},
+        {"plans_invalidated", static_cast<double>(sp.sched.plans_invalidated)},
+        {"lock_acquisitions", static_cast<double>(sp.lock.acquisitions)},
+    };
+    entries.push_back(std::move(entry));
+  }
+
+  if (json_path != nullptr && !WriteJson(json_path, entries)) return 1;
+
   if (scaling <= 2.0) {
     std::printf("FAIL: insufficient scaling\n");
     return 1;
@@ -107,4 +266,4 @@ int Main() {
 }  // namespace
 }  // namespace schemble
 
-int main() { return schemble::Main(); }
+int main(int argc, char** argv) { return schemble::Main(argc, argv); }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates the concurrent-runtime benchmark baseline
+# (bench/BENCH_runtime.json) from bench_runtime: wall-clock worker scaling
+# plus the Schemble-pressure lock-contention scenario.
+#
+# Usage:
+#   bench/run_runtime_bench.sh [output.json]
+#
+# Expects build/bench/bench_runtime to exist (override with $BENCH_BIN),
+# i.e. run after:
+#   cmake -B build -S . && cmake --build build --target bench_runtime
+# or use the one-command wrapper target:
+#   cmake --build build --target schemble_bench_runtime
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${1:-$ROOT/bench/BENCH_runtime.json}"
+BIN="${BENCH_BIN:-$ROOT/build/bench/bench_runtime}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found/executable." >&2
+  echo "build it first: cmake --build build --target bench_runtime" >&2
+  exit 1
+fi
+
+# bench_runtime measures whole-run makespans itself (no google-benchmark
+# runner); --json emits the google-benchmark JSON shape that
+# bench/check_regression.py consumes.
+"$BIN" --json="$OUT" "${@:2}"
+
+echo "wrote $OUT"

@@ -23,4 +23,10 @@ PolicyOutput ServingPolicy::OnIdle(
   return {};
 }
 
+void ServingPolicy::PlanOnView(const ServerView& /*view*/,
+                               PlanWorkspace* ws) const {
+  ws->output.assignments.clear();
+  ws->output.overhead_us = 0;
+}
+
 }  // namespace schemble

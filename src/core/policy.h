@@ -1,6 +1,8 @@
 #ifndef SCHEMBLE_CORE_POLICY_H_
 #define SCHEMBLE_CORE_POLICY_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,17 +70,54 @@ struct PolicyOutput {
   SimTime overhead_us = 0;
 };
 
+/// Opaque per-caller scratch for the off-lock planning path. A policy that
+/// supports off-lock planning keeps ALL mutable planning state (DP
+/// workspaces, score caches) behind this interface instead of in policy
+/// members, so PlanOnView can run concurrently with OnArrival. Each
+/// planning caller owns exactly one instance (via CreatePlanState) and
+/// never shares it between threads.
+class PolicyPlanState {
+ public:
+  virtual ~PolicyPlanState() = default;
+};
+
+/// One buffered query as captured in a planning snapshot. `traced` points
+/// into the caller's immutable QueryTrace; `index` and `generation` are
+/// runtime bookkeeping the caller echoes back at commit time to detect
+/// queries that were assigned or finalized while planning ran off-lock
+/// (policies ignore both fields).
+struct SnapshotQuery {
+  const TracedQuery* traced = nullptr;
+  int index = 0;
+  uint64_t generation = 0;
+};
+
+/// Reusable snapshot-plus-plan workspace for off-lock planning. The caller
+/// fills `buffer` (and its own ServerView) inside a short critical
+/// section — reusing vector capacity so steady-state snapshots allocate
+/// nothing — then calls PlanOnView outside the lock, which writes
+/// `output`. `state` holds the policy's scratch from CreatePlanState.
+struct PlanWorkspace {
+  std::vector<SnapshotQuery> buffer;
+  PolicyOutput output;
+  std::unique_ptr<PolicyPlanState> state;
+};
+
 /// Decision interface between the serving drivers and a selection/
 /// scheduling strategy. The server owns queues, executors, aggregation and
 /// metrics; policies only decide which tasks run where and when.
 ///
-/// Thread-safety contract: implementations may keep unguarded mutable
-/// state (score caches, DP workspaces); they need NOT be thread-safe.
-/// Both drivers honour this — the discrete-event EnsembleServer is
-/// single-threaded, and the ConcurrentServer serializes every policy call
-/// under its admission mutex. Objects a policy only reads (SyntheticTask,
-/// AccuracyProfile, Aggregator, DiscrepancyPredictor) expose const,
-/// state-free read paths that ARE safe to share across threads.
+/// Thread-safety contract: the stateful entry points (OnArrival / OnIdle)
+/// may touch unguarded mutable members (score caches) and need NOT be
+/// thread-safe — callers serialize them. The discrete-event EnsembleServer
+/// is single-threaded; the ConcurrentServer serializes them under its
+/// policy mutex. PlanOnView is the exception: it is const, keeps all its
+/// scratch in the caller-owned PlanWorkspace, and MUST be safe to run
+/// concurrently with OnArrival calls on the same policy object (any
+/// counters it advances must be atomic). Objects a policy only reads
+/// (SyntheticTask, AccuracyProfile, Aggregator, DiscrepancyPredictor)
+/// expose const, state-free read paths that ARE safe to share across
+/// threads.
 class ServingPolicy {
  public:
   virtual ~ServingPolicy() = default;
@@ -94,6 +133,28 @@ class ServingPolicy {
   /// leaves the buffer untouched.
   virtual PolicyOutput OnIdle(const ServerView& view,
                               const std::vector<const TracedQuery*>& buffer);
+
+  /// When true, the concurrent runtime plans off-lock: it snapshots server
+  /// state under its mutex, releases it, and calls PlanOnView against the
+  /// snapshot while arrivals keep flowing. Policies returning true must
+  /// implement CreatePlanState/PlanOnView per the contract above and keep
+  /// OnIdle consistent with PlanOnView (the discrete-event driver still
+  /// uses OnIdle).
+  virtual bool SupportsOffLockPlanning() const { return false; }
+
+  /// Creates the caller-owned scratch PlanOnView works against. Callers
+  /// create one per planning thread and reuse it across calls. Returns
+  /// null when off-lock planning is unsupported.
+  virtual std::unique_ptr<PolicyPlanState> CreatePlanState() const {
+    return nullptr;
+  }
+
+  /// Const planning entry point: reads `view` and `ws->buffer` (a snapshot
+  /// of the central query buffer in arrival order), writes
+  /// `ws->output`, and keeps every piece of mutable scratch inside `ws`.
+  /// Must produce the same decisions OnIdle would for an identical
+  /// view/buffer. The base implementation plans nothing.
+  virtual void PlanOnView(const ServerView& view, PlanWorkspace* ws) const;
 
   /// Per-query latency charged before an arriving query becomes visible to
   /// OnArrival (the difficulty predictor's inference time in Schemble).

@@ -5,6 +5,28 @@
 #include "common/logging.h"
 
 namespace schemble {
+namespace {
+
+/// Schemble's planning scratch: everything OnIdle used to mutate on the
+/// policy itself now lives here, one instance per planning caller, so the
+/// concurrent runtime can solve the DP outside its policy mutex while
+/// OnArrival keeps running against the policy's own members.
+struct SchemblePlanState final : PolicyPlanState {
+  explicit SchemblePlanState(const DpScheduler::Options& dp_options)
+      : dp(dp_options) {}
+
+  DpScheduler dp;
+  /// Planning-path score memo (disjoint from the policy's OnArrival
+  /// cache; scores are deterministic per query so the split cannot change
+  /// decisions).
+  std::unordered_map<int64_t, double> scores;
+  /// Reused per plan: the scheduler's query list and working availability.
+  std::vector<SchedulerQuery> queries;
+  SchedulerEnv env;
+  std::vector<SimTime> avail;
+};
+
+}  // namespace
 
 SchemblePolicy::SchemblePolicy(const SyntheticTask& task,
                                const AccuracyProfile& profile,
@@ -15,8 +37,7 @@ SchemblePolicy::SchemblePolicy(const SyntheticTask& task,
       profile_(&profile),
       predictor_(predictor),
       scorer_(scorer),
-      config_(std::move(config)),
-      dp_(config_.dp) {
+      config_(std::move(config)) {
   if (config_.score_source == ScoreSource::kPredictor) {
     SCHEMBLE_CHECK(predictor_ != nullptr);
   }
@@ -25,9 +46,14 @@ SchemblePolicy::SchemblePolicy(const SyntheticTask& task,
   }
 }
 
-double SchemblePolicy::ComputeScore(const Query& query) {
-  auto it = score_cache_.find(query.id);
-  if (it != score_cache_.end()) return it->second;
+std::unique_ptr<PolicyPlanState> SchemblePolicy::CreatePlanState() const {
+  return std::make_unique<SchemblePlanState>(config_.dp);
+}
+
+double SchemblePolicy::LookupScore(
+    const Query& query, std::unordered_map<int64_t, double>* cache) const {
+  auto it = cache->find(query.id);
+  if (it != cache->end()) return it->second;
   double score = config_.constant_score;
   switch (config_.score_source) {
     case ScoreSource::kPredictor:
@@ -39,8 +65,12 @@ double SchemblePolicy::ComputeScore(const Query& query) {
     case ScoreSource::kConstant:
       break;
   }
-  score_cache_.emplace(query.id, score);
+  cache->emplace(query.id, score);
   return score;
+}
+
+double SchemblePolicy::ComputeScore(const Query& query) {
+  return LookupScore(query, &score_cache_);
 }
 
 double SchemblePolicy::ScoreOf(int64_t query_id) const {
@@ -108,33 +138,55 @@ ArrivalDecision SchemblePolicy::OnArrival(const TracedQuery& query,
 
 PolicyOutput SchemblePolicy::OnIdle(
     const ServerView& view, const std::vector<const TracedQuery*>& buffer) {
-  PolicyOutput output;
-  if (buffer.empty()) return output;
-
-  std::vector<SchedulerQuery> queries;
-  queries.reserve(buffer.size());
+  if (own_ws_ == nullptr) {
+    own_ws_ = std::make_unique<PlanWorkspace>();
+    own_ws_->state = CreatePlanState();
+  }
+  own_ws_->buffer.clear();
   for (const TracedQuery* tq : buffer) {
+    own_ws_->buffer.push_back({tq, 0, 0});
+  }
+  PlanOnView(view, own_ws_.get());
+  return std::move(own_ws_->output);
+}
+
+void SchemblePolicy::PlanOnView(const ServerView& view,
+                                PlanWorkspace* ws) const {
+  PolicyOutput& output = ws->output;
+  output.assignments.clear();
+  output.overhead_us = 0;
+  if (ws->buffer.empty()) return;
+  auto* state = static_cast<SchemblePlanState*>(ws->state.get());
+  SCHEMBLE_CHECK(state != nullptr)
+      << "PlanOnView needs a workspace state from CreatePlanState";
+
+  std::vector<SchedulerQuery>& queries = state->queries;
+  queries.clear();
+  queries.reserve(ws->buffer.size());
+  for (const SnapshotQuery& snap : ws->buffer) {
+    const TracedQuery* tq = snap.traced;
     SchedulerQuery sq;
     sq.id = tq->query.id;
     sq.arrival = tq->arrival_time;
     sq.deadline = tq->deadline;
-    sq.predicted_score = ComputeScore(tq->query);
+    sq.predicted_score = LookupScore(tq->query, &state->scores);
     sq.utilities = profile_->UtilityRow(sq.predicted_score);
     queries.push_back(std::move(sq));
   }
 
-  SchedulerEnv env;
+  SchedulerEnv& env = state->env;
   env.now = view.now;
   env.model_available_at = view.model_available_at;
   env.model_exec_time = view.model_exec_time;
 
   SchedulePlan plan;
-  ++scheduler_runs_;
+  scheduler_runs_.fetch_add(1, std::memory_order_relaxed);
   switch (config_.scheduler) {
     case BufferScheduler::kDp:
-      plan = dp_.Schedule(queries, env);
+      plan = state->dp.Schedule(queries, env);
       output.overhead_us = static_cast<SimTime>(
-          static_cast<double>(dp_.last_ops()) / config_.scheduler_ops_per_us);
+          static_cast<double>(state->dp.last_ops()) /
+          config_.scheduler_ops_per_us);
       break;
     case BufferScheduler::kGreedyEdf:
       plan = GreedyScheduler(GreedyScheduler::Order::kEdf)
@@ -149,12 +201,13 @@ PolicyOutput SchemblePolicy::OnIdle(
                  .Schedule(queries, env);
       break;
   }
-  total_overhead_us_ += output.overhead_us;
+  total_overhead_us_.fetch_add(output.overhead_us, std::memory_order_relaxed);
 
   // Commit plan entries, in plan (EDF) order, while idle capacity remains:
   // a query is dispatched when at least one of its models can start it now.
   // Everything else stays buffered so later arrivals can reshape the plan.
-  std::vector<SimTime> avail = env.model_available_at;
+  std::vector<SimTime>& avail = state->avail;
+  avail = env.model_available_at;
   for (SimTime& t : avail) t = std::max(t, view.now);
   bool any_idle = false;
   for (int k = 0; k < view.num_models(); ++k) {
@@ -193,7 +246,6 @@ PolicyOutput SchemblePolicy::OnIdle(
       any_idle |= avail[k] <= view.now;
     }
   }
-  return output;
 }
 
 }  // namespace schemble

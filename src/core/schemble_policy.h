@@ -1,6 +1,7 @@
 #ifndef SCHEMBLE_CORE_SCHEMBLE_POLICY_H_
 #define SCHEMBLE_CORE_SCHEMBLE_POLICY_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -57,21 +58,39 @@ class SchemblePolicy : public ServingPolicy {
   ArrivalDecision OnArrival(const TracedQuery& query,
                             const ServerView& view) override;
 
+  /// Thin wrapper over PlanOnView against a policy-owned workspace; the
+  /// discrete-event driver's entry point. Bit-identical to the off-lock
+  /// path because both share one planning body and scores are
+  /// deterministic per query.
   PolicyOutput OnIdle(const ServerView& view,
                       const std::vector<const TracedQuery*>& buffer) override;
+
+  bool SupportsOffLockPlanning() const override { return true; }
+  std::unique_ptr<PolicyPlanState> CreatePlanState() const override;
+  void PlanOnView(const ServerView& view, PlanWorkspace* ws) const override;
 
   SimTime ArrivalProcessingDelay() const override;
 
   /// The score this policy used for a query (tests/diagnostics); returns
-  /// the constant when unseen.
+  /// the constant when unseen. Only reflects scores computed by OnArrival;
+  /// planning-path scores live in the caller's PlanWorkspace.
   double ScoreOf(int64_t query_id) const;
 
-  /// Cumulative simulated scheduling overhead charged so far.
-  SimTime total_overhead_us() const { return total_overhead_us_; }
-  int64_t scheduler_runs() const { return scheduler_runs_; }
+  /// Cumulative simulated scheduling overhead charged so far (across every
+  /// planning caller).
+  SimTime total_overhead_us() const {
+    return total_overhead_us_.load(std::memory_order_relaxed);
+  }
+  int64_t scheduler_runs() const {
+    return scheduler_runs_.load(std::memory_order_relaxed);
+  }
 
  private:
   double ComputeScore(const Query& query);
+  /// Scores `query` through `cache` without touching policy members; the
+  /// concurrency-safe core both score paths share.
+  double LookupScore(const Query& query,
+                     std::unordered_map<int64_t, double>* cache) const;
   /// Highest-utility subset meeting `deadline` from an idle start.
   SubsetMask BestImmediateSubset(double score, SimTime deadline,
                                  const ServerView& view) const;
@@ -81,10 +100,17 @@ class SchemblePolicy : public ServingPolicy {
   const DiscrepancyPredictor* predictor_;
   const DiscrepancyScorer* scorer_;
   SchembleConfig config_;
-  DpScheduler dp_;
+  /// OnArrival's score memo. Guarded by the caller's serialization of
+  /// OnArrival; PlanOnView never reads it (it has its own cache inside the
+  /// PlanWorkspace so planning can run concurrently with arrivals).
   std::unordered_map<int64_t, double> score_cache_;
-  SimTime total_overhead_us_ = 0;
-  int64_t scheduler_runs_ = 0;
+  /// Scheduling telemetry, advanced from const PlanOnView — atomics per
+  /// the ServingPolicy planning contract.
+  mutable std::atomic<SimTime> total_overhead_us_{0};
+  mutable std::atomic<int64_t> scheduler_runs_{0};
+  /// Lazily created workspace backing the OnIdle wrapper (single-threaded
+  /// discrete-event callers only).
+  std::unique_ptr<PlanWorkspace> own_ws_;
 };
 
 }  // namespace schemble

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <utility>
 
+#include "common/hot_path.h"
 #include "common/logging.h"
 
 namespace schemble {
@@ -24,6 +26,17 @@ std::chrono::microseconds RealDuration(SimTime virtual_us, double speedup) {
 ConcurrentServer::LockStatsSnapshot ConcurrentServer::lock_stats() const {
   const Mutex::Stats stats = mu_.stats();
   return {stats.acquisitions, static_cast<double>(stats.held_ns) / 1e6};
+}
+
+ConcurrentServer::SchedulerStatsSnapshot ConcurrentServer::scheduler_stats()
+    const {
+  SchedulerStatsSnapshot snapshot;
+  snapshot.plans = plans_.load(std::memory_order_relaxed);
+  snapshot.plan_commits = plan_commits_.load(std::memory_order_relaxed);
+  snapshot.plans_invalidated =
+      plans_invalidated_.load(std::memory_order_relaxed);
+  snapshot.replans = replans_.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
@@ -54,31 +67,44 @@ ConcurrentServer::~ConcurrentServer() {
   SCHEMBLE_CHECK(threads_.empty());
 }
 
-ServerView ConcurrentServer::BuildView() const {
-  ServerView view;
-  view.now = clock_->Now();
-  view.allow_rejection = options_.allow_rejection;
-  view.model_exec_time.resize(task_->num_models());
-  view.model_available_at.assign(task_->num_models(), kSimTimeMax);
+SCHEMBLE_HOT void ConcurrentServer::BuildViewInto(ServerView* view) const {
+  view->now = clock_->Now();
+  view->allow_rejection = options_.allow_rejection;
+  // Capacities pin after the first call (fixed model/executor counts), so
+  // the snapshot critical section stays allocation-free in steady state.
+  view->model_exec_time.resize(  // hot-ok: capacity pinned after first call
+      static_cast<size_t>(task_->num_models()));
+  view->model_available_at.assign(  // hot-ok: capacity pinned at first call
+      static_cast<size_t>(task_->num_models()), kSimTimeMax);
   for (int k = 0; k < task_->num_models(); ++k) {
-    view.model_exec_time[k] = task_->profile(k).latency_us;
+    view->model_exec_time[k] = task_->profile(k).latency_us;
   }
+  view->executors.clear();
   for (size_t e = 0; e < executors_.size(); ++e) {
     const Executor& ex = executors_[e];
     const SimTime busy_until =
         ex.busy.load(std::memory_order_acquire)
             ? ex.busy_until.load(std::memory_order_acquire)
-            : view.now;
+            : view->now;
     const int64_t queued = ex.queued.load(std::memory_order_acquire);
     const SimTime available =
-        std::max(busy_until, view.now) +
+        std::max(busy_until, view->now) +
         queued * task_->profile(ex.model).latency_us;
-    view.executors.push_back({static_cast<int>(e), ex.model, available,
-                              static_cast<int>(queued)});
-    view.model_available_at[ex.model] =
-        std::min(view.model_available_at[ex.model], available);
+    view->executors.push_back(  // hot-ok: bounded by the executor count
+        {static_cast<int>(e), ex.model, available, static_cast<int>(queued)});
+    view->model_available_at[ex.model] =
+        std::min(view->model_available_at[ex.model], available);
   }
-  return view;
+}
+
+SCHEMBLE_HOT void ConcurrentServer::SnapshotBufferLocked(
+    PlanWorkspace* ws) const {
+  ws->buffer.clear();
+  for (int index : buffer_) {
+    ws->buffer.push_back(  // hot-ok: capacity tracks the buffer high-water
+        {&trace_->items[static_cast<size_t>(index)], index,
+         states_[static_cast<size_t>(index)].generation});
+  }
 }
 
 void ConcurrentServer::CommitLocked(int index, SubsetMask subset) {
@@ -86,48 +112,81 @@ void ConcurrentServer::CommitLocked(int index, SubsetMask subset) {
   SCHEMBLE_CHECK_EQ(state.assigned, 0u);
   SCHEMBLE_CHECK_NE(subset, 0u);
   state.assigned = subset;
+  ++state.generation;
   if (state.buffered) {
     state.buffered = false;
     buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
   }
 }
 
-void ConcurrentServer::EnqueueTasks(int index, SubsetMask subset) {
+SCHEMBLE_HOT void ConcurrentServer::EnqueueBatch(
+    const std::vector<Commit>& commits, DispatchScratch* scratch) {
   SCHEMBLE_DCHECK(!mu_.HeldByCurrentThread())
-      << "EnqueueTasks blocks on executor queues and must not be called "
+      << "EnqueueBatch blocks on executor queues and must not be called "
          "inside the policy critical section";
+  if (commits.empty()) return;
+  // One lock round-trip for the whole batch: mirror the simulator by
+  // dropping queries finalized while the commit was in flight (deadline
+  // during scheduler overhead).
+  scratch->live.clear();
   {
-    // Mirror the simulator: tasks for queries finalized while the commit
-    // was in flight (deadline during scheduler overhead) are dropped.
     MutexLock lock(&mu_);
-    if (states_[index].finalized) return;
-  }
-  const SimTime now = clock_->Now();
-  for (int k = 0; k < task_->num_models(); ++k) {
-    if (!(subset & (SubsetMask{1} << k))) continue;
-    int best = -1;
-    SimTime best_available = kSimTimeMax;
-    for (size_t e = 0; e < executors_.size(); ++e) {
-      const Executor& ex = executors_[e];
-      if (ex.model != k) continue;
-      const SimTime busy_until =
-          ex.busy.load(std::memory_order_acquire)
-              ? ex.busy_until.load(std::memory_order_acquire)
-              : now;
-      const SimTime available =
-          std::max(busy_until, now) +
-          ex.queued.load(std::memory_order_acquire) *
-              task_->profile(k).latency_us;
-      if (available < best_available) {
-        best_available = available;
-        best = static_cast<int>(e);
-      }
+    for (const Commit& commit : commits) {
+      if (states_[static_cast<size_t>(commit.index)].finalized) continue;
+      scratch->live.push_back(commit);  // hot-ok: bounded by batch size
     }
-    SCHEMBLE_CHECK_GE(best, 0) << "no executor deployed for model " << k;
-    executors_[best].queued.fetch_add(1, std::memory_order_acq_rel);
-    if (!executors_[best].queue->Push(Task{index})) {
-      // Queue closed: shutdown already decided, the task is moot.
-      executors_[best].queued.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (scratch->live.empty()) return;
+
+  // Placement works against projected availability seeded once from the
+  // executor atomics and advanced as the batch lands, so a multi-query
+  // batch spreads across replicas exactly like the seed's per-task
+  // re-reads did.
+  const SimTime now = clock_->Now();
+  scratch->runs.resize(executors_.size());  // hot-ok: fixed executor count
+  scratch->avail.resize(executors_.size());  // hot-ok: fixed executor count
+  for (size_t e = 0; e < executors_.size(); ++e) {
+    scratch->runs[e].clear();
+    const Executor& ex = executors_[e];
+    const SimTime busy_until =
+        ex.busy.load(std::memory_order_acquire)
+            ? ex.busy_until.load(std::memory_order_acquire)
+            : now;
+    scratch->avail[e] = std::max(busy_until, now) +
+                        ex.queued.load(std::memory_order_acquire) *
+                            task_->profile(ex.model).latency_us;
+  }
+  for (const Commit& commit : scratch->live) {
+    for (int k = 0; k < task_->num_models(); ++k) {
+      if (!(commit.subset & (SubsetMask{1} << k))) continue;
+      int best = -1;
+      SimTime best_available = kSimTimeMax;
+      for (size_t e = 0; e < executors_.size(); ++e) {
+        if (executors_[e].model != k) continue;
+        if (scratch->avail[e] < best_available) {
+          best_available = scratch->avail[e];
+          best = static_cast<int>(e);
+        }
+      }
+      SCHEMBLE_CHECK_GE(best, 0) << "no executor deployed for model " << k;
+      scratch->runs[static_cast<size_t>(best)].push_back(  // hot-ok: batch-bounded
+          Task{commit.index});
+      scratch->avail[static_cast<size_t>(best)] +=
+          task_->profile(k).latency_us;
+    }
+  }
+  for (size_t e = 0; e < executors_.size(); ++e) {
+    const std::vector<Task>& run = scratch->runs[e];
+    if (run.empty()) continue;
+    executors_[e].queued.fetch_add(static_cast<int64_t>(run.size()),
+                                   std::memory_order_acq_rel);
+    const size_t pushed = executors_[e].queue->PushAll(
+        std::span<const Task>(run.data(), run.size()));
+    if (pushed < run.size()) {
+      // Queue closed: shutdown already decided, the remainder is moot.
+      executors_[e].queued.fetch_sub(
+          static_cast<int64_t>(run.size() - pushed),
+          std::memory_order_acq_rel);
     }
   }
 }
@@ -136,6 +195,7 @@ bool ConcurrentServer::ClaimFinalizeLocked(int index) {
   QueryState& state = states_[index];
   if (state.finalized) return false;
   state.finalized = true;
+  ++state.generation;
   if (state.buffered) {
     state.buffered = false;
     buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
@@ -186,72 +246,128 @@ void ConcurrentServer::RecordFinalized(int index, SubsetMask outputs,
   }
 }
 
-void ConcurrentServer::NotifyScheduler() {
-  {
-    MutexLock lock(&mu_);
-    scheduler_signal_ = true;
-  }
-  scheduler_cv_.NotifyOne();
-}
-
 void ConcurrentServer::AdmissionLoop() {
   const SimTime processing_delay = policy_->ArrivalProcessingDelay();
-  for (size_t i = 0; i < trace_->items.size(); ++i) {
-    const int index = static_cast<int>(i);
-    const TracedQuery& tq = trace_->items[i];
-    clock_->SleepUntil(tq.arrival_time + processing_delay);
+  // Reused across batches; capacities pin at the largest batch.
+  ServerView view;
+  std::vector<Commit> to_enqueue;
+  std::vector<int> rejects;
+  DispatchScratch scratch;
+  bool stopped = false;
+  size_t i = 0;
+  while (i < trace_->items.size() && !stopped) {
+    clock_->SleepUntil(trace_->items[i].arrival_time + processing_delay);
 
-    std::pair<int, SubsetMask> to_enqueue{-1, 0};
-    int reject_index = -1;
+    to_enqueue.clear();
+    rejects.clear();
+    bool notify = false;
     {
       MutexLock lock(&mu_);
-      if (shutdown_) break;
-      if (states_[index].finalized) continue;  // deadline beat the predictor
-      const ServerView view = BuildView();
-      const ArrivalDecision decision = policy_->OnArrival(tq, view);
-      switch (decision.action) {
-        case ArrivalDecision::Action::kAssign:
-          SCHEMBLE_CHECK_NE(decision.subset, 0u);
-          CommitLocked(index, decision.subset);
-          to_enqueue = {index, decision.subset};
-          break;
-        case ArrivalDecision::Action::kReject:
-          if (ClaimFinalizeLocked(index)) reject_index = index;
-          break;
-        case ArrivalDecision::Action::kBuffer:
-          states_[index].buffered = true;
-          buffer_.push_back(index);
-          break;
+      if (shutdown_) {
+        stopped = true;
+        break;
+      }
+      BuildViewInto(&view);
+      // Batched admission: every arrival already due gets its decision in
+      // this one critical section. In-batch assigns fold their service
+      // time into the view's availability so later queries in the batch
+      // see the load the earlier ones just added (what per-arrival
+      // BuildView re-reads provided in the seed design).
+      while (i < trace_->items.size()) {
+        const TracedQuery& tq = trace_->items[i];
+        if (tq.arrival_time + processing_delay > view.now) break;
+        const int index = static_cast<int>(i);
+        ++i;
+        // Deadline beat the predictor: already finalized, nothing to admit.
+        if (states_[static_cast<size_t>(index)].finalized) continue;
+        const ArrivalDecision decision =
+            policy_->OnArrival(tq, view);  // serialized(mu_)
+        switch (decision.action) {
+          case ArrivalDecision::Action::kAssign: {
+            SCHEMBLE_CHECK_NE(decision.subset, 0u);
+            CommitLocked(index, decision.subset);
+            to_enqueue.push_back({index, decision.subset});
+            for (int k = 0; k < view.num_models(); ++k) {
+              if (!(decision.subset & (SubsetMask{1} << k))) continue;
+              // Land the task on the projected least-loaded executor of
+              // model k (where EnqueueBatch will place it) and refresh
+              // the model's earliest availability.
+              ExecutorView* best = nullptr;
+              for (ExecutorView& ex : view.executors) {
+                if (ex.model_index != k) continue;
+                if (best == nullptr || ex.available_at < best->available_at) {
+                  best = &ex;
+                }
+              }
+              SCHEMBLE_CHECK(best != nullptr);
+              best->available_at = std::max(best->available_at, view.now) +
+                                   view.model_exec_time[k];
+              ++best->queue_length;
+              view.model_available_at[k] = kSimTimeMax;
+              for (const ExecutorView& ex : view.executors) {
+                if (ex.model_index != k) continue;
+                view.model_available_at[k] =
+                    std::min(view.model_available_at[k], ex.available_at);
+              }
+            }
+            break;
+          }
+          case ArrivalDecision::Action::kReject:
+            if (ClaimFinalizeLocked(index)) rejects.push_back(index);
+            break;
+          case ArrivalDecision::Action::kBuffer:
+            states_[static_cast<size_t>(index)].buffered = true;
+            buffer_.push_back(index);
+            break;
+        }
+      }
+      if (!buffer_.empty()) {
+        scheduler_signal_ = true;
+        notify = true;
       }
     }
-    if (to_enqueue.first >= 0) {
-      EnqueueTasks(to_enqueue.first, to_enqueue.second);
+    EnqueueBatch(to_enqueue, &scratch);
+    for (const int index : rejects) {
+      RecordFinalized(index, 0, clock_->Now());
     }
-    if (reject_index >= 0) {
-      RecordFinalized(reject_index, 0, clock_->Now());
-    }
-    NotifyScheduler();
+    if (notify) scheduler_cv_.NotifyOne();
   }
   {
     MutexLock lock(&mu_);
     arrivals_done_ = true;
+    scheduler_signal_ = true;
   }
-  NotifyScheduler();
+  // Unconditional wake: the scheduler must observe arrivals_done_ even
+  // with an empty buffer so the force-mode stuck check can fire.
+  scheduler_cv_.NotifyOne();
 }
 
 void ConcurrentServer::SchedulerLoop() {
+  // The snapshot-planning workspace: the plan state (DP workspace, score
+  // cache) comes from the policy; the view/buffer/commit vectors are
+  // reused so steady-state snapshot sections allocate nothing.
+  const bool off_lock = policy_->SupportsOffLockPlanning();
+  PlanWorkspace plan_ws;
+  if (off_lock) {
+    plan_ws.state = policy_->CreatePlanState();
+  }
+  ServerView view;
+  std::vector<Commit> commits;
+  std::vector<const TracedQuery*> pointers;
+  DispatchScratch scratch;
   while (true) {
-    std::vector<std::pair<int, SubsetMask>> commits;
+    commits.clear();
     SimTime overhead = 0;
     bool idle_and_stuck = false;
     size_t stuck_buffered = 0;
+    bool replanning = false;
     {
       MutexLock lock(&mu_);
       while (!scheduler_signal_ && !shutdown_) scheduler_cv_.Wait(mu_);
       if (shutdown_) return;
       scheduler_signal_ = false;
       if (buffer_.empty()) continue;
-      const ServerView view = BuildView();
+      BuildViewInto(&view);
       bool any_idle = false;
       for (const ExecutorView& ex : view.executors) {
         if (ex.available_at <= view.now) {
@@ -260,18 +376,78 @@ void ConcurrentServer::SchedulerLoop() {
         }
       }
       if (!any_idle) continue;
-      std::vector<const TracedQuery*> pointers;
-      pointers.reserve(buffer_.size());
-      for (int index : buffer_) pointers.push_back(&trace_->items[index]);
-      const PolicyOutput output = policy_->OnIdle(view, pointers);
-      for (const BufferedAssignment& assignment : output.assignments) {
-        auto it = id_to_index_.find(assignment.query_id);
-        SCHEMBLE_CHECK(it != id_to_index_.end());
-        SCHEMBLE_CHECK_NE(assignment.subset, 0u);
-        CommitLocked(it->second, assignment.subset);
-        commits.emplace_back(it->second, assignment.subset);
+      if (off_lock) {
+        // Snapshot -> plan -> validate/commit. The short critical section
+        // only copies state; the policy plans against the immutable
+        // snapshot with the mutex RELEASED, so arrivals and completions
+        // keep flowing while the DP runs.
+        SnapshotBufferLocked(&plan_ws);
+        lock.Release();
+        plans_.fetch_add(1, std::memory_order_relaxed);
+        policy_->PlanOnView(view, &plan_ws);
+        overhead = plan_ws.output.overhead_us;
+        lock.Acquire();
+        if (shutdown_) return;
+        // Validation: a plan entry is committable only if its query's
+        // generation still matches the snapshot — otherwise the deadline
+        // thread or a worker finalized it (or a racing commit assigned
+        // it) while we planned, and the entry is stale.
+        int64_t invalidated = 0;
+        for (const BufferedAssignment& assignment :
+             plan_ws.output.assignments) {
+          SCHEMBLE_CHECK_NE(assignment.subset, 0u);
+          const SnapshotQuery* snap = nullptr;
+          for (const SnapshotQuery& candidate : plan_ws.buffer) {
+            if (candidate.traced->query.id == assignment.query_id) {
+              snap = &candidate;
+              break;
+            }
+          }
+          SCHEMBLE_CHECK(snap != nullptr)
+              << "plan references a query outside its snapshot";
+          const QueryState& state =
+              states_[static_cast<size_t>(snap->index)];
+          if (state.generation != snap->generation) {
+            ++invalidated;
+            continue;
+          }
+          SCHEMBLE_DCHECK(!state.finalized && state.assigned == 0u)
+              << "generation matched but the query moved on";
+          CommitLocked(snap->index, assignment.subset);
+          commits.push_back({snap->index, assignment.subset});
+        }
+        plan_commits_.fetch_add(static_cast<int64_t>(commits.size()),
+                                std::memory_order_relaxed);
+        if (invalidated > 0) {
+          plans_invalidated_.fetch_add(invalidated,
+                                       std::memory_order_relaxed);
+          // Part of the plan went stale: immediately re-plan whatever is
+          // still buffered against fresh state (self-signal).
+          if (!buffer_.empty()) {
+            replans_.fetch_add(1, std::memory_order_relaxed);
+            scheduler_signal_ = true;
+            replanning = true;
+          }
+        }
+      } else {
+        // Compatibility path for stateful policies (the baselines): plan
+        // under the mutex, exactly the seed behaviour. No validation is
+        // needed — nothing can move while the lock is held.
+        pointers.clear();
+        for (int index : buffer_) {
+          pointers.push_back(&trace_->items[static_cast<size_t>(index)]);
+        }
+        const PolicyOutput output =
+            policy_->OnIdle(view, pointers);  // serialized(mu_)
+        for (const BufferedAssignment& assignment : output.assignments) {
+          auto it = id_to_index_.find(assignment.query_id);
+          SCHEMBLE_CHECK(it != id_to_index_.end());
+          SCHEMBLE_CHECK_NE(assignment.subset, 0u);
+          CommitLocked(it->second, assignment.subset);
+          commits.push_back({it->second, assignment.subset});
+        }
+        overhead = output.overhead_us;
       }
-      overhead = output.overhead_us;
       idle_and_stuck = commits.empty() && arrivals_done_ && !buffer_.empty();
       // Snapshot for the off-lock error log below: buffer_ is guarded and
       // workers may finalize (and un-buffer) queries concurrently.
@@ -282,10 +458,8 @@ void ConcurrentServer::SchedulerLoop() {
       // dispatched tasks' start; here the scheduler thread pays it in
       // (scaled) wall-clock time before enqueueing.
       if (overhead > 0) clock_->SleepFor(overhead);
-      for (const auto& [index, subset] : commits) {
-        EnqueueTasks(index, subset);
-      }
-    } else if (idle_and_stuck && !options_.allow_rejection) {
+      EnqueueBatch(commits, &scratch);
+    } else if (idle_and_stuck && !replanning && !options_.allow_rejection) {
       // Force mode has no deadline thread to finalize abandoned queries;
       // a policy that leaves the buffer untouched forever would hang the
       // run. The simulator CHECK-fails the equivalent state at drain time.
@@ -328,54 +502,73 @@ void ConcurrentServer::DeadlineLoop() {
 }
 
 void ConcurrentServer::WorkerLoop(int executor_id) {
+  // Longest task run drained from the queue per lock round-trip. Tasks in
+  // the local run still count in `queued` (each is decremented at its own
+  // service start), so load estimates keep seeing them.
+  constexpr size_t kRunLength = 16;
   Executor& ex = executors_[executor_id];
   const ModelProfile& profile = task_->profile(ex.model);
   Rng rng(HashSeed("worker", options_.seed + executor_id));
+  std::vector<Task> run;
+  run.reserve(kRunLength);
   while (true) {
-    std::optional<Task> task = ex.queue->Pop();
-    if (!task.has_value()) return;  // closed and drained: shutdown
-    ex.queued.fetch_sub(1, std::memory_order_acq_rel);
-
-    const double factor =
-        std::max(0.2, 1.0 + profile.latency_jitter * rng.Normal());
-    const SimTime service = static_cast<SimTime>(
-        static_cast<double>(profile.latency_us) * factor);
-    const SimTime start = clock_->Now();
-    ex.busy_until.store(start + service, std::memory_order_release);
-    ex.busy.store(true, std::memory_order_release);
-    if (options_.service_mode ==
-        ConcurrentServerOptions::ServiceMode::kSleep) {
-      clock_->SleepUntil(start + service);
-    } else {
-      // Host-bound inference: burn CPU until the service interval passes.
-      volatile double sink = 0.0;
-      while (clock_->Now() < start + service) {
-        double acc = sink;
-        for (int it = 0; it < 256; ++it) acc += std::sqrt(acc + it);
-        sink = acc;
-      }
+    run.clear();
+    if (ex.queue->PopN(&run, kRunLength) == 0) {
+      return;  // closed and drained: shutdown
     }
-    ex.busy.store(false, std::memory_order_release);
+    for (const Task& task : run) {
+      ex.queued.fetch_sub(1, std::memory_order_acq_rel);
 
-    const int index = task->query_index;
-    bool claimed = false;
-    SubsetMask outputs = 0;
-    SimTime completion = 0;
-    {
-      MutexLock lock(&mu_);
-      QueryState& state = states_[index];
-      if (!state.finalized) {
-        state.done |= SubsetMask{1} << ex.model;
-        state.last_done_time = clock_->Now();
-        if (state.done == state.assigned) {
-          claimed = ClaimFinalizeLocked(index);
-          outputs = state.done;
-          completion = state.last_done_time;
+      const double factor =
+          std::max(0.2, 1.0 + profile.latency_jitter * rng.Normal());
+      const SimTime service = static_cast<SimTime>(
+          static_cast<double>(profile.latency_us) * factor);
+      const SimTime start = clock_->Now();
+      ex.busy_until.store(start + service, std::memory_order_release);
+      ex.busy.store(true, std::memory_order_release);
+      if (options_.service_mode ==
+          ConcurrentServerOptions::ServiceMode::kSleep) {
+        clock_->SleepUntil(start + service);
+      } else {
+        // Host-bound inference: burn CPU until the service interval
+        // passes.
+        volatile double sink = 0.0;
+        while (clock_->Now() < start + service) {
+          double acc = sink;
+          for (int it = 0; it < 256; ++it) acc += std::sqrt(acc + it);
+          sink = acc;
         }
       }
+      ex.busy.store(false, std::memory_order_release);
+
+      const int index = task.query_index;
+      bool claimed = false;
+      bool notify = false;
+      SubsetMask outputs = 0;
+      SimTime completion = 0;
+      {
+        MutexLock lock(&mu_);
+        QueryState& state = states_[static_cast<size_t>(index)];
+        if (!state.finalized) {
+          state.done |= SubsetMask{1} << ex.model;
+          state.last_done_time = clock_->Now();
+          if (state.done == state.assigned) {
+            claimed = ClaimFinalizeLocked(index);
+            outputs = state.done;
+            completion = state.last_done_time;
+          }
+        }
+        // Scheduler wakeup folded into the completion critical section:
+        // capacity just freed up, so if anything is buffered the planner
+        // should look at it. No separate notify lock round-trip.
+        if (!buffer_.empty()) {
+          scheduler_signal_ = true;
+          notify = true;
+        }
+      }
+      if (claimed) RecordFinalized(index, outputs, completion);
+      if (notify) scheduler_cv_.NotifyOne();
     }
-    if (claimed) RecordFinalized(index, outputs, completion);
-    NotifyScheduler();
   }
 }
 

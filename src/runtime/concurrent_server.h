@@ -59,14 +59,25 @@ struct ConcurrentServerOptions {
 /// executor goes idle, and (in rejection mode) a deadline thread
 /// finalizing overdue queries with whatever outputs completed.
 ///
-/// Threading model:
-///  - All policy calls (OnArrival / OnIdle) and query-state transitions
-///    are serialized under one annotated Mutex, so policies keep the
-///    single-threaded contract they were written against (DpScheduler's
-///    mutable workspace in particular). The SCHEMBLE_GUARDED_BY /
-///    SCHEMBLE_REQUIRES annotations below make any off-lock access a clang
-///    build error (-Werror=thread-safety).
-///  - Task execution, aggregation and metric recording run outside that
+/// Threading model (see DESIGN.md "Snapshot planning & batched dispatch"):
+///  - Query-state transitions and the stateful policy calls (OnArrival,
+///    marked `// serialized(mu_)`) happen under one annotated Mutex. The
+///    SCHEMBLE_GUARDED_BY / SCHEMBLE_REQUIRES annotations below make any
+///    off-lock access a clang build error (-Werror=thread-safety).
+///  - Scheduling runs snapshot -> plan -> validate/commit: the scheduler
+///    thread copies the server view and buffered queries into a reusable
+///    PlanWorkspace inside a short critical section, releases the mutex,
+///    runs the policy's const PlanOnView against the immutable snapshot,
+///    then reacquires the mutex and commits only the plan entries whose
+///    per-query generation still matches (others were assigned/finalized
+///    while planning and are dropped + replanned). Policies without
+///    off-lock support keep the legacy serialized OnIdle path.
+///  - Admission and dispatch are batched: every due arrival is admitted in
+///    one lock acquisition, and committed task sets go to the executor
+///    queues via bulk PushAll (workers drain runs with PopN), so the
+///    per-event lock traffic of the seed design collapses into a handful
+///    of batch round-trips.
+///  - Task execution, aggregation and metric recording run outside the
 ///    mutex; metrics feed std::atomic counters (the mutex-free fast path),
 ///    and each query's latency sample is written to its own slot.
 ///  - All blocking is condition-variable/timer based; nothing spins.
@@ -96,6 +107,23 @@ class ConcurrentServer {
   };
   LockStatsSnapshot lock_stats() const;
 
+  /// Off-lock planning telemetry (bench_runtime and the invalidation
+  /// stress test read these after Run() returns). Counters only advance on
+  /// the snapshot-planning path, i.e. for policies with
+  /// SupportsOffLockPlanning().
+  struct SchedulerStatsSnapshot {
+    /// Planning rounds run outside the policy mutex.
+    int64_t plans = 0;
+    /// Plan entries that passed generation validation and were committed.
+    int64_t plan_commits = 0;
+    /// Plan entries dropped at commit because the query was assigned or
+    /// finalized while planning ran off-lock.
+    int64_t plans_invalidated = 0;
+    /// Immediate re-plan rounds triggered by invalidated entries.
+    int64_t replans = 0;
+  };
+  SchedulerStatsSnapshot scheduler_stats() const;
+
  private:
 
   /// Per-query task; executed by the worker owning `executor`.
@@ -118,6 +146,11 @@ class ConcurrentServer {
     bool buffered = false;
     bool finalized = false;
     SimTime last_done_time = 0;
+    /// Bumped on every assign and finalize. Snapshots taken for off-lock
+    /// planning record it per query; a mismatch at commit time means the
+    /// query moved on while the planner ran, so the plan entry is dropped
+    /// (counted in plans_invalidated).
+    uint64_t generation = 0;
   };
 
   /// Per-segment metric cells updated lock-free from completion callbacks.
@@ -130,32 +163,58 @@ class ConcurrentServer {
     std::atomic<double> latency_ms_sum{0.0};
   };
 
+  /// One planned or admitted assignment awaiting dispatch.
+  struct Commit {
+    int index = 0;
+    SubsetMask subset = 0;
+  };
+
+  /// Reusable per-dispatching-thread scratch for EnqueueBatch: per-executor
+  /// task runs plus projected availability. All vectors reach a stable
+  /// capacity after the first few batches, so steady-state dispatch
+  /// performs no heap allocation.
+  struct DispatchScratch {
+    std::vector<Commit> live;
+    std::vector<std::vector<Task>> runs;
+    std::vector<SimTime> avail;
+  };
+
   void AdmissionLoop() SCHEMBLE_EXCLUDES(mu_);
   void SchedulerLoop() SCHEMBLE_EXCLUDES(mu_);
   void DeadlineLoop() SCHEMBLE_EXCLUDES(mu_);
   void WorkerLoop(int executor_id) SCHEMBLE_EXCLUDES(mu_);
 
-  /// Builds the policy's server view.
-  ServerView BuildView() const SCHEMBLE_REQUIRES(mu_);
+  /// Fills the policy's server view, reusing `view`'s vector capacity —
+  /// after the first call the snapshot critical section allocates nothing.
+  void BuildViewInto(ServerView* view) const SCHEMBLE_REQUIRES(mu_);
+  /// Captures the buffered queries (arrival order) with their generations
+  /// into the plan workspace, reusing its capacity.
+  void SnapshotBufferLocked(PlanWorkspace* ws) const SCHEMBLE_REQUIRES(mu_);
   /// Marks `subset` assigned and removes the query from the buffer.
   /// Tasks are enqueued by the caller outside the lock.
   void CommitLocked(int index, SubsetMask subset) SCHEMBLE_REQUIRES(mu_);
-  /// Pushes the query's tasks onto the least-loaded executor of each
-  /// member model. Blocks when queues are full, hence must not hold mu_
-  /// (annotation-enforced).
-  void EnqueueTasks(int index, SubsetMask subset) SCHEMBLE_EXCLUDES(mu_);
+  /// Dispatches a batch of committed assignments: one lock acquisition to
+  /// drop entries finalized in flight (mirroring the simulator), then
+  /// placement onto the projected least-loaded executor of each member
+  /// model, then one PushAll per touched executor queue. Blocks when
+  /// queues are full, hence must not hold mu_ (annotation-enforced).
+  void EnqueueBatch(const std::vector<Commit>& commits,
+                    DispatchScratch* scratch) SCHEMBLE_EXCLUDES(mu_);
   /// Claims finalization; returns false if already finalized.
   bool ClaimFinalizeLocked(int index) SCHEMBLE_REQUIRES(mu_);
   /// Aggregates, scores and records one finalized query. Must not hold
   /// mu_ (annotation-enforced). `outputs == 0` records a miss.
   void RecordFinalized(int index, SubsetMask outputs, SimTime completion)
       SCHEMBLE_EXCLUDES(mu_);
-  void NotifyScheduler() SCHEMBLE_EXCLUDES(mu_);
 
   const SyntheticTask* task_;
   ServingPolicy* policy_;
   ConcurrentServerOptions options_;
   std::vector<Executor> executors_;
+  /// Query-id -> trace index. Const-after-init: fully built inside Run()
+  /// BEFORE any thread is spawned and never mutated afterwards, which is
+  /// why the scheduler thread may read it lock-free during plan commits.
+  /// Any write after the threads start is a contract violation.
   std::unordered_map<int64_t, int> id_to_index_;
 
   std::unique_ptr<SteadyClock> clock_;
@@ -171,7 +230,10 @@ class ConcurrentServer {
   std::vector<int> buffer_ SCHEMBLE_GUARDED_BY(mu_);
   bool arrivals_done_ SCHEMBLE_GUARDED_BY(mu_) = false;
 
-  /// Scheduler wakeup: completions/arrivals set the flag and notify.
+  /// Scheduler wakeup. The signal is FOLDED into critical sections other
+  /// threads already hold (admission batches, worker completions): they
+  /// set scheduler_signal_ when the buffer is non-empty and notify after
+  /// unlocking, so waking the scheduler costs no extra lock acquisition.
   CondVar scheduler_cv_;
   /// Interrupts the deadline thread's timed waits at shutdown.
   CondVar deadline_cv_;
@@ -191,7 +253,20 @@ class ConcurrentServer {
   std::atomic<double> processed_accuracy_sum_{0.0};
   std::vector<AtomicSegment> segments_;
   std::vector<std::atomic<int64_t>> subset_size_counts_;
+  /// Structure-immutable-after-start: sized in Run() before any thread is
+  /// spawned and never resized while they run. Each slot is written at
+  /// most once, by whichever thread finalizes that query (slots are
+  /// disjoint, so no two threads ever touch the same one), and only read
+  /// back after Run() joins everything.
   std::vector<double> latency_slots_;
+
+  /// Off-lock planning counters (see SchedulerStatsSnapshot). Updated by
+  /// the scheduler thread only; atomics so tests/benches can read them
+  /// after Run() without the policy mutex.
+  std::atomic<int64_t> plans_{0};
+  std::atomic<int64_t> plan_commits_{0};
+  std::atomic<int64_t> plans_invalidated_{0};
+  std::atomic<int64_t> replans_{0};
 
   std::vector<std::thread> threads_;
   bool ran_ = false;

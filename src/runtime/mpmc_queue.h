@@ -1,8 +1,10 @@
 #ifndef SCHEMBLE_RUNTIME_MPMC_QUEUE_H_
 #define SCHEMBLE_RUNTIME_MPMC_QUEUE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -42,6 +44,30 @@ class MpmcQueue {
     return true;
   }
 
+  /// Batched push: transfers all of `items` in order using one lock
+  /// round-trip per capacity chunk (a batch no larger than the free space
+  /// costs exactly one). Blocks while the ring is full, like Push; a batch
+  /// larger than the whole capacity still completes in chunks. Returns the
+  /// number of items actually pushed — items.size() unless the queue is
+  /// closed mid-batch, which drops the remainder.
+  size_t PushAll(std::span<const T> items) SCHEMBLE_EXCLUDES(mu_) {
+    size_t pushed = 0;
+    while (pushed < items.size()) {
+      size_t chunk = 0;
+      {
+        MutexLock lock(&mu_);
+        while (size_ == capacity_ && !closed_) not_full_.Wait(mu_);
+        if (closed_) break;
+        chunk = std::min(items.size() - pushed, capacity_ - size_);
+        for (size_t i = 0; i < chunk; ++i) PushLocked(items[pushed + i]);
+      }
+      pushed += chunk;
+      // A batch can satisfy several blocked consumers at once.
+      not_empty_.NotifyAll();
+    }
+    return pushed;
+  }
+
   /// Non-blocking push; false when full or closed.
   bool TryPush(T value) SCHEMBLE_EXCLUDES(mu_) {
     {
@@ -65,6 +91,36 @@ class MpmcQueue {
     }
     not_full_.NotifyOne();
     return value;
+  }
+
+  /// Blocking batch pop: waits until at least one item is available (or
+  /// the queue closes), then drains up to `max_items` into `out`
+  /// (appended) in one lock round-trip. Returns the number taken; 0 only
+  /// once the queue is closed and fully drained.
+  size_t PopN(std::vector<T>* out, size_t max_items) SCHEMBLE_EXCLUDES(mu_) {
+    size_t taken = 0;
+    {
+      MutexLock lock(&mu_);
+      while (size_ == 0 && !closed_) not_empty_.Wait(mu_);
+      taken = std::min(max_items, size_);
+      for (size_t i = 0; i < taken; ++i) out->push_back(PopLocked());
+    }
+    if (taken > 0) not_full_.NotifyAll();
+    return taken;
+  }
+
+  /// Non-blocking batch pop: drains up to `max_items` into `out`
+  /// (appended); returns the number taken, 0 when currently empty.
+  size_t TryPopN(std::vector<T>* out, size_t max_items)
+      SCHEMBLE_EXCLUDES(mu_) {
+    size_t taken = 0;
+    {
+      MutexLock lock(&mu_);
+      taken = std::min(max_items, size_);
+      for (size_t i = 0; i < taken; ++i) out->push_back(PopLocked());
+    }
+    if (taken > 0) not_full_.NotifyAll();
+    return taken;
   }
 
   /// Non-blocking pop; nullopt when currently empty.

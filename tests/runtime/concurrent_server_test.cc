@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <numeric>
+#include <thread>
 
 #include "baselines/original_policy.h"
+#include "baselines/static_policy.h"
 #include "core/discrepancy.h"
 #include "core/schemble_policy.h"
 #include "models/task_factory.h"
@@ -143,6 +146,115 @@ TEST_F(ConcurrentServerTest, ReplicasIncreaseThroughput) {
             narrow_metrics.deadline_miss_rate());
 }
 
+TEST_F(ConcurrentServerTest, EmptyTraceRunsClean) {
+  OriginalPolicy policy;
+  ConcurrentServerOptions options;
+  options.speedup = 100.0;
+  ConcurrentServer server(*task_, &policy, options);
+  const QueryTrace trace;  // no queries at all
+  const ServingMetrics metrics = server.Run(trace);
+  CheckInvariants(metrics, trace);
+  EXPECT_EQ(metrics.total, 0);
+  EXPECT_EQ(metrics.processed, 0);
+  EXPECT_EQ(metrics.missed, 0);
+  const ConcurrentServer::SchedulerStatsSnapshot sched =
+      server.scheduler_stats();
+  EXPECT_EQ(sched.plans, 0);
+  EXPECT_EQ(sched.plans_invalidated, 0);
+}
+
+TEST_F(ConcurrentServerTest, SingleExecutorStaticSubset) {
+  // One executor in the whole deployment: every task funnels through one
+  // queue and the batched dispatch path must still place them all.
+  StaticDeployment deployment;
+  deployment.subset = 0b010;
+  deployment.replicas = {0, 1, 0};
+  StaticPolicy policy(deployment);
+  ConcurrentServerOptions options;
+  options.executor_models = {1};
+  options.allow_rejection = false;
+  options.speedup = 100.0;
+  ConcurrentServer server(*task_, &policy, options);
+  const QueryTrace trace = MakeTrace(10.0, 10 * kSecond, 10 * kSecond);
+  const ServingMetrics metrics = server.Run(trace);
+  CheckInvariants(metrics, trace);
+  EXPECT_EQ(metrics.processed, trace.size());
+  // Every query ran exactly the single-model subset.
+  ASSERT_GE(metrics.subset_size_counts.size(), 2u);
+  EXPECT_EQ(metrics.subset_size_counts[1], trace.size());
+}
+
+TEST_F(ConcurrentServerTest, DeadlineStormRejectsEverything) {
+  // Deadlines far below any model's service time: OriginalPolicy rejects
+  // every arrival outright, so the whole trace resolves through the
+  // batched admission path without a single dispatch or planning round.
+  OriginalPolicy policy;
+  ConcurrentServerOptions options;
+  options.speedup = 100.0;
+  ConcurrentServer server(*task_, &policy, options);
+  const QueryTrace trace = MakeTrace(50.0, 10 * kSecond, 1 * kMillisecond);
+  ASSERT_GT(trace.size(), 0);
+  const ServingMetrics metrics = server.Run(trace);
+  CheckInvariants(metrics, trace);
+  EXPECT_EQ(metrics.processed, 0);
+  EXPECT_EQ(metrics.missed, trace.size());
+  EXPECT_EQ(server.scheduler_stats().plans, 0);
+}
+
+/// Off-lock planner that buffers everything and then plans so slowly that
+/// deadlines finalize the snapshotted queries mid-plan: the runtime's
+/// generation validation must drop those stale entries at commit time.
+class SlowPlanPolicy : public ServingPolicy {
+ public:
+  std::string name() const override { return "slow-plan"; }
+
+  ArrivalDecision OnArrival(const TracedQuery& /*query*/,
+                            const ServerView& /*view*/) override {
+    return ArrivalDecision::Buffer();
+  }
+
+  bool SupportsOffLockPlanning() const override { return true; }
+
+  std::unique_ptr<PolicyPlanState> CreatePlanState() const override {
+    return std::make_unique<PolicyPlanState>();
+  }
+
+  void PlanOnView(const ServerView& /*view*/,
+                  PlanWorkspace* ws) const override {
+    ws->output.assignments.clear();
+    ws->output.overhead_us = 0;
+    // Plan "work" long enough (real time) that, at the test's speedup,
+    // whole deadline windows elapse while the policy mutex is free and
+    // the deadline thread finalizes snapshotted queries under it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    for (const SnapshotQuery& snap : ws->buffer) {
+      ws->output.assignments.push_back({snap.traced->query.id, SubsetMask{1}});
+    }
+  }
+};
+
+TEST_F(ConcurrentServerTest, PlanInvalidationRaceIsDetected) {
+  SlowPlanPolicy policy;
+  ConcurrentServerOptions options;
+  options.speedup = 200.0;
+  ConcurrentServer server(*task_, &policy, options);
+  // 50 ms virtual deadlines are 0.25 ms real: every 5 ms planning nap
+  // outlives the deadlines of everything it snapshotted.
+  const QueryTrace trace = MakeTrace(100.0, 5 * kSecond, 50 * kMillisecond);
+  ASSERT_GT(trace.size(), 0);
+  const ServingMetrics metrics = server.Run(trace);
+  CheckInvariants(metrics, trace);
+  const ConcurrentServer::SchedulerStatsSnapshot sched =
+      server.scheduler_stats();
+  EXPECT_GT(sched.plans, 0);
+  // The race this test exists for: at least one plan entry must have gone
+  // stale between snapshot and commit and been dropped by generation
+  // validation (with these timings it is typically hundreds).
+  EXPECT_GE(sched.plans_invalidated, 1);
+  // Every query still resolves exactly once despite the churn.
+  EXPECT_EQ(metrics.total, trace.size());
+}
+
 class ConcurrentSchembleTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -184,8 +296,14 @@ TEST_F(ConcurrentSchembleTest, BufferedPolicyDrainsThroughScheduler) {
   const ServingMetrics metrics = server.Run(trace);
   CheckInvariants(metrics, trace);
   // Under this load queries queue up, so the DP scheduler must have run
-  // and the policy should keep most queries within deadline.
+  // and the policy should keep most queries within deadline. Schemble
+  // supports off-lock planning, so every run goes through the
+  // snapshot-plan-commit path and the plan counters advance with it.
   EXPECT_GT(policy.scheduler_runs(), 0);
+  const ConcurrentServer::SchedulerStatsSnapshot sched =
+      server.scheduler_stats();
+  EXPECT_GT(sched.plans, 0);
+  EXPECT_GT(sched.plan_commits, 0);
   if (!kSanitized) {
     EXPECT_GT(metrics.accuracy(), 0.5);
     EXPECT_LT(metrics.deadline_miss_rate(), 0.5);

@@ -79,6 +79,128 @@ TEST(MpmcQueueTest, BlockedProducerResumesAfterPop) {
   EXPECT_EQ(queue.Pop(), 2);
 }
 
+TEST(MpmcQueueTest, PushAllDeliversInOrder) {
+  MpmcQueue<int> queue(8);
+  const std::vector<int> items = {1, 2, 3, 4, 5};
+  EXPECT_EQ(queue.PushAll(items), items.size());
+  EXPECT_EQ(queue.size(), items.size());
+  for (int expected : items) {
+    EXPECT_EQ(queue.Pop(), expected);
+  }
+}
+
+TEST(MpmcQueueTest, PushAllLargerThanFreeSpaceCompletesInChunks) {
+  // Capacity 3, batch 8: the producer must block mid-batch until a
+  // consumer frees slots, then finish the remaining chunks.
+  MpmcQueue<int> queue(3);
+  std::vector<int> items(8);
+  std::iota(items.begin(), items.end(), 0);
+  std::atomic<size_t> pushed{0};
+  std::thread producer([&] { pushed.store(queue.PushAll(items)); });
+  for (int expected = 0; expected < 8; ++expected) {
+    EXPECT_EQ(queue.Pop(), expected);
+  }
+  producer.join();
+  EXPECT_EQ(pushed.load(), items.size());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(MpmcQueueTest, PushAllPartialOnClose) {
+  // Fill the ring, start a batch that must block, then close: the batch
+  // reports only the items that made it in (here the first chunk of 2).
+  MpmcQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(100));
+  EXPECT_TRUE(queue.Push(101));
+  std::vector<int> items = {0, 1, 2, 3, 4, 5};
+  std::atomic<size_t> pushed{items.size() + 1};
+  std::thread producer([&] { pushed.store(queue.PushAll(items)); });
+  // Wait until the producer's first chunk lands and it blocks on a full
+  // ring, so the partial count is deterministic.
+  while (queue.size() < 4u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.Close();
+  producer.join();
+  EXPECT_EQ(pushed.load(), 2u);
+  // Close drains what was accepted, in order.
+  EXPECT_EQ(queue.Pop(), 100);
+  EXPECT_EQ(queue.Pop(), 101);
+  EXPECT_EQ(queue.Pop(), 0);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(MpmcQueueTest, PushAllOnClosedQueuePushesNothing) {
+  MpmcQueue<int> queue(4);
+  queue.Close();
+  const std::vector<int> items = {1, 2, 3};
+  EXPECT_EQ(queue.PushAll(items), 0u);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(MpmcQueueTest, PopNDrainsUpToLimit) {
+  MpmcQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopN(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  // Appends rather than overwrites, and takes whatever is left.
+  EXPECT_EQ(queue.PopN(&out, 16), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(MpmcQueueTest, PopNBlocksUntilItemOrClose) {
+  MpmcQueue<int> queue(4);
+  std::vector<int> out;
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    EXPECT_GE(queue.PopN(&batch, 4), 1u);  // blocks until the push below
+    EXPECT_EQ(batch.front(), 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(queue.Push(42));
+  consumer.join();
+  // Closed and drained: PopN returns 0, the consumer shutdown signal.
+  queue.Close();
+  EXPECT_EQ(queue.PopN(&out, 4), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MpmcQueueTest, TryPopNNonBlocking) {
+  MpmcQueue<int> queue(4);
+  std::vector<int> out;
+  EXPECT_EQ(queue.TryPopN(&out, 4), 0u);
+  EXPECT_TRUE(queue.Push(7));
+  EXPECT_TRUE(queue.Push(8));
+  EXPECT_EQ(queue.TryPopN(&out, 4), 2u);
+  EXPECT_EQ(out, (std::vector<int>{7, 8}));
+}
+
+TEST(MpmcQueueTest, PushAllUnblocksBlockedBatchConsumers) {
+  // A batched producer must wake every waiting consumer, not just one.
+  MpmcQueue<int> queue(8);
+  std::atomic<int64_t> consumed{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      while (queue.PopN(&batch, 2) > 0) {
+        consumed.fetch_add(static_cast<int64_t>(batch.size()));
+        batch.clear();
+      }
+    });
+  }
+  std::vector<int> items(30);
+  std::iota(items.begin(), items.end(), 0);
+  EXPECT_EQ(queue.PushAll(items), items.size());
+  while (consumed.load() < 30) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), 30);
+}
+
 TEST(MpmcQueueTest, ManyProducersManyConsumersPreserveItems) {
   constexpr int kProducers = 4;
   constexpr int kConsumers = 4;

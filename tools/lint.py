@@ -29,6 +29,16 @@ Rules (see DESIGN.md "Static analysis & lock discipline"):
                         add intrinsics, FP_CONTRACT pragmas, fast-math hints
                         and nondeterministic parallel reductions are banned.
 
+  policy-serialization  Inside src/runtime/, calls to the stateful
+                        ServingPolicy entry points (->OnArrival / ->OnIdle)
+                        must carry a `// serialized(mu_)` marker on the same
+                        or the preceding line, documenting that the call is
+                        made under the policy mutex. Off-lock runtime code
+                        must plan through the const PlanOnView /
+                        CreatePlanState path instead; this rule keeps the
+                        PR-5 under-lock DP solve from being reintroduced
+                        silently.
+
 Exit status is non-zero when any rule fires or clang-tidy (when run)
 reports a diagnostic. Run from the repo root, or pass --repo.
 """
@@ -63,6 +73,10 @@ HOT_GROWTH_RE = re.compile(
 GROWTH_TRACKED_RE = re.compile(r"grow_events|ResizeTracked|GrowTo")
 
 HOT_OK_RE = re.compile(r"//\s*hot-ok:")
+
+POLICY_STATEFUL_RE = re.compile(r"->\s*(OnArrival|OnIdle)\s*\(")
+
+SERIALIZED_OK_RE = re.compile(r"//\s*serialized\(mu_\)")
 
 FP_BANNED = [
     (re.compile(r"\bstd::fmaf?\b|\b__builtin_fmaf?\b"),
@@ -172,6 +186,22 @@ class Linter:
                 for pattern, why in FP_BANNED:
                     if pattern.search(code):
                         self.error(rel, i, "fp-determinism", why)
+
+        if rel.startswith(os.path.join("src", "runtime") + os.sep):
+            for i, raw in enumerate(lines, 1):
+                code = strip_comments_and_strings(raw)
+                if not POLICY_STATEFUL_RE.search(code):
+                    continue
+                prev = lines[i - 2] if i >= 2 else ""
+                if SERIALIZED_OK_RE.search(raw) or SERIALIZED_OK_RE.search(prev):
+                    continue
+                self.error(rel, i, "policy-serialization",
+                           "stateful ServingPolicy entry point called from "
+                           "runtime code without a `// serialized(mu_)` "
+                           "marker; either the call is under the policy "
+                           "mutex (add the marker on this or the preceding "
+                           "line) or it must go through the const "
+                           "PlanOnView / CreatePlanState planning path")
 
         for start, body in find_hot_function_bodies(text):
             body_text = "\n".join(strip_comments_and_strings(lines[j])
