@@ -58,17 +58,29 @@ struct JsonEntry {
 };
 
 ScalingPoint RunOnce(const SyntheticTask& task, const QueryTrace& trace,
-                     int workers, double speedup) {
+                     int workers, double speedup, int domains = 1) {
   StaticDeployment deployment;
   deployment.subset = kSubset;
   deployment.replicas = {0, workers, 0};
-  StaticPolicy policy(deployment);
+  // One policy instance per scheduler domain (stateful calls are
+  // serialized per domain); the deployment itself is shared and const.
+  std::vector<StaticPolicy> policies;
+  policies.reserve(static_cast<size_t>(domains));
+  std::vector<ServingPolicy*> policy_ptrs;
+  for (int d = 0; d < domains; ++d) {
+    policies.emplace_back(deployment);
+  }
+  for (StaticPolicy& policy : policies) {
+    policy_ptrs.push_back(&policy);
+  }
 
   ConcurrentServerOptions options;
   options.executor_models.assign(static_cast<size_t>(workers), kModel);
   options.allow_rejection = false;
   options.speedup = speedup;
-  ConcurrentServer server(task, &policy, options);
+  options.num_domains = domains;
+  options.routing = RoutingPolicyKind::kLeastLoaded;
+  ConcurrentServer server(task, std::move(policy_ptrs), options);
 
   SteadyClock wall(1.0);
   const SimTime start = wall.Now();
@@ -221,6 +233,69 @@ int Main(int argc, char** argv) {
   const double scaling = qps_at_4 / base_qps;
   std::printf("\n4-worker scaling: %.2fx (acceptance bar: >2x)\n\n", scaling);
 
+  // Sharded sweep: the same sleep-mode workload at 10x the arrival rate so
+  // queues stay saturated out to 64 executors, crossed with 1 vs 4
+  // scheduler domains. The 1-domain rows expose where the single
+  // admitter/scheduler pair stops keeping up; the 4-domain rows are the
+  // headline scaling claim (ROADMAP: >= 3x the 8-worker baseline at 32
+  // workers / 4 domains).
+  PoissonTraffic sharded_traffic(1600.0);
+  TraceOptions sharded_trace_options;
+  sharded_trace_options.seed = 7;
+  const QueryTrace sharded_trace = BuildTrace(
+      task, sharded_traffic, deadlines, 5 * kSecond, sharded_trace_options);
+  std::printf("sharded sweep: %lld queries, least-loaded routing\n",
+              static_cast<long long>(sharded_trace.size()));
+  TextTable sharded_table({"workers", "domains", "wall_s", "throughput_qps",
+                           "vs_8w_1d", "steals", "rebalances",
+                           "plans_invalidated"});
+  double sharded_base_qps = 0.0;
+  double qps_32w_4d = 0.0;
+  for (int workers : {8, 16, 32, 64}) {
+    for (int domains : {1, 4}) {
+      const ScalingPoint point =
+          RunOnce(task, sharded_trace, workers, 40.0, domains);
+      if (workers == 8 && domains == 1) sharded_base_qps = point.throughput_qps;
+      if (workers == 32 && domains == 4) qps_32w_4d = point.throughput_qps;
+      char wall[32], qps[32], rel[32];
+      std::snprintf(wall, sizeof(wall), "%.2f", point.wall_seconds);
+      std::snprintf(qps, sizeof(qps), "%.0f", point.throughput_qps);
+      std::snprintf(rel, sizeof(rel), "%.2fx",
+                    point.throughput_qps / sharded_base_qps);
+      sharded_table.AddRow({std::to_string(workers), std::to_string(domains),
+                            wall, qps, rel, std::to_string(point.sched.steals),
+                            std::to_string(point.sched.rebalances),
+                            std::to_string(point.sched.plans_invalidated)});
+      JsonEntry entry;
+      entry.name = "BM_RuntimeSharded/workers:" + std::to_string(workers) +
+                   "/domains:" + std::to_string(domains);
+      entry.value_us = point.wall_seconds * 1e6;
+      entry.counters = {
+          {"throughput_qps", point.throughput_qps},
+          {"lock_acquisitions", static_cast<double>(point.lock.acquisitions)},
+          {"lock_held_ms", point.lock.held_ms},
+          {"steals", static_cast<double>(point.sched.steals)},
+          {"stolen", static_cast<double>(point.sched.stolen)},
+          {"rebalances", static_cast<double>(point.sched.rebalances)},
+          {"donated", static_cast<double>(point.sched.donated)},
+          {"plans_invalidated",
+           static_cast<double>(point.sched.plans_invalidated)},
+      };
+      entries.push_back(std::move(entry));
+    }
+  }
+  sharded_table.Print();
+
+  const double sharded_scaling = qps_32w_4d / sharded_base_qps;
+  // Calibrated target is >=3x (observed 4.0x on an idle host); the hard
+  // gate sits at 1.5x so a time-shared CI runner does not flake the smoke
+  // run while catastrophic serialization (ratio ~1x) still fails it. The
+  // pinned-baseline counter check (check_regression.py
+  // --counter-min-ratio throughput_qps=...) covers finer regressions.
+  std::printf("\n32-worker/4-domain scaling vs 8-worker/1-domain: %.2fx "
+              "(target: >=3x, gate: >=1.5x)\n\n",
+              sharded_scaling);
+
   std::printf("schemble policy pressure (oracle scores, DP scheduler, "
               "rejection mode):\n");
   TextTable schemble_table({"wall_s", "processed_frac", "sched_runs",
@@ -257,6 +332,10 @@ int Main(int argc, char** argv) {
 
   if (scaling <= 2.0) {
     std::printf("FAIL: insufficient scaling\n");
+    return 1;
+  }
+  if (sharded_scaling < 1.5) {
+    std::printf("FAIL: insufficient sharded scaling\n");
     return 1;
   }
   std::printf("PASS\n");

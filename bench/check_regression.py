@@ -4,6 +4,7 @@
 Usage:
     bench/check_regression.py CURRENT.json [--baseline bench/BENCH_scheduler.json]
                               [--threshold 2.5]
+                              [--counter-min-ratio throughput_qps=0.4]
 
 For every benchmark name present in both files, the per-iteration cpu_time
 is compared. The check fails (exit 1) if any benchmark is more than
@@ -11,6 +12,12 @@ is compared. The check fails (exit 1) if any benchmark is more than
 (2.5x) keeps the check insensitive to runner jitter and hardware deltas
 while still catching order-of-magnitude algorithmic regressions (e.g.
 losing the DP workspace reuse).
+
+`--counter-min-ratio NAME=RATIO` (repeatable) additionally gates custom
+counters where HIGHER is better: for every benchmark that carries counter
+NAME in both files, the check fails if current/baseline drops below RATIO.
+Benchmarks without the counter in either file are skipped, so the gate
+composes with mixed-counter suites.
 
 Benchmarks only present in one file are reported but never fail the check,
 so adding or retiring benchmarks does not require touching the baseline in
@@ -23,7 +30,8 @@ import sys
 
 
 def load_benchmarks(path):
-    """Returns {name: cpu_time_us} for per-iteration entries in `path`."""
+    """Returns {name: entry_dict} for per-iteration entries in `path`,
+    with cpu_time normalized to microseconds under "cpu_time_us"."""
     with open(path) as f:
         data = json.load(f)
     out = {}
@@ -33,8 +41,23 @@ def load_benchmarks(path):
             continue
         unit = bench.get("time_unit", "ns")
         scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}[unit]
-        out[bench["name"]] = bench["cpu_time"] * scale
+        entry = dict(bench)
+        entry["cpu_time_us"] = bench["cpu_time"] * scale
+        out[bench["name"]] = entry
     return out
+
+
+def parse_counter_min_ratio(spec):
+    """Parses a NAME=RATIO argument into (name, float_ratio)."""
+    name, sep, value = spec.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=RATIO, got {spec!r}")
+    try:
+        return name, float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"ratio in {spec!r} is not a number")
 
 
 def main():
@@ -52,6 +75,15 @@ def main():
         help="fail if cpu_time exceeds baseline by this factor "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--counter-min-ratio",
+        type=parse_counter_min_ratio,
+        action="append",
+        default=[],
+        metavar="NAME=RATIO",
+        help="fail if custom counter NAME (higher is better) drops below "
+        "RATIO x baseline on any benchmark carrying it (repeatable)",
+    )
     args = parser.parse_args()
 
     baseline = load_benchmarks(args.baseline)
@@ -67,8 +99,8 @@ def main():
     width = max(len(name) for name in common)
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
     for name in common:
-        base_us = baseline[name]
-        cur_us = current[name]
+        base_us = baseline[name]["cpu_time_us"]
+        cur_us = current[name]["cpu_time_us"]
         ratio = cur_us / base_us if base_us > 0 else float("inf")
         flag = ""
         if ratio > args.threshold:
@@ -76,6 +108,25 @@ def main():
             flag = "  <-- REGRESSION"
         print(f"{name:<{width}}  {base_us:>10.1f}us  {cur_us:>10.1f}us  "
               f"{ratio:>5.2f}x{flag}")
+
+    counter_regressions = []
+    for counter, min_ratio in args.counter_min_ratio:
+        gated = [name for name in common
+                 if counter in baseline[name] and counter in current[name]]
+        if not gated:
+            print(f"counter {counter}: no benchmark carries it in both files")
+            continue
+        print(f"\ncounter {counter} (min ratio {min_ratio}x):")
+        for name in gated:
+            base = baseline[name][counter]
+            cur = current[name][counter]
+            ratio = cur / base if base > 0 else float("inf")
+            flag = ""
+            if ratio < min_ratio:
+                counter_regressions.append((name, counter, ratio))
+                flag = "  <-- REGRESSION"
+            print(f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  "
+                  f"{ratio:>5.2f}x{flag}")
 
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:<{width}}  (new, no baseline)")
@@ -87,6 +138,12 @@ def main():
               f"{args.threshold}x:", file=sys.stderr)
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+    if counter_regressions:
+        print(f"\nFAIL: {len(counter_regressions)} counter value(s) below "
+              "their minimum ratio:", file=sys.stderr)
+        for name, counter, ratio in counter_regressions:
+            print(f"  {name} {counter}: {ratio:.2f}x", file=sys.stderr)
+    if regressions or counter_regressions:
         return 1
 
     print(f"\nOK: {len(common)} benchmark(s) within {args.threshold}x "

@@ -1,64 +1,102 @@
 #include "runtime/concurrent_server.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <span>
 #include <utility>
 
-#include "common/hot_path.h"
 #include "common/logging.h"
+#include "serving/completion.h"
 
 namespace schemble {
-namespace {
-
-/// Real-clock duration of `virtual_us` at the given speedup, clamped to at
-/// least one microsecond so waits always make progress.
-std::chrono::microseconds RealDuration(SimTime virtual_us, double speedup) {
-  const auto us = static_cast<int64_t>(
-      static_cast<double>(virtual_us) / speedup);
-  return std::chrono::microseconds(std::max<int64_t>(us, 1));
-}
-
-}  // namespace
-
-ConcurrentServer::LockStatsSnapshot ConcurrentServer::lock_stats() const {
-  const Mutex::Stats stats = mu_.stats();
-  return {stats.acquisitions, static_cast<double>(stats.held_ns) / 1e6};
-}
-
-ConcurrentServer::SchedulerStatsSnapshot ConcurrentServer::scheduler_stats()
-    const {
-  SchedulerStatsSnapshot snapshot;
-  snapshot.plans = plans_.load(std::memory_order_relaxed);
-  snapshot.plan_commits = plan_commits_.load(std::memory_order_relaxed);
-  snapshot.plans_invalidated =
-      plans_invalidated_.load(std::memory_order_relaxed);
-  snapshot.replans = replans_.load(std::memory_order_relaxed);
-  return snapshot;
-}
 
 ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
                                    ServingPolicy* policy,
                                    ConcurrentServerOptions options)
-    : task_(&task), policy_(policy), options_(std::move(options)) {
-  SCHEMBLE_CHECK(policy_ != nullptr);
+    : ConcurrentServer(task, std::vector<ServingPolicy*>{policy},
+                       std::move(options)) {}
+
+ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
+                                   std::vector<ServingPolicy*> policies,
+                                   ConcurrentServerOptions options)
+    : task_(&task),
+      policies_(std::move(policies)),
+      options_(std::move(options)) {
+  SCHEMBLE_CHECK_GT(options_.num_domains, 0);
+  SCHEMBLE_CHECK_EQ(policies_.size(),
+                    static_cast<size_t>(options_.num_domains))
+      << "one policy instance per scheduler domain (stateful policy calls "
+         "are serialized per domain)";
+  for (ServingPolicy* policy : policies_) {
+    SCHEMBLE_CHECK(policy != nullptr);
+    SCHEMBLE_CHECK_EQ(policy->ArrivalProcessingDelay(),
+                      policies_[0]->ArrivalProcessingDelay())
+        << "domain policies must agree on ArrivalProcessingDelay";
+  }
   SCHEMBLE_CHECK_GT(options_.speedup, 0.0);
   SCHEMBLE_CHECK_GT(options_.queue_capacity, 0);
+  SCHEMBLE_CHECK_GT(options_.inbox_capacity, 0);
   if (options_.executor_models.empty()) {
     for (int k = 0; k < task_->num_models(); ++k) {
       options_.executor_models.push_back(k);
     }
   }
-  executors_ = std::vector<Executor>(options_.executor_models.size());
-  for (size_t e = 0; e < executors_.size(); ++e) {
+
+  // Partition the executor pool: each model's replicas are dealt
+  // round-robin across domains, so replica counts that are multiples of
+  // num_domains split evenly and every domain can serve whole subsets.
+  const int n_domains = options_.num_domains;
+  std::vector<std::vector<int>> domain_models(n_domains);
+  std::vector<std::vector<int>> domain_ids(n_domains);
+  std::vector<int> next_domain(static_cast<size_t>(task_->num_models()), 0);
+  std::vector<int> model_replicas(static_cast<size_t>(task_->num_models()),
+                                  0);
+  for (size_t e = 0; e < options_.executor_models.size(); ++e) {
     const int model = options_.executor_models[e];
     SCHEMBLE_CHECK_GE(model, 0);
     SCHEMBLE_CHECK_LT(model, task_->num_models());
-    executors_[e].model = model;
-    executors_[e].queue = std::make_unique<MpmcQueue<Task>>(
-        static_cast<size_t>(options_.queue_capacity));
+    const int d = next_domain[static_cast<size_t>(model)];
+    next_domain[static_cast<size_t>(model)] = (d + 1) % n_domains;
+    ++model_replicas[static_cast<size_t>(model)];
+    domain_models[d].push_back(model);
+    domain_ids[d].push_back(static_cast<int>(e));
+  }
+  for (int k = 0; k < task_->num_models(); ++k) {
+    if (model_replicas[static_cast<size_t>(k)] == 0) continue;
+    SCHEMBLE_CHECK_GE(model_replicas[static_cast<size_t>(k)], n_domains)
+        << "model " << k << " has fewer replicas than scheduler domains; "
+        << "every domain must be able to serve every deployed model";
+  }
+
+  if (n_domains > 1) {
+    if (options_.router != nullptr) {
+      router_ = options_.router;
+    } else {
+      owned_router_ = MakeRoutingPolicy(options_.routing);
+      router_ = owned_router_.get();
+    }
+  }
+
+  for (int d = 0; d < n_domains; ++d) {
+    SchedulerDomainOptions dom;
+    dom.domain_id = d;
+    dom.num_domains = n_domains;
+    dom.executor_models = std::move(domain_models[d]);
+    dom.executor_ids = std::move(domain_ids[d]);
+    dom.allow_rejection = options_.allow_rejection;
+    dom.seed = options_.seed;
+    dom.speedup = options_.speedup;
+    dom.queue_capacity = options_.queue_capacity;
+    dom.inbox_capacity = options_.inbox_capacity;
+    dom.service_mode = options_.service_mode;
+    dom.steal_batch = options_.steal_batch;
+    dom.rebalance_period = options_.rebalance_period;
+    // The explicit cast happens here, inside a member, because the
+    // DomainHost base is private (domains are the only callers).
+    domains_.push_back(std::make_unique<SchedulerDomain>(
+        *task_, policies_[static_cast<size_t>(d)],
+        static_cast<DomainHost*>(this), std::move(dom)));
   }
 }
 
@@ -67,509 +105,140 @@ ConcurrentServer::~ConcurrentServer() {
   SCHEMBLE_CHECK(threads_.empty());
 }
 
-SCHEMBLE_HOT void ConcurrentServer::BuildViewInto(ServerView* view) const {
-  view->now = clock_->Now();
-  view->allow_rejection = options_.allow_rejection;
-  // Capacities pin after the first call (fixed model/executor counts), so
-  // the snapshot critical section stays allocation-free in steady state.
-  view->model_exec_time.resize(  // hot-ok: capacity pinned after first call
-      static_cast<size_t>(task_->num_models()));
-  view->model_available_at.assign(  // hot-ok: capacity pinned at first call
-      static_cast<size_t>(task_->num_models()), kSimTimeMax);
-  for (int k = 0; k < task_->num_models(); ++k) {
-    view->model_exec_time[k] = task_->profile(k).latency_us;
-  }
-  view->executors.clear();
-  for (size_t e = 0; e < executors_.size(); ++e) {
-    const Executor& ex = executors_[e];
-    const SimTime busy_until =
-        ex.busy.load(std::memory_order_acquire)
-            ? ex.busy_until.load(std::memory_order_acquire)
-            : view->now;
-    const int64_t queued = ex.queued.load(std::memory_order_acquire);
-    const SimTime available =
-        std::max(busy_until, view->now) +
-        queued * task_->profile(ex.model).latency_us;
-    view->executors.push_back(  // hot-ok: bounded by the executor count
-        {static_cast<int>(e), ex.model, available, static_cast<int>(queued)});
-    view->model_available_at[ex.model] =
-        std::min(view->model_available_at[ex.model], available);
-  }
+int ConcurrentServer::num_executors() const {
+  int total = 0;
+  for (const auto& domain : domains_) total += domain->num_executors();
+  return total;
 }
 
-SCHEMBLE_HOT void ConcurrentServer::SnapshotBufferLocked(
-    PlanWorkspace* ws) const {
-  ws->buffer.clear();
-  for (int index : buffer_) {
-    ws->buffer.push_back(  // hot-ok: capacity tracks the buffer high-water
-        {&trace_->items[static_cast<size_t>(index)], index,
-         states_[static_cast<size_t>(index)].generation});
+ConcurrentServer::LockStatsSnapshot ConcurrentServer::lock_stats() const {
+  LockStatsSnapshot snapshot;
+  for (const auto& domain : domains_) {
+    const Mutex::Stats stats = domain->lock_stats();
+    snapshot.acquisitions += stats.acquisitions;
+    snapshot.held_ms += static_cast<double>(stats.held_ns) / 1e6;
   }
+  return snapshot;
 }
 
-void ConcurrentServer::CommitLocked(int index, SubsetMask subset) {
-  QueryState& state = states_[index];
-  SCHEMBLE_CHECK_EQ(state.assigned, 0u);
-  SCHEMBLE_CHECK_NE(subset, 0u);
-  state.assigned = subset;
-  ++state.generation;
-  if (state.buffered) {
-    state.buffered = false;
-    buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
-  }
+ConcurrentServer::SchedulerStatsSnapshot ConcurrentServer::scheduler_stats(
+    int domain) const {
+  const SchedulerDomain::StatsSnapshot s =
+      domains_[static_cast<size_t>(domain)]->stats();
+  SchedulerStatsSnapshot snapshot;
+  snapshot.plans = s.plans;
+  snapshot.plan_commits = s.plan_commits;
+  snapshot.plans_invalidated = s.plans_invalidated;
+  snapshot.replans = s.replans;
+  snapshot.steals = s.steals;
+  snapshot.stolen = s.stolen;
+  snapshot.rebalances = s.rebalances;
+  snapshot.donated = s.donated;
+  return snapshot;
 }
 
-SCHEMBLE_HOT void ConcurrentServer::EnqueueBatch(
-    const std::vector<Commit>& commits, DispatchScratch* scratch) {
-  SCHEMBLE_DCHECK(!mu_.HeldByCurrentThread())
-      << "EnqueueBatch blocks on executor queues and must not be called "
-         "inside the policy critical section";
-  if (commits.empty()) return;
-  // One lock round-trip for the whole batch: mirror the simulator by
-  // dropping queries finalized while the commit was in flight (deadline
-  // during scheduler overhead).
-  scratch->live.clear();
-  {
-    MutexLock lock(&mu_);
-    for (const Commit& commit : commits) {
-      if (states_[static_cast<size_t>(commit.index)].finalized) continue;
-      scratch->live.push_back(commit);  // hot-ok: bounded by batch size
-    }
+ConcurrentServer::SchedulerStatsSnapshot ConcurrentServer::scheduler_stats()
+    const {
+  SchedulerStatsSnapshot total;
+  for (int d = 0; d < num_domains(); ++d) {
+    const SchedulerStatsSnapshot s = scheduler_stats(d);
+    total.plans += s.plans;
+    total.plan_commits += s.plan_commits;
+    total.plans_invalidated += s.plans_invalidated;
+    total.replans += s.replans;
+    total.steals += s.steals;
+    total.stolen += s.stolen;
+    total.rebalances += s.rebalances;
+    total.donated += s.donated;
   }
-  if (scratch->live.empty()) return;
-
-  // Placement works against projected availability seeded once from the
-  // executor atomics and advanced as the batch lands, so a multi-query
-  // batch spreads across replicas exactly like the seed's per-task
-  // re-reads did.
-  const SimTime now = clock_->Now();
-  scratch->runs.resize(executors_.size());  // hot-ok: fixed executor count
-  scratch->avail.resize(executors_.size());  // hot-ok: fixed executor count
-  for (size_t e = 0; e < executors_.size(); ++e) {
-    scratch->runs[e].clear();
-    const Executor& ex = executors_[e];
-    const SimTime busy_until =
-        ex.busy.load(std::memory_order_acquire)
-            ? ex.busy_until.load(std::memory_order_acquire)
-            : now;
-    scratch->avail[e] = std::max(busy_until, now) +
-                        ex.queued.load(std::memory_order_acquire) *
-                            task_->profile(ex.model).latency_us;
-  }
-  for (const Commit& commit : scratch->live) {
-    for (int k = 0; k < task_->num_models(); ++k) {
-      if (!(commit.subset & (SubsetMask{1} << k))) continue;
-      int best = -1;
-      SimTime best_available = kSimTimeMax;
-      for (size_t e = 0; e < executors_.size(); ++e) {
-        if (executors_[e].model != k) continue;
-        if (scratch->avail[e] < best_available) {
-          best_available = scratch->avail[e];
-          best = static_cast<int>(e);
-        }
-      }
-      SCHEMBLE_CHECK_GE(best, 0) << "no executor deployed for model " << k;
-      scratch->runs[static_cast<size_t>(best)].push_back(  // hot-ok: batch-bounded
-          Task{commit.index});
-      scratch->avail[static_cast<size_t>(best)] +=
-          task_->profile(k).latency_us;
-    }
-  }
-  for (size_t e = 0; e < executors_.size(); ++e) {
-    const std::vector<Task>& run = scratch->runs[e];
-    if (run.empty()) continue;
-    executors_[e].queued.fetch_add(static_cast<int64_t>(run.size()),
-                                   std::memory_order_acq_rel);
-    const size_t pushed = executors_[e].queue->PushAll(
-        std::span<const Task>(run.data(), run.size()));
-    if (pushed < run.size()) {
-      // Queue closed: shutdown already decided, the remainder is moot.
-      executors_[e].queued.fetch_sub(
-          static_cast<int64_t>(run.size() - pushed),
-          std::memory_order_acq_rel);
-    }
-  }
+  return total;
 }
 
-bool ConcurrentServer::ClaimFinalizeLocked(int index) {
-  QueryState& state = states_[index];
-  if (state.finalized) return false;
-  state.finalized = true;
-  ++state.generation;
-  if (state.buffered) {
-    state.buffered = false;
-    buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
-  }
-  ++finalized_count_;
-  if (finalized_count_ == static_cast<int64_t>(states_.size())) {
-    done_cv_.NotifyAll();
-  }
-  return true;
+int ConcurrentServer::query_index(int64_t query_id) const {
+  const auto it = id_to_index_.find(query_id);
+  SCHEMBLE_CHECK(it != id_to_index_.end())
+      << "unknown query id " << query_id;
+  return it->second;
 }
 
-void ConcurrentServer::RecordFinalized(int index, SubsetMask outputs,
-                                       SimTime completion) {
-  SCHEMBLE_DCHECK(!mu_.HeldByCurrentThread())
-      << "aggregation and KNN fill must run outside the policy critical "
-         "section";
-  // One workspace per finalizing thread (workers, deadline, admission):
+void ConcurrentServer::FinalizeQuery(int domain, int index,
+                                     SubsetMask outputs, SimTime completion) {
+  SCHEMBLE_CHECK_EQ(
+      finalize_claims_[static_cast<size_t>(index)].exchange(
+          1, std::memory_order_acq_rel),
+      0)
+      << "query " << trace_->items[static_cast<size_t>(index)].query.id
+      << " finalized twice (cross-domain double dispatch)";
+  // One workspace per finalizing thread (workers, deadline, scheduler):
   // the aggregation/fill/meta-classifier chain reuses it, so steady-state
   // completions perform no heap allocations.
   thread_local CompletionWorkspace completion_ws;
-  const TracedQuery& tq = trace_->items[index];
+  const TracedQuery& tq = trace_->items[static_cast<size_t>(index)];
   const QueryOutcome outcome =
       EvaluateCompletion(*task_, options_.aggregator, tq, outputs, completion,
                          options_.allow_rejection, &completion_ws);
-  total_.fetch_add(1, std::memory_order_relaxed);
-  subset_size_counts_[static_cast<size_t>(outcome.subset_size)].fetch_add(
-      1, std::memory_order_relaxed);
-  const size_t segment =
-      static_cast<size_t>(tq.arrival_time / options_.segment_duration);
-  AtomicSegment& seg = segments_[segment];
-  seg.arrivals.fetch_add(1, std::memory_order_relaxed);
-  if (outcome.processed) {
-    processed_.fetch_add(1, std::memory_order_relaxed);
-    seg.processed.fetch_add(1, std::memory_order_relaxed);
-    accuracy_sum_.fetch_add(outcome.match, std::memory_order_relaxed);
-    processed_accuracy_sum_.fetch_add(outcome.match,
-                                      std::memory_order_relaxed);
-    seg.accuracy_sum.fetch_add(outcome.match, std::memory_order_relaxed);
-    seg.latency_ms_sum.fetch_add(outcome.latency_ms,
-                                 std::memory_order_relaxed);
-    seg.subset_size_sum.fetch_add(outcome.subset_size,
-                                  std::memory_order_relaxed);
-    latency_slots_[static_cast<size_t>(index)] = outcome.latency_ms;
+  sinks_[static_cast<size_t>(domain)]->Record(
+      tq, outcome, options_.segment_duration,
+      &latency_slots_[static_cast<size_t>(index)]);
+  const int64_t count =
+      finalized_total_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (count == static_cast<int64_t>(trace_->items.size())) {
+    {
+      MutexLock lock(&done_mu_);
+      done_ = true;
+    }
+    done_cv_.NotifyAll();
   }
-  if (outcome.missed) {
-    missed_.fetch_add(1, std::memory_order_relaxed);
-    seg.missed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ConcurrentServer::BuildDomainLoads(
+    std::vector<DomainLoad>* loads) const {
+  loads->resize(domains_.size());
+  for (size_t d = 0; d < domains_.size(); ++d) {
+    const SchedulerDomain& domain = *domains_[d];
+    DomainLoad& load = (*loads)[d];
+    load.domain = static_cast<int>(d);
+    load.inbox = domain.inbox_depth();
+    load.buffered = domain.buffered_count();
+    load.queued_tasks = domain.queued_tasks();
+    load.executors = domain.num_executors();
   }
 }
 
 void ConcurrentServer::AdmissionLoop() {
-  const SimTime processing_delay = policy_->ArrivalProcessingDelay();
+  const SimTime processing_delay = policies_[0]->ArrivalProcessingDelay();
+  const bool multi = domains_.size() > 1;
   // Reused across batches; capacities pin at the largest batch.
-  ServerView view;
-  std::vector<Commit> to_enqueue;
-  std::vector<int> rejects;
-  DispatchScratch scratch;
-  bool stopped = false;
+  std::vector<std::vector<int>> routed(domains_.size());
+  std::vector<DomainLoad> loads;
   size_t i = 0;
-  while (i < trace_->items.size() && !stopped) {
+  while (i < trace_->items.size()) {
     clock_->SleepUntil(trace_->items[i].arrival_time + processing_delay);
-
-    to_enqueue.clear();
-    rejects.clear();
-    bool notify = false;
-    {
-      MutexLock lock(&mu_);
-      if (shutdown_) {
-        stopped = true;
-        break;
-      }
-      BuildViewInto(&view);
-      // Batched admission: every arrival already due gets its decision in
-      // this one critical section. In-batch assigns fold their service
-      // time into the view's availability so later queries in the batch
-      // see the load the earlier ones just added (what per-arrival
-      // BuildView re-reads provided in the seed design).
-      while (i < trace_->items.size()) {
-        const TracedQuery& tq = trace_->items[i];
-        if (tq.arrival_time + processing_delay > view.now) break;
-        const int index = static_cast<int>(i);
-        ++i;
-        // Deadline beat the predictor: already finalized, nothing to admit.
-        if (states_[static_cast<size_t>(index)].finalized) continue;
-        const ArrivalDecision decision =
-            policy_->OnArrival(tq, view);  // serialized(mu_)
-        switch (decision.action) {
-          case ArrivalDecision::Action::kAssign: {
-            SCHEMBLE_CHECK_NE(decision.subset, 0u);
-            CommitLocked(index, decision.subset);
-            to_enqueue.push_back({index, decision.subset});
-            for (int k = 0; k < view.num_models(); ++k) {
-              if (!(decision.subset & (SubsetMask{1} << k))) continue;
-              // Land the task on the projected least-loaded executor of
-              // model k (where EnqueueBatch will place it) and refresh
-              // the model's earliest availability.
-              ExecutorView* best = nullptr;
-              for (ExecutorView& ex : view.executors) {
-                if (ex.model_index != k) continue;
-                if (best == nullptr || ex.available_at < best->available_at) {
-                  best = &ex;
-                }
-              }
-              SCHEMBLE_CHECK(best != nullptr);
-              best->available_at = std::max(best->available_at, view.now) +
-                                   view.model_exec_time[k];
-              ++best->queue_length;
-              view.model_available_at[k] = kSimTimeMax;
-              for (const ExecutorView& ex : view.executors) {
-                if (ex.model_index != k) continue;
-                view.model_available_at[k] =
-                    std::min(view.model_available_at[k], ex.available_at);
-              }
-            }
-            break;
-          }
-          case ArrivalDecision::Action::kReject:
-            if (ClaimFinalizeLocked(index)) rejects.push_back(index);
-            break;
-          case ArrivalDecision::Action::kBuffer:
-            states_[static_cast<size_t>(index)].buffered = true;
-            buffer_.push_back(index);
-            break;
-        }
-      }
-      if (!buffer_.empty()) {
-        scheduler_signal_ = true;
-        notify = true;
-      }
-    }
-    EnqueueBatch(to_enqueue, &scratch);
-    for (const int index : rejects) {
-      RecordFinalized(index, 0, clock_->Now());
-    }
-    if (notify) scheduler_cv_.NotifyOne();
-  }
-  {
-    MutexLock lock(&mu_);
-    arrivals_done_ = true;
-    scheduler_signal_ = true;
-  }
-  // Unconditional wake: the scheduler must observe arrivals_done_ even
-  // with an empty buffer so the force-mode stuck check can fire.
-  scheduler_cv_.NotifyOne();
-}
-
-void ConcurrentServer::SchedulerLoop() {
-  // The snapshot-planning workspace: the plan state (DP workspace, score
-  // cache) comes from the policy; the view/buffer/commit vectors are
-  // reused so steady-state snapshot sections allocate nothing.
-  const bool off_lock = policy_->SupportsOffLockPlanning();
-  PlanWorkspace plan_ws;
-  if (off_lock) {
-    plan_ws.state = policy_->CreatePlanState();
-  }
-  ServerView view;
-  std::vector<Commit> commits;
-  std::vector<const TracedQuery*> pointers;
-  DispatchScratch scratch;
-  while (true) {
-    commits.clear();
-    SimTime overhead = 0;
-    bool idle_and_stuck = false;
-    size_t stuck_buffered = 0;
-    bool replanning = false;
-    {
-      MutexLock lock(&mu_);
-      while (!scheduler_signal_ && !shutdown_) scheduler_cv_.Wait(mu_);
-      if (shutdown_) return;
-      scheduler_signal_ = false;
-      if (buffer_.empty()) continue;
-      BuildViewInto(&view);
-      bool any_idle = false;
-      for (const ExecutorView& ex : view.executors) {
-        if (ex.available_at <= view.now) {
-          any_idle = true;
-          break;
-        }
-      }
-      if (!any_idle) continue;
-      if (off_lock) {
-        // Snapshot -> plan -> validate/commit. The short critical section
-        // only copies state; the policy plans against the immutable
-        // snapshot with the mutex RELEASED, so arrivals and completions
-        // keep flowing while the DP runs.
-        SnapshotBufferLocked(&plan_ws);
-        lock.Release();
-        plans_.fetch_add(1, std::memory_order_relaxed);
-        policy_->PlanOnView(view, &plan_ws);
-        overhead = plan_ws.output.overhead_us;
-        lock.Acquire();
-        if (shutdown_) return;
-        // Validation: a plan entry is committable only if its query's
-        // generation still matches the snapshot — otherwise the deadline
-        // thread or a worker finalized it (or a racing commit assigned
-        // it) while we planned, and the entry is stale.
-        int64_t invalidated = 0;
-        for (const BufferedAssignment& assignment :
-             plan_ws.output.assignments) {
-          SCHEMBLE_CHECK_NE(assignment.subset, 0u);
-          const SnapshotQuery* snap = nullptr;
-          for (const SnapshotQuery& candidate : plan_ws.buffer) {
-            if (candidate.traced->query.id == assignment.query_id) {
-              snap = &candidate;
-              break;
-            }
-          }
-          SCHEMBLE_CHECK(snap != nullptr)
-              << "plan references a query outside its snapshot";
-          const QueryState& state =
-              states_[static_cast<size_t>(snap->index)];
-          if (state.generation != snap->generation) {
-            ++invalidated;
-            continue;
-          }
-          SCHEMBLE_DCHECK(!state.finalized && state.assigned == 0u)
-              << "generation matched but the query moved on";
-          CommitLocked(snap->index, assignment.subset);
-          commits.push_back({snap->index, assignment.subset});
-        }
-        plan_commits_.fetch_add(static_cast<int64_t>(commits.size()),
-                                std::memory_order_relaxed);
-        if (invalidated > 0) {
-          plans_invalidated_.fetch_add(invalidated,
-                                       std::memory_order_relaxed);
-          // Part of the plan went stale: immediately re-plan whatever is
-          // still buffered against fresh state (self-signal).
-          if (!buffer_.empty()) {
-            replans_.fetch_add(1, std::memory_order_relaxed);
-            scheduler_signal_ = true;
-            replanning = true;
-          }
-        }
-      } else {
-        // Compatibility path for stateful policies (the baselines): plan
-        // under the mutex, exactly the seed behaviour. No validation is
-        // needed — nothing can move while the lock is held.
-        pointers.clear();
-        for (int index : buffer_) {
-          pointers.push_back(&trace_->items[static_cast<size_t>(index)]);
-        }
-        const PolicyOutput output =
-            policy_->OnIdle(view, pointers);  // serialized(mu_)
-        for (const BufferedAssignment& assignment : output.assignments) {
-          auto it = id_to_index_.find(assignment.query_id);
-          SCHEMBLE_CHECK(it != id_to_index_.end());
-          SCHEMBLE_CHECK_NE(assignment.subset, 0u);
-          CommitLocked(it->second, assignment.subset);
-          commits.push_back({it->second, assignment.subset});
-        }
-        overhead = output.overhead_us;
-      }
-      idle_and_stuck = commits.empty() && arrivals_done_ && !buffer_.empty();
-      // Snapshot for the off-lock error log below: buffer_ is guarded and
-      // workers may finalize (and un-buffer) queries concurrently.
-      stuck_buffered = buffer_.size();
-    }
-    if (!commits.empty()) {
-      // The simulator charges scheduling overhead by delaying the
-      // dispatched tasks' start; here the scheduler thread pays it in
-      // (scaled) wall-clock time before enqueueing.
-      if (overhead > 0) clock_->SleepFor(overhead);
-      EnqueueBatch(commits, &scratch);
-    } else if (idle_and_stuck && !replanning && !options_.allow_rejection) {
-      // Force mode has no deadline thread to finalize abandoned queries;
-      // a policy that leaves the buffer untouched forever would hang the
-      // run. The simulator CHECK-fails the equivalent state at drain time.
-      SCHEMBLE_LOG(kError) << "policy left " << stuck_buffered
-                          << " buffered queries with idle executors in "
-                             "force mode";
-    }
-  }
-}
-
-void ConcurrentServer::DeadlineLoop() {
-  // Deadlines are known up front; walk them in order, sleeping on the
-  // shared mutex's condition variable so shutdown can interrupt the wait.
-  std::vector<std::pair<SimTime, int>> deadlines;
-  deadlines.reserve(trace_->items.size());
-  for (size_t i = 0; i < trace_->items.size(); ++i) {
-    deadlines.emplace_back(trace_->items[i].deadline, static_cast<int>(i));
-  }
-  std::sort(deadlines.begin(), deadlines.end());
-
-  size_t next = 0;
-  MutexLock lock(&mu_);
-  while (!shutdown_ && next < deadlines.size()) {
-    const auto [when, index] = deadlines[next];
     const SimTime now = clock_->Now();
-    if (now < when) {
-      deadline_cv_.WaitFor(mu_, RealDuration(when - now, options_.speedup));
-      continue;
-    }
-    ++next;
-    if (!ClaimFinalizeLocked(index)) continue;
-    const QueryState& state = states_[index];
-    const SubsetMask outputs = state.done;
-    const SimTime completion =
-        outputs != 0 ? state.last_done_time : clock_->Now();
-    lock.Release();
-    RecordFinalized(index, outputs, completion);
-    lock.Acquire();
-  }
-}
-
-void ConcurrentServer::WorkerLoop(int executor_id) {
-  // Longest task run drained from the queue per lock round-trip. Tasks in
-  // the local run still count in `queued` (each is decremented at its own
-  // service start), so load estimates keep seeing them.
-  constexpr size_t kRunLength = 16;
-  Executor& ex = executors_[executor_id];
-  const ModelProfile& profile = task_->profile(ex.model);
-  Rng rng(HashSeed("worker", options_.seed + executor_id));
-  std::vector<Task> run;
-  run.reserve(kRunLength);
-  while (true) {
-    run.clear();
-    if (ex.queue->PopN(&run, kRunLength) == 0) {
-      return;  // closed and drained: shutdown
-    }
-    for (const Task& task : run) {
-      ex.queued.fetch_sub(1, std::memory_order_acq_rel);
-
-      const double factor =
-          std::max(0.2, 1.0 + profile.latency_jitter * rng.Normal());
-      const SimTime service = static_cast<SimTime>(
-          static_cast<double>(profile.latency_us) * factor);
-      const SimTime start = clock_->Now();
-      ex.busy_until.store(start + service, std::memory_order_release);
-      ex.busy.store(true, std::memory_order_release);
-      if (options_.service_mode ==
-          ConcurrentServerOptions::ServiceMode::kSleep) {
-        clock_->SleepUntil(start + service);
-      } else {
-        // Host-bound inference: burn CPU until the service interval
-        // passes.
-        volatile double sink = 0.0;
-        while (clock_->Now() < start + service) {
-          double acc = sink;
-          for (int it = 0; it < 256; ++it) acc += std::sqrt(acc + it);
-          sink = acc;
-        }
+    for (std::vector<int>& r : routed) r.clear();
+    if (multi) BuildDomainLoads(&loads);
+    // Batched routing: every arrival already due is placed in this pass.
+    while (i < trace_->items.size()) {
+      const TracedQuery& tq = trace_->items[i];
+      if (tq.arrival_time + processing_delay > now) break;
+      int d = 0;
+      if (multi) {
+        d = router_->Route(tq, now, loads);
+        SCHEMBLE_CHECK_GE(d, 0);
+        SCHEMBLE_CHECK_LT(d, static_cast<int>(domains_.size()));
+        // In-batch compensation: load-aware policies see the queries this
+        // batch already placed.
+        ++loads[static_cast<size_t>(d)].inbox;
       }
-      ex.busy.store(false, std::memory_order_release);
-
-      const int index = task.query_index;
-      bool claimed = false;
-      bool notify = false;
-      SubsetMask outputs = 0;
-      SimTime completion = 0;
-      {
-        MutexLock lock(&mu_);
-        QueryState& state = states_[static_cast<size_t>(index)];
-        if (!state.finalized) {
-          state.done |= SubsetMask{1} << ex.model;
-          state.last_done_time = clock_->Now();
-          if (state.done == state.assigned) {
-            claimed = ClaimFinalizeLocked(index);
-            outputs = state.done;
-            completion = state.last_done_time;
-          }
-        }
-        // Scheduler wakeup folded into the completion critical section:
-        // capacity just freed up, so if anything is buffered the planner
-        // should look at it. No separate notify lock round-trip.
-        if (!buffer_.empty()) {
-          scheduler_signal_ = true;
-          notify = true;
-        }
-      }
-      if (claimed) RecordFinalized(index, outputs, completion);
-      if (notify) scheduler_cv_.NotifyOne();
+      routed[static_cast<size_t>(d)].push_back(static_cast<int>(i));
+      ++i;
+    }
+    for (size_t d = 0; d < domains_.size(); ++d) {
+      if (routed[d].empty()) continue;
+      domains_[d]->PushRouted(routed[d]);  // crosses(domain)
     }
   }
+  for (const auto& domain : domains_) domain->ArrivalsDone();
 }
 
 ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
@@ -577,12 +246,6 @@ ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
   ran_ = true;
   trace_ = &trace;
   const size_t n = trace.items.size();
-  {
-    MutexLock lock(&mu_);
-    states_.assign(n, QueryState{});
-    buffer_.clear();
-    finalized_count_ = 0;
-  }
   id_to_index_.clear();
   for (size_t i = 0; i < n; ++i) {
     id_to_index_[trace.items[i].query.id] = static_cast<int>(i);
@@ -591,62 +254,42 @@ ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
   for (const TracedQuery& tq : trace.items) {
     horizon = std::max(horizon, tq.arrival_time);
   }
-  segments_ = std::vector<AtomicSegment>(
-      static_cast<size_t>(horizon / options_.segment_duration) + 1);
-  subset_size_counts_ = std::vector<std::atomic<int64_t>>(
-      static_cast<size_t>(task_->num_models()) + 1);
+  const size_t num_segments =
+      static_cast<size_t>(horizon / options_.segment_duration) + 1;
+  sinks_.clear();
+  for (size_t d = 0; d < domains_.size(); ++d) {
+    sinks_.push_back(
+        std::make_unique<MetricSink>(num_segments, task_->num_models()));
+  }
+  finalize_claims_ = std::vector<std::atomic<uint8_t>>(n);
+  finalized_total_.store(0, std::memory_order_relaxed);
   latency_slots_.assign(n, std::numeric_limits<double>::quiet_NaN());
 
   clock_ = std::make_unique<SteadyClock>(options_.speedup);
+  for (const auto& domain : domains_) domain->Start();
   threads_.emplace_back([this] { AdmissionLoop(); });
-  threads_.emplace_back([this] { SchedulerLoop(); });
-  if (options_.allow_rejection) {
-    threads_.emplace_back([this] { DeadlineLoop(); });
-  }
-  for (int e = 0; e < num_executors(); ++e) {
-    threads_.emplace_back([this, e] { WorkerLoop(e); });
-  }
 
   {
-    MutexLock lock(&mu_);
-    while (finalized_count_ != static_cast<int64_t>(states_.size())) {
-      done_cv_.Wait(mu_);
-    }
-    shutdown_ = true;
+    MutexLock lock(&done_mu_);
+    while (!done_ && trace_->items.size() > 0) done_cv_.Wait(done_mu_);
   }
-  scheduler_cv_.NotifyAll();
-  deadline_cv_.NotifyAll();
-  for (Executor& ex : executors_) ex.queue->Close();
+  for (const auto& domain : domains_) domain->Shutdown();
+  for (const auto& domain : domains_) domain->Join();
   for (std::thread& t : threads_) t.join();
   threads_.clear();
 
   ServingMetrics metrics;
-  metrics.total = total_.load();
-  metrics.processed = processed_.load();
-  metrics.missed = missed_.load();
-  metrics.accuracy_sum = accuracy_sum_.load();
-  metrics.processed_accuracy_sum = processed_accuracy_sum_.load();
+  for (const auto& sink : sinks_) sink->AccumulateInto(&metrics);
+  // Trim the subset-size histogram to the largest populated cell, like the
+  // pre-sharding recorder did.
   size_t max_size = 0;
-  for (size_t s = 0; s < subset_size_counts_.size(); ++s) {
-    if (subset_size_counts_[s].load() > 0) max_size = s;
+  for (size_t s = 0; s < metrics.subset_size_counts.size(); ++s) {
+    if (metrics.subset_size_counts[s] > 0) max_size = s;
   }
   metrics.subset_size_counts.resize(max_size + 1);
-  for (size_t s = 0; s <= max_size; ++s) {
-    metrics.subset_size_counts[s] = subset_size_counts_[s].load();
-  }
   metrics.latency_ms.Reserve(n);
   for (double latency : latency_slots_) {
     if (!std::isnan(latency)) metrics.latency_ms.Add(latency);
-  }
-  metrics.segments.resize(segments_.size());
-  for (size_t s = 0; s < segments_.size(); ++s) {
-    SegmentStats& seg = metrics.segments[s];
-    seg.arrivals = segments_[s].arrivals.load();
-    seg.processed = segments_[s].processed.load();
-    seg.missed = segments_[s].missed.load();
-    seg.subset_size_sum = segments_[s].subset_size_sum.load();
-    seg.accuracy_sum = segments_[s].accuracy_sum.load();
-    seg.latency_ms_sum = segments_[s].latency_ms_sum.load();
   }
   return metrics;
 }

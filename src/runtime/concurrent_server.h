@@ -8,13 +8,13 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/thread_annotations.h"
 #include "core/aggregation.h"
 #include "core/policy.h"
 #include "models/synthetic_task.h"
-#include "runtime/mpmc_queue.h"
-#include "serving/completion.h"
+#include "runtime/routing_policy.h"
+#include "runtime/scheduler_domain.h"
+#include "serving/metric_sink.h"
 #include "serving/metrics.h"
 #include "simcore/clock.h"
 #include "workload/trace.h"
@@ -42,50 +42,66 @@ struct ConcurrentServerOptions {
   /// Bounded capacity of each executor's task queue; dispatching threads
   /// block (no spinning) when an executor falls this far behind.
   int queue_capacity = 4096;
-  /// How workers consume a task's service time. kSleep blocks on the OS
-  /// timer (models accelerator-offloaded inference; scales past the host
-  /// core count). kSpin burns CPU for the duration (models host-bound
-  /// inference; scales only with real cores).
-  enum class ServiceMode { kSleep, kSpin };
+  /// How workers consume a task's service time (see the namespace-scope
+  /// enum; the nested alias preserves the pre-sharding spelling).
+  using ServiceMode = ::schemble::ServiceMode;
   ServiceMode service_mode = ServiceMode::kSleep;
+
+  /// Independent scheduler domains the buffer/scheduler/executors are
+  /// sharded into. 1 (the default) reproduces the single-domain runtime.
+  /// Every model with at least one executor must have >= num_domains
+  /// replicas so each domain can serve whole subsets (CHECK-enforced).
+  int num_domains = 1;
+  /// Admission-side placement across domains (ignored for one domain).
+  RoutingPolicyKind routing = RoutingPolicyKind::kLeastLoaded;
+  /// Custom routing policy; overrides `routing` when non-null. Borrowed;
+  /// must outlive the server. Called only from the admission thread.
+  RoutingPolicy* router = nullptr;
+  /// Bounded capacity of each domain's routed-arrival inbox.
+  int inbox_capacity = 4096;
+  /// Max queries moved per work-steal / per rebalance donation round.
+  int steal_batch = 16;
+  /// Virtual period of the per-domain rebalance tick (multi-domain only).
+  SimTime rebalance_period = 10 * kMillisecond;
 };
 
 /// Wall-clock, multi-threaded counterpart of the discrete-event
 /// EnsembleServer: same ServingPolicy decision interface, same
 /// EvaluateCompletion aggregation/accuracy path, same ServingMetrics
-/// output, but real concurrency — per-executor worker threads pulling
-/// from bounded MPMC queues, an admission thread replaying trace arrivals,
-/// a scheduler thread draining the central query buffer whenever an
-/// executor goes idle, and (in rejection mode) a deadline thread
-/// finalizing overdue queries with whatever outputs completed.
+/// output, but real concurrency — sharded into N independent scheduler
+/// domains (see SchedulerDomain), each owning a slice of the executor/
+/// worker pool, its own policy instance, its own mutex and its own
+/// snapshot -> plan -> validate/commit scheduler thread.
 ///
-/// Threading model (see DESIGN.md "Snapshot planning & batched dispatch"):
-///  - Query-state transitions and the stateful policy calls (OnArrival,
-///    marked `// serialized(mu_)`) happen under one annotated Mutex. The
-///    SCHEMBLE_GUARDED_BY / SCHEMBLE_REQUIRES annotations below make any
-///    off-lock access a clang build error (-Werror=thread-safety).
-///  - Scheduling runs snapshot -> plan -> validate/commit: the scheduler
-///    thread copies the server view and buffered queries into a reusable
-///    PlanWorkspace inside a short critical section, releases the mutex,
-///    runs the policy's const PlanOnView against the immutable snapshot,
-///    then reacquires the mutex and commits only the plan entries whose
-///    per-query generation still matches (others were assigned/finalized
-///    while planning and are dropped + replanned). Policies without
-///    off-lock support keep the legacy serialized OnIdle path.
-///  - Admission and dispatch are batched: every due arrival is admitted in
-///    one lock acquisition, and committed task sets go to the executor
-///    queues via bulk PushAll (workers drain runs with PopN), so the
-///    per-event lock traffic of the seed design collapses into a handful
-///    of batch round-trips.
-///  - Task execution, aggregation and metric recording run outside the
-///    mutex; metrics feed std::atomic counters (the mutex-free fast path),
-///    and each query's latency sample is written to its own slot.
+/// Threading model (see DESIGN.md "Sharded runtime"):
+///  - The admission thread replays trace arrivals and places each query on
+///    a domain via a pluggable RoutingPolicy, pushing batches into bounded
+///    per-domain MPMC inboxes — no domain mutex on the fast path.
+///  - Each domain runs the PR-5 snapshot-planning loop over its shard;
+///    query-state transitions and the stateful policy calls stay
+///    serialized under that domain's annotated mutex.
+///  - Idle domains steal routed-but-unadmitted queries from peer inboxes
+///    (MpmcQueue::StealN); overloaded domains donate buffered queries to
+///    underloaded peers on a periodic rebalance tick. Domains never
+///    acquire each other's mutexes.
+///  - Completion work runs outside every mutex and records into per-domain
+///    lock-free MetricSinks, merged into one ServingMetrics after the run;
+///    a global exactly-once finalize claim per query turns any cross-
+///    domain double dispatch into a CHECK failure.
 ///  - All blocking is condition-variable/timer based; nothing spins.
-class ConcurrentServer {
+class ConcurrentServer : private DomainHost {
  public:
+  /// Single-policy constructor: requires num_domains == 1 (stateful policy
+  /// calls are serialized per domain, so N domains need N instances).
   ConcurrentServer(const SyntheticTask& task, ServingPolicy* policy,
                    ConcurrentServerOptions options);
-  ~ConcurrentServer();
+  /// Sharded constructor: one policy instance per domain
+  /// (policies.size() == num_domains, CHECK-enforced). Instances must
+  /// agree on ArrivalProcessingDelay.
+  ConcurrentServer(const SyntheticTask& task,
+                   std::vector<ServingPolicy*> policies,
+                   ConcurrentServerOptions options);
+  ~ConcurrentServer() override;
 
   ConcurrentServer(const ConcurrentServer&) = delete;
   ConcurrentServer& operator=(const ConcurrentServer&) = delete;
@@ -95,178 +111,96 @@ class ConcurrentServer {
   /// (CHECK-enforced).
   ServingMetrics Run(const QueryTrace& trace);
 
-  int num_executors() const { return static_cast<int>(executors_.size()); }
+  int num_executors() const;
+  int num_domains() const override {
+    return static_cast<int>(domains_.size());
+  }
 
-  /// Aggregate policy-mutex statistics (bench_runtime reports these): how
-  /// often the critical section was entered and total wall-clock time it
-  /// was held. Backed by the annotated Mutex's built-in stats collection;
-  /// read after Run() returns.
+  /// Aggregate domain-mutex statistics (bench_runtime reports these): how
+  /// often the critical sections were entered and total wall-clock time
+  /// they were held, summed over domains. Read after Run() returns.
   struct LockStatsSnapshot {
     int64_t acquisitions = 0;
     double held_ms = 0.0;
   };
   LockStatsSnapshot lock_stats() const;
 
-  /// Off-lock planning telemetry (bench_runtime and the invalidation
-  /// stress test read these after Run() returns). Counters only advance on
-  /// the snapshot-planning path, i.e. for policies with
-  /// SupportsOffLockPlanning().
+  /// Scheduler telemetry (bench_runtime and the runtime tests read these
+  /// after Run() returns). The planning counters advance only on the
+  /// snapshot-planning path (policies with SupportsOffLockPlanning); the
+  /// stealing/rebalancing counters only with num_domains > 1.
   struct SchedulerStatsSnapshot {
     /// Planning rounds run outside the policy mutex.
     int64_t plans = 0;
     /// Plan entries that passed generation validation and were committed.
     int64_t plan_commits = 0;
-    /// Plan entries dropped at commit because the query was assigned or
-    /// finalized while planning ran off-lock.
+    /// Plan entries dropped at commit because the query was assigned,
+    /// finalized or donated while planning ran off-lock.
     int64_t plans_invalidated = 0;
     /// Immediate re-plan rounds triggered by invalidated entries.
     int64_t replans = 0;
+    /// Work-steal rounds that obtained >= 1 query / queries stolen.
+    int64_t steals = 0;
+    int64_t stolen = 0;
+    /// Rebalance donations: rounds that moved >= 1 query / queries moved.
+    int64_t rebalances = 0;
+    int64_t donated = 0;
   };
+  /// Summed over all domains.
   SchedulerStatsSnapshot scheduler_stats() const;
+  /// One domain's counters (bench_runtime's per-domain stats).
+  SchedulerStatsSnapshot scheduler_stats(int domain) const;
 
  private:
+  // DomainHost interface (domain threads call these).
+  const QueryTrace& trace() const override { return *trace_; }
+  Clock& clock() override { return *clock_; }
+  int query_index(int64_t query_id) const override;
+  void FinalizeQuery(int domain, int index, SubsetMask outputs,
+                     SimTime completion) override;
+  SchedulerDomain& peer(int domain) override { return *domains_[domain]; }
 
-  /// Per-query task; executed by the worker owning `executor`.
-  struct Task {
-    int query_index = 0;
-  };
-
-  struct Executor {
-    int model = 0;
-    std::unique_ptr<MpmcQueue<Task>> queue;
-    /// Virtual time when the in-flight task (if any) finishes; 0 if idle.
-    std::atomic<SimTime> busy_until{0};
-    std::atomic<bool> busy{false};
-    std::atomic<int64_t> queued{0};
-  };
-
-  struct QueryState {
-    SubsetMask assigned = 0;
-    SubsetMask done = 0;
-    bool buffered = false;
-    bool finalized = false;
-    SimTime last_done_time = 0;
-    /// Bumped on every assign and finalize. Snapshots taken for off-lock
-    /// planning record it per query; a mismatch at commit time means the
-    /// query moved on while the planner ran, so the plan entry is dropped
-    /// (counted in plans_invalidated).
-    uint64_t generation = 0;
-  };
-
-  /// Per-segment metric cells updated lock-free from completion callbacks.
-  struct AtomicSegment {
-    std::atomic<int64_t> arrivals{0};
-    std::atomic<int64_t> processed{0};
-    std::atomic<int64_t> missed{0};
-    std::atomic<int64_t> subset_size_sum{0};
-    std::atomic<double> accuracy_sum{0.0};
-    std::atomic<double> latency_ms_sum{0.0};
-  };
-
-  /// One planned or admitted assignment awaiting dispatch.
-  struct Commit {
-    int index = 0;
-    SubsetMask subset = 0;
-  };
-
-  /// Reusable per-dispatching-thread scratch for EnqueueBatch: per-executor
-  /// task runs plus projected availability. All vectors reach a stable
-  /// capacity after the first few batches, so steady-state dispatch
-  /// performs no heap allocation.
-  struct DispatchScratch {
-    std::vector<Commit> live;
-    std::vector<std::vector<Task>> runs;
-    std::vector<SimTime> avail;
-  };
-
-  void AdmissionLoop() SCHEMBLE_EXCLUDES(mu_);
-  void SchedulerLoop() SCHEMBLE_EXCLUDES(mu_);
-  void DeadlineLoop() SCHEMBLE_EXCLUDES(mu_);
-  void WorkerLoop(int executor_id) SCHEMBLE_EXCLUDES(mu_);
-
-  /// Fills the policy's server view, reusing `view`'s vector capacity —
-  /// after the first call the snapshot critical section allocates nothing.
-  void BuildViewInto(ServerView* view) const SCHEMBLE_REQUIRES(mu_);
-  /// Captures the buffered queries (arrival order) with their generations
-  /// into the plan workspace, reusing its capacity.
-  void SnapshotBufferLocked(PlanWorkspace* ws) const SCHEMBLE_REQUIRES(mu_);
-  /// Marks `subset` assigned and removes the query from the buffer.
-  /// Tasks are enqueued by the caller outside the lock.
-  void CommitLocked(int index, SubsetMask subset) SCHEMBLE_REQUIRES(mu_);
-  /// Dispatches a batch of committed assignments: one lock acquisition to
-  /// drop entries finalized in flight (mirroring the simulator), then
-  /// placement onto the projected least-loaded executor of each member
-  /// model, then one PushAll per touched executor queue. Blocks when
-  /// queues are full, hence must not hold mu_ (annotation-enforced).
-  void EnqueueBatch(const std::vector<Commit>& commits,
-                    DispatchScratch* scratch) SCHEMBLE_EXCLUDES(mu_);
-  /// Claims finalization; returns false if already finalized.
-  bool ClaimFinalizeLocked(int index) SCHEMBLE_REQUIRES(mu_);
-  /// Aggregates, scores and records one finalized query. Must not hold
-  /// mu_ (annotation-enforced). `outputs == 0` records a miss.
-  void RecordFinalized(int index, SubsetMask outputs, SimTime completion)
-      SCHEMBLE_EXCLUDES(mu_);
+  void AdmissionLoop();
+  /// Assembles the routing policy's per-domain load summary from the
+  /// domains' published atomics.
+  void BuildDomainLoads(std::vector<DomainLoad>* loads) const;
 
   const SyntheticTask* task_;
-  ServingPolicy* policy_;
+  std::vector<ServingPolicy*> policies_;
   ConcurrentServerOptions options_;
-  std::vector<Executor> executors_;
+  std::vector<std::unique_ptr<SchedulerDomain>> domains_;
+  /// Routing policy used by the admission thread; points at
+  /// options_.router or at owned_router_.
+  std::unique_ptr<RoutingPolicy> owned_router_;
+  RoutingPolicy* router_ = nullptr;
+
   /// Query-id -> trace index. Const-after-init: fully built inside Run()
   /// BEFORE any thread is spawned and never mutated afterwards, which is
-  /// why the scheduler thread may read it lock-free during plan commits.
-  /// Any write after the threads start is a contract violation.
+  /// why domain threads may read it lock-free during plan commits. Any
+  /// write after the threads start is a contract violation.
   std::unordered_map<int64_t, int> id_to_index_;
 
   std::unique_ptr<SteadyClock> clock_;
   const QueryTrace* trace_ = nullptr;
 
-  /// Guards policy calls, states_, buffer_ (see class comment). Stats
-  /// collection is on: bench_runtime reports critical-section pressure via
-  /// lock_stats(). Owner tracking (built into Mutex) keeps "completion
-  /// work runs off-lock" a DCHECKed invariant in RecordFinalized.
-  Mutex mu_{Mutex::StatsMode::kEnabled};
-  std::vector<QueryState> states_ SCHEMBLE_GUARDED_BY(mu_);
-  /// Query indices in arrival order.
-  std::vector<int> buffer_ SCHEMBLE_GUARDED_BY(mu_);
-  bool arrivals_done_ SCHEMBLE_GUARDED_BY(mu_) = false;
-
-  /// Scheduler wakeup. The signal is FOLDED into critical sections other
-  /// threads already hold (admission batches, worker completions): they
-  /// set scheduler_signal_ when the buffer is non-empty and notify after
-  /// unlocking, so waking the scheduler costs no extra lock acquisition.
-  CondVar scheduler_cv_;
-  /// Interrupts the deadline thread's timed waits at shutdown.
-  CondVar deadline_cv_;
-  bool scheduler_signal_ SCHEMBLE_GUARDED_BY(mu_) = false;
-  bool shutdown_ SCHEMBLE_GUARDED_BY(mu_) = false;
-
-  /// Completion tracking: Run() waits until every query is finalized.
+  /// Run-completion tracking: FinalizeQuery counts finalizations and the
+  /// last one flips done_ under done_mu_ so Run() can wait on a CondVar.
+  Mutex done_mu_;
   CondVar done_cv_;
-  int64_t finalized_count_ SCHEMBLE_GUARDED_BY(mu_) = 0;
+  bool done_ SCHEMBLE_GUARDED_BY(done_mu_) = false;
+  std::atomic<int64_t> finalized_total_{0};
+  /// Global exactly-once finalize claim per query (0 -> 1 exactly once; a
+  /// second claim is a CHECK failure — the cross-domain double-dispatch
+  /// detector).
+  std::vector<std::atomic<uint8_t>> finalize_claims_;
 
-  /// Metrics fast path (no mutex): totals, per-segment cells, per-query
-  /// latency slots (NaN = not processed), subset-size histogram.
-  std::atomic<int64_t> total_{0};
-  std::atomic<int64_t> processed_{0};
-  std::atomic<int64_t> missed_{0};
-  std::atomic<double> accuracy_sum_{0.0};
-  std::atomic<double> processed_accuracy_sum_{0.0};
-  std::vector<AtomicSegment> segments_;
-  std::vector<std::atomic<int64_t>> subset_size_counts_;
+  /// Per-domain lock-free metric sinks, merged after the run.
+  std::vector<std::unique_ptr<MetricSink>> sinks_;
   /// Structure-immutable-after-start: sized in Run() before any thread is
   /// spawned and never resized while they run. Each slot is written at
   /// most once, by whichever thread finalizes that query (slots are
-  /// disjoint, so no two threads ever touch the same one), and only read
-  /// back after Run() joins everything.
+  /// disjoint), and only read back after Run() joins everything.
   std::vector<double> latency_slots_;
-
-  /// Off-lock planning counters (see SchedulerStatsSnapshot). Updated by
-  /// the scheduler thread only; atomics so tests/benches can read them
-  /// after Run() without the policy mutex.
-  std::atomic<int64_t> plans_{0};
-  std::atomic<int64_t> plan_commits_{0};
-  std::atomic<int64_t> plans_invalidated_{0};
-  std::atomic<int64_t> replans_{0};
 
   std::vector<std::thread> threads_;
   bool ran_ = false;

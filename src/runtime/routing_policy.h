@@ -1,0 +1,131 @@
+#ifndef SCHEMBLE_RUNTIME_ROUTING_POLICY_H_
+#define SCHEMBLE_RUNTIME_ROUTING_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simcore/simulation.h"
+#include "workload/trace.h"
+
+namespace schemble {
+
+/// Lock-free load summary of one scheduler domain, assembled by the
+/// admission thread from the domain's published atomics. All counts are
+/// instantaneous approximations (each atomic is read independently), which
+/// is exactly what a routing heuristic needs — never read them expecting a
+/// consistent cross-field snapshot.
+struct DomainLoad {
+  int domain = 0;
+  /// Queries routed to the domain but not yet admitted by its scheduler.
+  int64_t inbox = 0;
+  /// Queries admitted and sitting in the domain's central buffer.
+  int64_t buffered = 0;
+  /// Tasks in the domain's executor queues (including undrained run
+  /// tails, see WorkerLoop).
+  int64_t queued_tasks = 0;
+  /// Executors owned by the domain; immutable after construction.
+  int executors = 0;
+
+  /// Work items per executor, the normalized pressure the load-aware
+  /// policies compare. Returned as a pair (load, executors) comparison is
+  /// done with exact integer cross-multiplication by the policies, so tie
+  /// breaking stays deterministic; this helper is for diagnostics only.
+  double pressure() const {
+    return static_cast<double>(inbox + buffered + queued_tasks) /
+           static_cast<double>(executors > 0 ? executors : 1);
+  }
+};
+
+/// Pluggable admission-side query placement: picks the scheduler domain an
+/// arriving query is routed to (the minimal child-picker idiom of the
+/// Pating scheduler xlators — a struct per strategy, one "pick a child"
+/// entry point).
+///
+/// Threading contract: Route is called by exactly ONE thread (the
+/// admission thread), so implementations may keep unguarded mutable state
+/// (round-robin cursors). Implementations must be deterministic functions
+/// of (query, now, domains) and their own call history — the routing unit
+/// tests replay fixed sequences against a ManualClock.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Returns the target domain index in [0, domains.size()). `now` is the
+  /// current virtual time (deadline-aware policies route on slack).
+  /// `domains` is never empty.
+  virtual int Route(const TracedQuery& query, SimTime now,
+                    std::span<const DomainLoad> domains) = 0;
+};
+
+/// Stateless hash placement: splitmix64 of the query id modulo the domain
+/// count. Stable — the same query id always lands on the same domain for a
+/// fixed domain count — and load-oblivious, so bursts of consecutive ids
+/// still spread uniformly.
+class HashRouting final : public RoutingPolicy {
+ public:
+  std::string name() const override { return "hash"; }
+  int Route(const TracedQuery& query, SimTime now,
+            std::span<const DomainLoad> domains) override;
+};
+
+/// Cyclic placement: domain (i mod n) for the i-th routed query.
+class RoundRobinRouting final : public RoutingPolicy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  int Route(const TracedQuery& query, SimTime now,
+            std::span<const DomainLoad> domains) override;
+
+ private:
+  int64_t cursor_ = 0;
+};
+
+/// Load-aware placement: the domain with the fewest outstanding work items
+/// (inbox + buffered + queued tasks) per executor wins; exact integer
+/// cross-multiplication avoids FP rounding and ties break to the lowest
+/// domain index, so the decision is deterministic for a given load vector.
+class LeastLoadedRouting final : public RoutingPolicy {
+ public:
+  std::string name() const override { return "least-loaded"; }
+  int Route(const TracedQuery& query, SimTime now,
+            std::span<const DomainLoad> domains) override;
+};
+
+/// Deadline-class placement: queries are bucketed by slack (deadline -
+/// now) against ascending class boundaries, and class c maps to domain
+/// min(c, n-1) — tight-deadline traffic concentrates on the low domains,
+/// which a deadline-aware deployment provisions accordingly (TIP-Search
+/// style deadline-tiered dispatch).
+class DeadlineClassRouting final : public RoutingPolicy {
+ public:
+  /// `boundaries` must be strictly ascending; slack < boundaries[c] puts
+  /// the query in class c, anything >= the last boundary in class
+  /// boundaries.size().
+  explicit DeadlineClassRouting(std::vector<SimTime> boundaries);
+  /// Default tiers: 100 ms / 500 ms / 2 s of slack.
+  DeadlineClassRouting();
+
+  std::string name() const override { return "deadline-class"; }
+  int Route(const TracedQuery& query, SimTime now,
+            std::span<const DomainLoad> domains) override;
+
+ private:
+  std::vector<SimTime> boundaries_;
+};
+
+enum class RoutingPolicyKind {
+  kHash,
+  kRoundRobin,
+  kLeastLoaded,
+  kDeadlineClass,
+};
+
+std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(RoutingPolicyKind kind);
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_RUNTIME_ROUTING_POLICY_H_

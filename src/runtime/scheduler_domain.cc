@@ -1,0 +1,810 @@
+#include "runtime/scheduler_domain.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/hot_path.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace schemble {
+namespace {
+
+/// Real-clock duration of `virtual_us` at the given speedup, clamped to at
+/// least one microsecond so waits always make progress.
+std::chrono::microseconds RealDuration(SimTime virtual_us, double speedup) {
+  const auto us =
+      static_cast<int64_t>(static_cast<double>(virtual_us) / speedup);
+  return std::chrono::microseconds(std::max<int64_t>(us, 1));
+}
+
+}  // namespace
+
+SchedulerDomain::SchedulerDomain(const SyntheticTask& task,
+                                 ServingPolicy* policy, DomainHost* host,
+                                 SchedulerDomainOptions options)
+    : task_(&task),
+      policy_(policy),
+      host_(host),
+      options_(std::move(options)),
+      inbox_(static_cast<size_t>(options_.inbox_capacity)) {
+  SCHEMBLE_CHECK(policy_ != nullptr);
+  SCHEMBLE_CHECK(host_ != nullptr);
+  SCHEMBLE_CHECK_GT(options_.speedup, 0.0);
+  SCHEMBLE_CHECK_GT(options_.queue_capacity, 0);
+  SCHEMBLE_CHECK_GT(options_.inbox_capacity, 0);
+  SCHEMBLE_CHECK_GT(options_.steal_batch, 0);
+  SCHEMBLE_CHECK_GT(options_.rebalance_period, 0);
+  SCHEMBLE_CHECK(!options_.executor_models.empty())
+      << "a scheduler domain needs at least one executor";
+  SCHEMBLE_CHECK_EQ(options_.executor_models.size(),
+                    options_.executor_ids.size());
+  executors_ = std::vector<Executor>(options_.executor_models.size());
+  for (size_t e = 0; e < executors_.size(); ++e) {
+    const int model = options_.executor_models[e];
+    SCHEMBLE_CHECK_GE(model, 0);
+    SCHEMBLE_CHECK_LT(model, task_->num_models());
+    executors_[e].model = model;
+    executors_[e].global_id = options_.executor_ids[e];
+    executors_[e].queue = std::make_unique<MpmcQueue<Task>>(
+        static_cast<size_t>(options_.queue_capacity));
+  }
+}
+
+SchedulerDomain::~SchedulerDomain() {
+  // The owning server joins every domain before destruction.
+  SCHEMBLE_CHECK(threads_.empty());
+}
+
+int64_t SchedulerDomain::queued_tasks() const {
+  int64_t total = 0;
+  for (const Executor& ex : executors_) {
+    total += ex.queued.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+SchedulerDomain::StatsSnapshot SchedulerDomain::stats() const {
+  StatsSnapshot s;
+  s.plans = plans_.load(std::memory_order_relaxed);
+  s.plan_commits = plan_commits_.load(std::memory_order_relaxed);
+  s.plans_invalidated = plans_invalidated_.load(std::memory_order_relaxed);
+  s.replans = replans_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.stolen = stolen_.load(std::memory_order_relaxed);
+  s.rebalances = rebalances_.load(std::memory_order_relaxed);
+  s.donated = donated_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SchedulerDomain::Start() {
+  SCHEMBLE_CHECK(!started_) << "SchedulerDomain::Start is one-shot";
+  started_ = true;
+  trace_ = &host_->trace();
+  clock_ = &host_->clock();
+  {
+    MutexLock lock(&mu_);
+    states_.assign(trace_->items.size(), QueryState{});
+    buffer_.clear();
+    PublishBufferedLocked();
+  }
+  threads_.emplace_back([this] { AdmitterLoop(); });
+  threads_.emplace_back([this] { SchedulerLoop(); });
+  if (options_.allow_rejection) {
+    threads_.emplace_back([this] { DeadlineLoop(); });
+  }
+  for (int e = 0; e < num_executors(); ++e) {
+    threads_.emplace_back([this, e] { WorkerLoop(e); });
+  }
+}
+
+void SchedulerDomain::Shutdown() {
+  if (shutdown_requested_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  scheduler_cv_.NotifyAll();
+  deadline_cv_.NotifyAll();
+  inbox_.Close();
+  for (Executor& ex : executors_) ex.queue->Close();
+}
+
+void SchedulerDomain::Join() {
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+void SchedulerDomain::PushRouted(std::span<const int> indices) {
+  const size_t pushed = inbox_.PushAll(indices);
+  if (pushed == 0) return;  // closed: shutdown already decided
+  inbox_depth_.fetch_add(static_cast<int64_t>(pushed),
+                         std::memory_order_acq_rel);
+}
+
+bool SchedulerDomain::TryPushRouted(int index) {
+  if (!inbox_.TryPush(index)) return false;
+  inbox_depth_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+size_t SchedulerDomain::StealRouted(std::vector<int>* out, size_t max_items) {
+  const size_t taken = inbox_.StealN(out, max_items);
+  if (taken > 0) {
+    inbox_depth_.fetch_sub(static_cast<int64_t>(taken),
+                           std::memory_order_acq_rel);
+  }
+  return taken;
+}
+
+void SchedulerDomain::ArrivalsDone() {
+  {
+    MutexLock lock(&mu_);
+    arrivals_done_ = true;
+    scheduler_signal_ = true;
+  }
+  // Unconditional wake: the scheduler must observe arrivals_done_ even
+  // with an empty buffer so the force-mode stuck check can fire.
+  scheduler_cv_.NotifyOne();
+}
+
+SCHEMBLE_HOT void SchedulerDomain::BuildViewInto(ServerView* view) const {
+  view->now = clock_->Now();
+  view->allow_rejection = options_.allow_rejection;
+  // Capacities pin after the first call (fixed model/executor counts), so
+  // the snapshot critical section stays allocation-free in steady state.
+  view->model_exec_time.resize(  // hot-ok: capacity pinned after first call
+      static_cast<size_t>(task_->num_models()));
+  view->model_available_at.assign(  // hot-ok: capacity pinned at first call
+      static_cast<size_t>(task_->num_models()), kSimTimeMax);
+  for (int k = 0; k < task_->num_models(); ++k) {
+    view->model_exec_time[k] = task_->profile(k).latency_us;
+  }
+  view->executors.clear();
+  for (size_t e = 0; e < executors_.size(); ++e) {
+    const Executor& ex = executors_[e];
+    const SimTime busy_until =
+        ex.busy.load(std::memory_order_acquire)
+            ? ex.busy_until.load(std::memory_order_acquire)
+            : view->now;
+    const int64_t queued = ex.queued.load(std::memory_order_acquire);
+    const SimTime available =
+        std::max(busy_until, view->now) +
+        queued * task_->profile(ex.model).latency_us;
+    view->executors.push_back(  // hot-ok: bounded by the executor count
+        {static_cast<int>(e), ex.model, available, static_cast<int>(queued)});
+    view->model_available_at[ex.model] =
+        std::min(view->model_available_at[ex.model], available);
+  }
+}
+
+SCHEMBLE_HOT void SchedulerDomain::SnapshotBufferLocked(
+    PlanWorkspace* ws) const {
+  ws->buffer.clear();
+  for (int index : buffer_) {
+    ws->buffer.push_back(  // hot-ok: capacity tracks the buffer high-water
+        {&trace_->items[static_cast<size_t>(index)], index,
+         states_[static_cast<size_t>(index)].generation});
+  }
+}
+
+void SchedulerDomain::CommitLocked(int index, SubsetMask subset) {
+  QueryState& state = states_[static_cast<size_t>(index)];
+  SCHEMBLE_CHECK_EQ(state.assigned, 0u);
+  SCHEMBLE_CHECK_NE(subset, 0u);
+  state.assigned = subset;
+  ++state.generation;
+  if (state.buffered) {
+    state.buffered = false;
+    buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
+    PublishBufferedLocked();
+  }
+}
+
+bool SchedulerDomain::ClaimFinalizeLocked(int index) {
+  QueryState& state = states_[static_cast<size_t>(index)];
+  if (state.finalized) return false;
+  state.finalized = true;
+  ++state.generation;
+  if (state.buffered) {
+    state.buffered = false;
+    buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
+    PublishBufferedLocked();
+  }
+  return true;
+}
+
+SCHEMBLE_HOT void SchedulerDomain::EnqueueBatch(
+    const std::vector<Commit>& commits, DispatchScratch* scratch) {
+  SCHEMBLE_DCHECK(!mu_.HeldByCurrentThread())
+      << "EnqueueBatch blocks on executor queues and must not be called "
+         "inside the policy critical section";
+  if (commits.empty()) return;
+  // One lock round-trip for the whole batch: mirror the simulator by
+  // dropping queries finalized while the commit was in flight (deadline
+  // during scheduler overhead).
+  scratch->live.clear();
+  {
+    MutexLock lock(&mu_);
+    for (const Commit& commit : commits) {
+      if (states_[static_cast<size_t>(commit.index)].finalized) continue;
+      scratch->live.push_back(commit);  // hot-ok: bounded by batch size
+    }
+  }
+  if (scratch->live.empty()) return;
+
+  // Placement works against projected availability seeded once from the
+  // executor atomics and advanced as the batch lands, so a multi-query
+  // batch spreads across this domain's replicas exactly like the seed's
+  // per-task re-reads did.
+  const SimTime now = clock_->Now();
+  scratch->runs.resize(executors_.size());  // hot-ok: fixed executor count
+  scratch->avail.resize(executors_.size());  // hot-ok: fixed executor count
+  for (size_t e = 0; e < executors_.size(); ++e) {
+    scratch->runs[e].clear();
+    const Executor& ex = executors_[e];
+    const SimTime busy_until =
+        ex.busy.load(std::memory_order_acquire)
+            ? ex.busy_until.load(std::memory_order_acquire)
+            : now;
+    scratch->avail[e] = std::max(busy_until, now) +
+                        ex.queued.load(std::memory_order_acquire) *
+                            task_->profile(ex.model).latency_us;
+  }
+  for (const Commit& commit : scratch->live) {
+    for (int k = 0; k < task_->num_models(); ++k) {
+      if (!(commit.subset & (SubsetMask{1} << k))) continue;
+      int best = -1;
+      SimTime best_available = kSimTimeMax;
+      for (size_t e = 0; e < executors_.size(); ++e) {
+        if (executors_[e].model != k) continue;
+        if (scratch->avail[e] < best_available) {
+          best_available = scratch->avail[e];
+          best = static_cast<int>(e);
+        }
+      }
+      SCHEMBLE_CHECK_GE(best, 0)
+          << "no executor deployed for model " << k << " in domain "
+          << options_.domain_id;
+      scratch->runs[static_cast<size_t>(best)].push_back(  // hot-ok: batch-bounded
+          Task{commit.index});
+      scratch->avail[static_cast<size_t>(best)] +=
+          task_->profile(k).latency_us;
+    }
+  }
+  for (size_t e = 0; e < executors_.size(); ++e) {
+    const std::vector<Task>& run = scratch->runs[e];
+    if (run.empty()) continue;
+    executors_[e].queued.fetch_add(static_cast<int64_t>(run.size()),
+                                   std::memory_order_acq_rel);
+    const size_t pushed = executors_[e].queue->PushAll(
+        std::span<const Task>(run.data(), run.size()));
+    if (pushed < run.size()) {
+      // Queue closed: shutdown already decided, the remainder is moot.
+      executors_[e].queued.fetch_sub(
+          static_cast<int64_t>(run.size() - pushed),
+          std::memory_order_acq_rel);
+    }
+  }
+}
+
+SCHEMBLE_HOT void SchedulerDomain::AdmitBatch(const std::vector<int>& indices,
+                                              ServerView* view,
+                                              SchedulerScratch* s) {
+  s->to_enqueue.clear();
+  s->rejects.clear();
+  bool pushed_deadlines = false;
+  bool notify_scheduler = false;
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) return;
+    BuildViewInto(view);
+    // Batched admission: every routed query gets its decision in this one
+    // critical section. In-batch assigns fold their service time into the
+    // view's availability so later queries in the batch see the load the
+    // earlier ones just added.
+    for (const int index : indices) {
+      const TracedQuery& tq = trace_->items[static_cast<size_t>(index)];
+      QueryState& state = states_[static_cast<size_t>(index)];
+      SCHEMBLE_CHECK(!state.owned && !state.finalized)
+          << "query " << tq.query.id << " routed to domain "
+          << options_.domain_id << " twice";
+      state.owned = true;
+      if (options_.allow_rejection && view->now >= tq.deadline) {
+        // The deadline beat admission (the query sat in an inbox or the
+        // routing batch while its deadline passed): finalize as a miss
+        // without consulting the policy, matching the pre-sharding
+        // deadline-thread-beats-admission path.
+        if (ClaimFinalizeLocked(index)) {
+          s->rejects.push_back(index);  // hot-ok: bounded by batch size
+        }
+        continue;
+      }
+      const ArrivalDecision decision =
+          policy_->OnArrival(tq, *view);  // serialized(mu_)
+      switch (decision.action) {
+        case ArrivalDecision::Action::kAssign: {
+          SCHEMBLE_CHECK_NE(decision.subset, 0u);
+          CommitLocked(index, decision.subset);
+          s->to_enqueue.push_back(  // hot-ok: bounded by batch size
+              {index, decision.subset});
+          for (int k = 0; k < view->num_models(); ++k) {
+            if (!(decision.subset & (SubsetMask{1} << k))) continue;
+            // Land the task on the projected least-loaded executor of
+            // model k (where EnqueueBatch will place it) and refresh
+            // the model's earliest availability.
+            ExecutorView* best = nullptr;
+            for (ExecutorView& ex : view->executors) {
+              if (ex.model_index != k) continue;
+              if (best == nullptr || ex.available_at < best->available_at) {
+                best = &ex;
+              }
+            }
+            SCHEMBLE_CHECK(best != nullptr);
+            best->available_at = std::max(best->available_at, view->now) +
+                                 view->model_exec_time[k];
+            ++best->queue_length;
+            view->model_available_at[k] = kSimTimeMax;
+            for (const ExecutorView& ex : view->executors) {
+              if (ex.model_index != k) continue;
+              view->model_available_at[k] =
+                  std::min(view->model_available_at[k], ex.available_at);
+            }
+          }
+          if (options_.allow_rejection) {
+            deadline_heap_.push({tq.deadline, index});
+            pushed_deadlines = true;
+          }
+          break;
+        }
+        case ArrivalDecision::Action::kReject:
+          if (ClaimFinalizeLocked(index)) {
+            s->rejects.push_back(index);  // hot-ok: bounded by batch size
+          }
+          break;
+        case ArrivalDecision::Action::kBuffer:
+          state.buffered = true;
+          buffer_.push_back(index);  // hot-ok: tracks the buffer high-water
+          PublishBufferedLocked();
+          if (options_.allow_rejection) {
+            deadline_heap_.push({tq.deadline, index});
+            pushed_deadlines = true;
+          }
+          break;
+      }
+    }
+    // Scheduler wakeup folded into the admission critical section (same
+    // idiom as worker completions): anything buffered deserves a planning
+    // round.
+    if (!buffer_.empty()) {
+      scheduler_signal_ = true;
+      notify_scheduler = true;
+    }
+  }
+  EnqueueBatch(s->to_enqueue, &s->dispatch);
+  for (const int index : s->rejects) {
+    host_->FinalizeQuery(options_.domain_id, index, 0, clock_->Now());
+  }
+  if (pushed_deadlines) deadline_cv_.NotifyAll();
+  if (notify_scheduler) scheduler_cv_.NotifyOne();
+}
+
+bool SchedulerDomain::PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
+                                      ServerView* view, SchedulerScratch* s) {
+  s->commits.clear();
+  SimTime overhead = 0;
+  bool idle_and_stuck = false;
+  size_t stuck_buffered = 0;
+  bool replanning = false;
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) return false;
+    if (buffer_.empty()) return true;
+    BuildViewInto(view);
+    bool any_idle = false;
+    for (const ExecutorView& ex : view->executors) {
+      if (ex.available_at <= view->now) {
+        any_idle = true;
+        break;
+      }
+    }
+    if (!any_idle) return true;
+    if (off_lock) {
+      // Snapshot -> plan -> validate/commit. The short critical section
+      // only copies state; the policy plans against the immutable
+      // snapshot with the mutex RELEASED, so arrivals and completions
+      // keep flowing while the DP runs.
+      SnapshotBufferLocked(plan_ws);
+      lock.Release();
+      plans_.fetch_add(1, std::memory_order_relaxed);
+      policy_->PlanOnView(*view, plan_ws);
+      overhead = plan_ws->output.overhead_us;
+      lock.Acquire();
+      if (shutdown_) return false;
+      // Validation: a plan entry is committable only if its query's
+      // generation still matches the snapshot — otherwise the deadline
+      // thread, a worker, or a donation moved the query while we planned,
+      // and the entry is stale.
+      int64_t invalidated = 0;
+      for (const BufferedAssignment& assignment :
+           plan_ws->output.assignments) {
+        SCHEMBLE_CHECK_NE(assignment.subset, 0u);
+        const SnapshotQuery* snap = nullptr;
+        for (const SnapshotQuery& candidate : plan_ws->buffer) {
+          if (candidate.traced->query.id == assignment.query_id) {
+            snap = &candidate;
+            break;
+          }
+        }
+        SCHEMBLE_CHECK(snap != nullptr)
+            << "plan references a query outside its snapshot";
+        const QueryState& state = states_[static_cast<size_t>(snap->index)];
+        if (state.generation != snap->generation) {
+          ++invalidated;
+          continue;
+        }
+        SCHEMBLE_DCHECK(!state.finalized && state.assigned == 0u)
+            << "generation matched but the query moved on";
+        CommitLocked(snap->index, assignment.subset);
+        s->commits.push_back({snap->index, assignment.subset});
+      }
+      plan_commits_.fetch_add(static_cast<int64_t>(s->commits.size()),
+                              std::memory_order_relaxed);
+      if (invalidated > 0) {
+        plans_invalidated_.fetch_add(invalidated, std::memory_order_relaxed);
+        // Part of the plan went stale: immediately re-plan whatever is
+        // still buffered against fresh state (self-signal).
+        if (!buffer_.empty()) {
+          replans_.fetch_add(1, std::memory_order_relaxed);
+          scheduler_signal_ = true;
+          replanning = true;
+        }
+      }
+    } else {
+      // Compatibility path for stateful policies (the baselines): plan
+      // under the mutex, exactly the seed behaviour. No validation is
+      // needed — nothing can move while the lock is held.
+      s->pointers.clear();
+      for (int index : buffer_) {
+        s->pointers.push_back(&trace_->items[static_cast<size_t>(index)]);
+      }
+      const PolicyOutput output =
+          policy_->OnIdle(*view, s->pointers);  // serialized(mu_)
+      for (const BufferedAssignment& assignment : output.assignments) {
+        const int index = host_->query_index(assignment.query_id);
+        SCHEMBLE_CHECK_NE(assignment.subset, 0u);
+        CommitLocked(index, assignment.subset);
+        s->commits.push_back({index, assignment.subset});
+      }
+      overhead = output.overhead_us;
+    }
+    idle_and_stuck = s->commits.empty() && arrivals_done_ && !buffer_.empty();
+    // Snapshot for the off-lock error log below: buffer_ is guarded and
+    // workers may finalize (and un-buffer) queries concurrently.
+    stuck_buffered = buffer_.size();
+  }
+  if (!s->commits.empty()) {
+    // The simulator charges scheduling overhead by delaying the
+    // dispatched tasks' start; here the scheduler thread pays it in
+    // (scaled) wall-clock time before enqueueing.
+    if (overhead > 0) clock_->SleepFor(overhead);
+    EnqueueBatch(s->commits, &s->dispatch);
+  } else if (idle_and_stuck && !replanning && !options_.allow_rejection &&
+             options_.num_domains == 1) {
+    // Force mode has no deadline thread to finalize abandoned queries; a
+    // policy that leaves the buffer untouched forever would hang the run.
+    // Multi-domain configurations suppress the log: a stuck shard is
+    // expected to be drained by peer steals/donations instead.
+    SCHEMBLE_LOG(kError) << "policy left " << stuck_buffered
+                         << " buffered queries with idle executors in "
+                            "force mode";
+  }
+  return true;
+}
+
+void SchedulerDomain::MaybeSteal(ServerView* view, SchedulerScratch* s) {
+  if (buffered_count_.load(std::memory_order_relaxed) > 0) return;
+  if (inbox_depth_.load(std::memory_order_acquire) > 0) return;
+  bool any_idle = false;
+  for (const Executor& ex : executors_) {
+    if (!ex.busy.load(std::memory_order_acquire) &&
+        ex.queued.load(std::memory_order_acquire) == 0) {
+      any_idle = true;
+      break;
+    }
+  }
+  if (!any_idle) return;
+  // Victim selection: the peer with the deepest routed backlog. Published
+  // depths are approximate; a stale pick just means a smaller (or empty)
+  // steal.
+  int victim = -1;
+  int64_t deepest = 0;
+  for (int d = 0; d < host_->num_domains(); ++d) {
+    if (d == options_.domain_id) continue;
+    const int64_t depth = host_->peer(d).inbox_depth();  // crosses(domain)
+    if (depth > deepest) {
+      deepest = depth;
+      victim = d;
+    }
+  }
+  if (victim < 0) return;
+  s->stolen.clear();
+  const size_t got = host_->peer(victim).StealRouted(  // crosses(domain)
+      &s->stolen, static_cast<size_t>(options_.steal_batch));
+  if (got == 0) return;
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  stolen_.fetch_add(static_cast<int64_t>(got), std::memory_order_relaxed);
+  AdmitBatch(s->stolen, view, s);
+}
+
+void SchedulerDomain::MaybeRebalance(SchedulerScratch* s) {
+  s->donations.clear();
+  int target = -1;
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) return;
+    const int64_t local_buffered = static_cast<int64_t>(buffer_.size());
+    // Only shed load when the buffer is deep relative to our executor
+    // slice — a couple of in-flight plans' worth stays local.
+    if (local_buffered <= 2 * static_cast<int64_t>(executors_.size())) {
+      return;
+    }
+    const int64_t own_load = local_buffered +
+                             inbox_depth_.load(std::memory_order_acquire) +
+                             queued_tasks();
+    const int64_t own_ex = static_cast<int64_t>(executors_.size());
+    int64_t best_load = 0;
+    int64_t best_ex = 1;
+    for (int d = 0; d < host_->num_domains(); ++d) {
+      if (d == options_.domain_id) continue;
+      SchedulerDomain& p = host_->peer(d);  // crosses(domain)
+      const int64_t load =
+          p.inbox_depth() + p.buffered_count() + p.queued_tasks();
+      const int64_t ex = std::max(p.num_executors(), 1);
+      // Normalized compare via integer cross-multiplication.
+      if (target < 0 || load * best_ex < best_load * ex) {
+        target = d;
+        best_load = load;
+        best_ex = ex;
+      }
+    }
+    // Donate only into a pronounced imbalance: the recipient must sit
+    // under half our normalized pressure, so balanced systems never churn.
+    if (target < 0 || !(2 * best_load * own_ex < own_load * best_ex)) {
+      return;
+    }
+    const size_t batch =
+        std::min(static_cast<size_t>(options_.steal_batch),
+                 buffer_.size() - executors_.size());
+    for (size_t i = 0; i < batch; ++i) {
+      const int index = buffer_.back();
+      buffer_.pop_back();
+      QueryState& state = states_[static_cast<size_t>(index)];
+      SCHEMBLE_DCHECK(state.buffered && state.owned && !state.finalized &&
+                      state.assigned == 0u);
+      state.buffered = false;
+      state.owned = false;
+      // Invalidate any in-flight plan entry for the migrating query.
+      ++state.generation;
+      s->donations.push_back(index);
+    }
+    PublishBufferedLocked();
+  }
+  if (s->donations.empty()) return;
+  SchedulerDomain& peer = host_->peer(target);
+  size_t sent = 0;
+  size_t kept = 0;
+  for (const int index : s->donations) {
+    if (peer.TryPushRouted(index)) {  // crosses(domain)
+      ++sent;
+    } else {
+      // Recipient inbox full/closed: keep the leftover local.
+      s->donations[kept++] = index;
+    }
+  }
+  if (sent > 0) {
+    // No explicit wakeup: the recipient's blocking admitter is woken by
+    // its inbox's own condition variable.
+    rebalances_.fetch_add(1, std::memory_order_relaxed);
+    donated_.fetch_add(static_cast<int64_t>(sent), std::memory_order_relaxed);
+  }
+  if (kept > 0) {
+    bool readmitted = false;
+    {
+      MutexLock lock(&mu_);
+      for (size_t i = 0; i < kept; ++i) {
+        const int index = s->donations[i];
+        QueryState& state = states_[static_cast<size_t>(index)];
+        if (state.finalized) continue;
+        state.owned = true;
+        state.buffered = true;
+        buffer_.push_back(index);
+        // The deadline thread may have popped (and skipped) this query's
+        // heap entry during the un-owned window; re-arm unconditionally —
+        // duplicate entries are dropped on pop via the finalized check.
+        if (options_.allow_rejection) {
+          const TracedQuery& tq = trace_->items[static_cast<size_t>(index)];
+          deadline_heap_.push({tq.deadline, index});
+        }
+        readmitted = true;
+      }
+      PublishBufferedLocked();
+    }
+    if (readmitted) deadline_cv_.NotifyAll();
+  }
+}
+
+void SchedulerDomain::AdmitterLoop() {
+  // The admission half of the pre-sharding server, per domain: block on
+  // the inbox (the queue's own condition variable provides the wakeup),
+  // run the OnArrival decisions under mu_, dispatch/finalize off-lock.
+  // Runs CONCURRENTLY with the scheduler thread's off-lock planning, so a
+  // long DP round never delays admission — arrivals keep flowing into the
+  // buffer (and their deadline-heap entries keep getting armed) while the
+  // planner thinks.
+  ServerView view;
+  SchedulerScratch scratch;
+  while (true) {
+    scratch.incoming.clear();
+    const size_t drained = inbox_.PopN(
+        &scratch.incoming, static_cast<size_t>(options_.inbox_capacity));
+    if (drained == 0) return;  // closed and drained: shutdown
+    inbox_depth_.fetch_sub(static_cast<int64_t>(drained),
+                           std::memory_order_acq_rel);
+    AdmitBatch(scratch.incoming, &view, &scratch);
+  }
+}
+
+void SchedulerDomain::SchedulerLoop() {
+  const bool off_lock = policy_->SupportsOffLockPlanning();
+  const bool multi = options_.num_domains > 1;
+  const auto tick = RealDuration(options_.rebalance_period, options_.speedup);
+  PlanWorkspace plan_ws;
+  if (off_lock) plan_ws.state = policy_->CreatePlanState();
+  ServerView view;
+  SchedulerScratch scratch;
+  SimTime last_rebalance = 0;
+  while (true) {
+    bool tick_fired = false;
+    {
+      MutexLock lock(&mu_);
+      while (!scheduler_signal_ && !shutdown_) {
+        if (multi) {
+          // Multi-domain schedulers wake on a periodic tick to scan for
+          // steal/rebalance opportunities even with no local signal.
+          if (!scheduler_cv_.WaitFor(mu_, tick)) {
+            tick_fired = true;
+            break;
+          }
+        } else {
+          scheduler_cv_.Wait(mu_);
+        }
+      }
+      if (shutdown_) return;
+      scheduler_signal_ = false;
+    }
+
+    // Snapshot -> plan -> validate/commit over the buffered shard.
+    if (!PlanAndDispatch(off_lock, &plan_ws, &view, &scratch)) return;
+
+    // Multi-domain: steal when starving, donate when drowning.
+    if (multi) {
+      MaybeSteal(&view, &scratch);
+      const SimTime now = clock_->Now();
+      if (tick_fired || now - last_rebalance >= options_.rebalance_period) {
+        last_rebalance = now;
+        MaybeRebalance(&scratch);
+      }
+    }
+  }
+}
+
+void SchedulerDomain::DeadlineLoop() {
+  // Deadlines are armed at admission (assign or buffer) and walked in
+  // order; stale entries — finalized queries, queries donated away during
+  // the un-owned window — are dropped on pop. Sleeps on the domain mutex's
+  // condition variable so newly admitted earlier deadlines and shutdown
+  // both interrupt the wait.
+  MutexLock lock(&mu_);
+  while (!shutdown_) {
+    if (deadline_heap_.empty()) {
+      deadline_cv_.Wait(mu_);
+      continue;
+    }
+    const auto [when, index] = deadline_heap_.top();
+    const SimTime now = clock_->Now();
+    if (now < when) {
+      deadline_cv_.WaitFor(mu_, RealDuration(when - now, options_.speedup));
+      continue;
+    }
+    deadline_heap_.pop();
+    const QueryState& state = states_[static_cast<size_t>(index)];
+    // Un-owned: the query migrated to a peer (its heap covers the
+    // deadline) or is in flight to one (the recipient's admission path
+    // finalizes overdue queries immediately).
+    if (!state.owned) continue;
+    if (!ClaimFinalizeLocked(index)) continue;
+    const SubsetMask outputs = state.done;
+    const SimTime completion =
+        outputs != 0 ? state.last_done_time : clock_->Now();
+    lock.Release();
+    host_->FinalizeQuery(options_.domain_id, index, outputs, completion);
+    lock.Acquire();
+  }
+}
+
+void SchedulerDomain::WorkerLoop(int executor_id) {
+  // Longest task run drained from the queue per lock round-trip. Tasks in
+  // the local run still count in `queued` (each is decremented at its own
+  // service start), so load estimates keep seeing them.
+  constexpr size_t kRunLength = 16;
+  Executor& ex = executors_[static_cast<size_t>(executor_id)];
+  const ModelProfile& profile = task_->profile(ex.model);
+  Rng rng(HashSeed("worker", options_.seed + ex.global_id));
+  std::vector<Task> run;
+  run.reserve(kRunLength);
+  while (true) {
+    run.clear();
+    if (ex.queue->PopN(&run, kRunLength) == 0) {
+      return;  // closed and drained: shutdown
+    }
+    for (const Task& task : run) {
+      ex.queued.fetch_sub(1, std::memory_order_acq_rel);
+
+      const double factor =
+          std::max(0.2, 1.0 + profile.latency_jitter * rng.Normal());
+      const SimTime service = static_cast<SimTime>(
+          static_cast<double>(profile.latency_us) * factor);
+      const SimTime start = clock_->Now();
+      ex.busy_until.store(start + service, std::memory_order_release);
+      ex.busy.store(true, std::memory_order_release);
+      if (options_.service_mode == ServiceMode::kSleep) {
+        clock_->SleepUntil(start + service);
+      } else {
+        // Host-bound inference: burn CPU until the service interval
+        // passes.
+        volatile double sink = 0.0;
+        while (clock_->Now() < start + service) {
+          double acc = sink;
+          for (int it = 0; it < 256; ++it) acc += std::sqrt(acc + it);
+          sink = acc;
+        }
+      }
+      ex.busy.store(false, std::memory_order_release);
+
+      const int index = task.query_index;
+      bool claimed = false;
+      bool notify = false;
+      SubsetMask outputs = 0;
+      SimTime completion = 0;
+      {
+        MutexLock lock(&mu_);
+        QueryState& state = states_[static_cast<size_t>(index)];
+        if (!state.finalized) {
+          state.done |= SubsetMask{1} << ex.model;
+          state.last_done_time = clock_->Now();
+          if (state.done == state.assigned) {
+            claimed = ClaimFinalizeLocked(index);
+            outputs = state.done;
+            completion = state.last_done_time;
+          }
+        }
+        // Scheduler wakeup folded into the completion critical section:
+        // capacity just freed up, so if anything is buffered the planner
+        // should look at it. No separate notify lock round-trip.
+        if (!buffer_.empty()) {
+          scheduler_signal_ = true;
+          notify = true;
+        }
+      }
+      if (claimed) {
+        host_->FinalizeQuery(options_.domain_id, index, outputs, completion);
+      }
+      if (notify) scheduler_cv_.NotifyOne();
+    }
+  }
+}
+
+}  // namespace schemble

@@ -1,0 +1,338 @@
+#ifndef SCHEMBLE_RUNTIME_SCHEDULER_DOMAIN_H_
+#define SCHEMBLE_RUNTIME_SCHEDULER_DOMAIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "core/policy.h"
+#include "models/synthetic_task.h"
+#include "runtime/mpmc_queue.h"
+#include "simcore/clock.h"
+#include "workload/trace.h"
+
+namespace schemble {
+
+class SchedulerDomain;
+
+/// How workers consume a task's service time. kSleep blocks on the OS
+/// timer (models accelerator-offloaded inference; scales past the host
+/// core count). kSpin burns CPU for the duration (models host-bound
+/// inference; scales only with real cores).
+enum class ServiceMode { kSleep, kSpin };
+
+/// Services a scheduler domain consumes from its owning server. The host
+/// owns everything global — the trace, the clock, the metric sinks, the
+/// run-completion doorbell — while each domain owns one shard of the
+/// scheduling state. All methods must be safe to call from any domain
+/// thread; FinalizeQuery and peer() are called with NO domain mutex held.
+class DomainHost {
+ public:
+  virtual ~DomainHost() = default;
+
+  virtual const QueryTrace& trace() const = 0;
+  virtual Clock& clock() = 0;
+  /// Trace index for a query id (const-after-init map, lock-free reads).
+  virtual int query_index(int64_t query_id) const = 0;
+  /// Records the final outcome of query `index` (aggregation, accuracy,
+  /// metrics, run-completion accounting). Exactly-once per query across
+  /// ALL domains — a second call for the same index is a CHECK failure,
+  /// which is how the runtime turns a cross-domain double dispatch into a
+  /// loud test failure instead of silent metric corruption.
+  virtual void FinalizeQuery(int domain, int index, SubsetMask outputs,
+                             SimTime completion) = 0;
+  virtual SchedulerDomain& peer(int domain) = 0;
+  virtual int num_domains() const = 0;
+};
+
+/// Per-domain slice of the server configuration (see
+/// ConcurrentServerOptions for field semantics shared with the
+/// single-domain server).
+struct SchedulerDomainOptions {
+  int domain_id = 0;
+  int num_domains = 1;
+  /// This domain's executor slice: global base-model index per executor.
+  std::vector<int> executor_models;
+  /// Matching global executor ids (seed the per-worker RNG streams so the
+  /// single-domain configuration reproduces the pre-sharding streams).
+  std::vector<int> executor_ids;
+  bool allow_rejection = true;
+  uint64_t seed = 97;
+  double speedup = 1.0;
+  int queue_capacity = 4096;
+  /// Bounded capacity of the routed-arrival inbox.
+  int inbox_capacity = 4096;
+  ServiceMode service_mode = ServiceMode::kSleep;
+  /// Max queries moved per steal / per donation round.
+  int steal_batch = 16;
+  /// Virtual period of the scheduler's rebalance tick (multi-domain only):
+  /// how often an otherwise-idle domain scans peers to steal from and an
+  /// overloaded one considers donating buffered queries.
+  SimTime rebalance_period = 10 * kMillisecond;
+};
+
+/// One scheduling domain of the sharded concurrent runtime: a shard of the
+/// query buffer, its own policy instance and mutex, its own admitter
+/// thread draining the routed-arrival inbox into OnArrival decisions, its
+/// own scheduler thread running the snapshot -> plan -> validate/commit
+/// loop, a slice of the executor/worker pool, and (in rejection mode) its
+/// own deadline thread. Queries enter through a bounded MPMC inbox so the
+/// admission path never touches the domain mutex on the fast path (the
+/// inbox's internal queue lock is the only synchronization, and the
+/// blocking admitter is woken by the queue's own condition variable), and
+/// leave through the host's FinalizeQuery exactly once.
+///
+/// Cross-domain protocol (see DESIGN.md "Sharded runtime"): domains
+/// interact ONLY through each other's inboxes and published load atomics —
+/// never through a peer's mutex. Work-stealing pulls routed-but-unadmitted
+/// queries out of a peer's inbox with MpmcQueue::StealN; rebalancing
+/// donates buffered (admitted, unassigned) queries into a peer's inbox
+/// with TryPush (the recipient's blocking admitter picks them up),
+/// re-admitting locally whatever does not fit. A query is always owned by
+/// exactly one domain (or is in flight between two inboxes), which makes
+/// lost/duplicated queries structurally impossible; the host's
+/// exactly-once finalize CHECK enforces it.
+class SchedulerDomain {
+ public:
+  SchedulerDomain(const SyntheticTask& task, ServingPolicy* policy,
+                  DomainHost* host, SchedulerDomainOptions options);
+  ~SchedulerDomain();
+
+  SchedulerDomain(const SchedulerDomain&) = delete;
+  SchedulerDomain& operator=(const SchedulerDomain&) = delete;
+
+  /// Spawns the admitter, scheduler (+ deadline) threads and the workers.
+  /// The host's trace/clock must be live; one-shot.
+  void Start();
+  /// Flags shutdown, closes the inbox and executor queues, wakes every
+  /// blocked thread. Idempotent.
+  void Shutdown() SCHEMBLE_EXCLUDES(mu_);
+  void Join();
+
+  /// Routes a batch of trace indices into this domain (bounded blocking
+  /// push; the domain's admitter thread wakes through the inbox's own
+  /// condition variable). Admission-thread side of the fast path: never
+  /// touches the domain mutex.
+  void PushRouted(std::span<const int> indices);
+  /// Non-blocking single-query variant used by donating peers; false when
+  /// the inbox is full or closed.
+  bool TryPushRouted(int index);
+  /// Bulk-steals up to `max_items` routed-but-unadmitted queries without
+  /// blocking this domain's threads (thief side of work-stealing). Appends
+  /// to `out`; returns the count (0 = empty or momentarily contended).
+  size_t StealRouted(std::vector<int>* out, size_t max_items);
+  /// Signals that the admission thread has routed the whole trace.
+  void ArrivalsDone() SCHEMBLE_EXCLUDES(mu_);
+
+  /// Published load counters (lock-free, individually approximate) — the
+  /// inputs to RoutingPolicy's DomainLoad and to peer steal/donate
+  /// decisions.
+  int64_t inbox_depth() const {
+    return inbox_depth_.load(std::memory_order_acquire);
+  }
+  int64_t buffered_count() const {
+    return buffered_count_.load(std::memory_order_relaxed);
+  }
+  int64_t queued_tasks() const;
+  int num_executors() const { return static_cast<int>(executors_.size()); }
+  int domain_id() const { return options_.domain_id; }
+
+  /// Scheduler telemetry; safe to read after the run drains (or any time,
+  /// with per-counter consistency only).
+  struct StatsSnapshot {
+    int64_t plans = 0;
+    int64_t plan_commits = 0;
+    int64_t plans_invalidated = 0;
+    int64_t replans = 0;
+    /// Steal rounds that obtained at least one query / queries stolen in.
+    int64_t steals = 0;
+    int64_t stolen = 0;
+    /// Donation rounds that moved at least one query / queries donated out.
+    int64_t rebalances = 0;
+    int64_t donated = 0;
+  };
+  StatsSnapshot stats() const;
+  Mutex::Stats lock_stats() const { return mu_.stats(); }
+
+ private:
+  /// Per-query task; executed by the worker owning `executor`.
+  struct Task {
+    int query_index = 0;
+  };
+
+  struct Executor {
+    int model = 0;
+    /// Global executor id (RNG stream seed), from options_.executor_ids.
+    int global_id = 0;
+    std::unique_ptr<MpmcQueue<Task>> queue;
+    /// Virtual time when the in-flight task (if any) finishes; 0 if idle.
+    std::atomic<SimTime> busy_until{0};
+    std::atomic<bool> busy{false};
+    std::atomic<int64_t> queued{0};
+  };
+
+  struct QueryState {
+    SubsetMask assigned = 0;
+    SubsetMask done = 0;
+    bool buffered = false;
+    bool finalized = false;
+    /// Admitted to this domain and not donated away. The deadline thread
+    /// skips un-owned heap entries (the query migrated; its new owner
+    /// covers the deadline), and admission CHECKs a query is never owned
+    /// twice without an intervening donation.
+    bool owned = false;
+    SimTime last_done_time = 0;
+    /// Bumped on every assign, finalize and donation. Snapshots taken for
+    /// off-lock planning record it per query; a mismatch at commit time
+    /// means the query moved on while the planner ran, so the plan entry
+    /// is dropped (counted in plans_invalidated).
+    uint64_t generation = 0;
+  };
+
+  /// One planned or admitted assignment awaiting dispatch.
+  struct Commit {
+    int index = 0;
+    SubsetMask subset = 0;
+  };
+
+  /// Reusable scratch for EnqueueBatch: per-executor task runs plus
+  /// projected availability. All vectors reach a stable capacity after the
+  /// first few batches, so steady-state dispatch performs no heap
+  /// allocation.
+  struct DispatchScratch {
+    std::vector<Commit> live;
+    std::vector<std::vector<Task>> runs;
+    std::vector<SimTime> avail;
+  };
+
+  /// Reusable scratch for the admit/plan phases of the scheduler loop.
+  struct SchedulerScratch {
+    std::vector<int> incoming;
+    std::vector<int> stolen;
+    std::vector<Commit> to_enqueue;
+    std::vector<int> rejects;
+    std::vector<Commit> commits;
+    std::vector<const TracedQuery*> pointers;
+    std::vector<int> donations;
+    DispatchScratch dispatch;
+  };
+
+  void AdmitterLoop() SCHEMBLE_EXCLUDES(mu_);
+  void SchedulerLoop() SCHEMBLE_EXCLUDES(mu_);
+  void DeadlineLoop() SCHEMBLE_EXCLUDES(mu_);
+  void WorkerLoop(int executor_id) SCHEMBLE_EXCLUDES(mu_);
+
+  /// Admits a batch of routed (or stolen) trace indices: one critical
+  /// section running the policy's OnArrival per query with in-batch view
+  /// compensation, then off-lock dispatch/finalize work. Mirrors the
+  /// pre-sharding AdmissionLoop body.
+  void AdmitBatch(const std::vector<int>& indices, ServerView* view,
+                  SchedulerScratch* s) SCHEMBLE_EXCLUDES(mu_);
+  /// One snapshot -> plan -> validate/commit round over the buffered
+  /// shard (or the serialized OnIdle fallback). Returns false on shutdown.
+  bool PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
+                       ServerView* view, SchedulerScratch* s)
+      SCHEMBLE_EXCLUDES(mu_);
+  /// Thief side of work-stealing: when this domain has nothing buffered,
+  /// nothing routed and an idle executor, pull a batch out of the deepest
+  /// peer inbox and admit it here.
+  void MaybeSteal(ServerView* view, SchedulerScratch* s)
+      SCHEMBLE_EXCLUDES(mu_);
+  /// Donor side of rebalancing: when this domain's buffer is deep and a
+  /// peer is far less loaded, move a tail batch of buffered queries into
+  /// that peer's inbox (TryPush; leftovers are re-admitted locally).
+  void MaybeRebalance(SchedulerScratch* s) SCHEMBLE_EXCLUDES(mu_);
+
+  /// Fills the policy's server view over this domain's executor slice,
+  /// reusing `view`'s vector capacity.
+  void BuildViewInto(ServerView* view) const SCHEMBLE_REQUIRES(mu_);
+  /// Captures the buffered queries (arrival order) with their generations
+  /// into the plan workspace, reusing its capacity.
+  void SnapshotBufferLocked(PlanWorkspace* ws) const SCHEMBLE_REQUIRES(mu_);
+  /// Marks `subset` assigned and removes the query from the buffer.
+  /// Tasks are enqueued by the caller outside the lock.
+  void CommitLocked(int index, SubsetMask subset) SCHEMBLE_REQUIRES(mu_);
+  /// Claims finalization; returns false if already finalized here.
+  bool ClaimFinalizeLocked(int index) SCHEMBLE_REQUIRES(mu_);
+  /// Dispatches a batch of committed assignments onto this domain's
+  /// executors (projected-least-loaded placement, bulk PushAll). Blocks
+  /// when queues are full, hence must not hold mu_.
+  void EnqueueBatch(const std::vector<Commit>& commits,
+                    DispatchScratch* scratch) SCHEMBLE_EXCLUDES(mu_);
+  void PublishBufferedLocked() SCHEMBLE_REQUIRES(mu_) {
+    buffered_count_.store(static_cast<int64_t>(buffer_.size()),
+                          std::memory_order_relaxed);
+  }
+
+  const SyntheticTask* task_;
+  ServingPolicy* policy_;
+  DomainHost* host_;
+  SchedulerDomainOptions options_;
+  std::vector<Executor> executors_;
+  const QueryTrace* trace_ = nullptr;
+  Clock* clock_ = nullptr;
+
+  /// Routed-but-unadmitted trace indices: the only write path into a
+  /// domain from outside (admission thread, donating peers) and the only
+  /// read path out (owning admitter drains, thieves steal).
+  MpmcQueue<int> inbox_;
+  /// Published inbox occupancy for lock-free load reads. Pushers add AFTER
+  /// the push lands and drainers subtract AFTER the pop, so the count can
+  /// be transiently negative or stale; consumers treat <= 0 as empty.
+  /// Wakeups never depend on it — the blocking admitter is driven by the
+  /// inbox's own condition variable.
+  std::atomic<int64_t> inbox_depth_{0};
+  std::atomic<int64_t> buffered_count_{0};
+
+  /// Guards policy calls, states_, buffer_, deadline_heap_. Stats
+  /// collection is on: bench_runtime reports per-domain critical-section
+  /// pressure. Owner tracking keeps "completion work runs off-lock" a
+  /// DCHECKed invariant.
+  Mutex mu_{Mutex::StatsMode::kEnabled};
+  std::vector<QueryState> states_ SCHEMBLE_GUARDED_BY(mu_);
+  /// Buffered query indices in arrival order (this domain's shard).
+  std::vector<int> buffer_ SCHEMBLE_GUARDED_BY(mu_);
+  /// Min-heap of (deadline, index) over queries admitted here (rejection
+  /// mode only). Entries go stale when a query is finalized or donated;
+  /// the deadline thread drops them on pop.
+  std::priority_queue<std::pair<SimTime, int>,
+                      std::vector<std::pair<SimTime, int>>,
+                      std::greater<std::pair<SimTime, int>>>
+      deadline_heap_ SCHEMBLE_GUARDED_BY(mu_);
+  bool arrivals_done_ SCHEMBLE_GUARDED_BY(mu_) = false;
+  bool scheduler_signal_ SCHEMBLE_GUARDED_BY(mu_) = false;
+  bool shutdown_ SCHEMBLE_GUARDED_BY(mu_) = false;
+
+  /// Scheduler wakeup. The signal is FOLDED into critical sections other
+  /// threads already hold (worker completions, admitter batches): they set
+  /// scheduler_signal_ and notify after unlocking.
+  CondVar scheduler_cv_;
+  /// Wakes the deadline thread for newly admitted (earlier) deadlines and
+  /// at shutdown.
+  CondVar deadline_cv_;
+
+  /// Telemetry (see StatsSnapshot). Scheduler-thread writers; atomics so
+  /// tests/benches read them without the domain mutex.
+  std::atomic<int64_t> plans_{0};
+  std::atomic<int64_t> plan_commits_{0};
+  std::atomic<int64_t> plans_invalidated_{0};
+  std::atomic<int64_t> replans_{0};
+  std::atomic<int64_t> steals_{0};
+  std::atomic<int64_t> stolen_{0};
+  std::atomic<int64_t> rebalances_{0};
+  std::atomic<int64_t> donated_{0};
+
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_requested_{false};
+  bool started_ = false;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_RUNTIME_SCHEDULER_DOMAIN_H_

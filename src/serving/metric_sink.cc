@@ -1,0 +1,74 @@
+#include "serving/metric_sink.h"
+
+#include "common/logging.h"
+
+namespace schemble {
+
+MetricSink::MetricSink(size_t num_segments, int num_models)
+    : segments_(num_segments),
+      subset_size_counts_(static_cast<size_t>(num_models) + 1) {
+  SCHEMBLE_CHECK_GT(num_segments, 0u);
+  SCHEMBLE_CHECK_GE(num_models, 0);
+}
+
+void MetricSink::Record(const TracedQuery& tq, const QueryOutcome& outcome,
+                        SimTime segment_duration, double* latency_slot) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  subset_size_counts_[static_cast<size_t>(outcome.subset_size)].fetch_add(
+      1, std::memory_order_relaxed);
+  const size_t segment =
+      static_cast<size_t>(tq.arrival_time / segment_duration);
+  SCHEMBLE_DCHECK(segment < segments_.size());
+  AtomicSegment& seg = segments_[segment];
+  seg.arrivals.fetch_add(1, std::memory_order_relaxed);
+  if (outcome.processed) {
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    seg.processed.fetch_add(1, std::memory_order_relaxed);
+    accuracy_sum_.fetch_add(outcome.match, std::memory_order_relaxed);
+    processed_accuracy_sum_.fetch_add(outcome.match,
+                                      std::memory_order_relaxed);
+    seg.accuracy_sum.fetch_add(outcome.match, std::memory_order_relaxed);
+    seg.latency_ms_sum.fetch_add(outcome.latency_ms,
+                                 std::memory_order_relaxed);
+    seg.subset_size_sum.fetch_add(outcome.subset_size,
+                                  std::memory_order_relaxed);
+    if (latency_slot != nullptr) *latency_slot = outcome.latency_ms;
+  }
+  if (outcome.missed) {
+    missed_.fetch_add(1, std::memory_order_relaxed);
+    seg.missed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void MetricSink::AccumulateInto(ServingMetrics* metrics) const {
+  metrics->total += total_.load(std::memory_order_relaxed);
+  metrics->processed += processed_.load(std::memory_order_relaxed);
+  metrics->missed += missed_.load(std::memory_order_relaxed);
+  metrics->accuracy_sum += accuracy_sum_.load(std::memory_order_relaxed);
+  metrics->processed_accuracy_sum +=
+      processed_accuracy_sum_.load(std::memory_order_relaxed);
+  if (metrics->subset_size_counts.size() < subset_size_counts_.size()) {
+    metrics->subset_size_counts.resize(subset_size_counts_.size(), 0);
+  }
+  for (size_t s = 0; s < subset_size_counts_.size(); ++s) {
+    metrics->subset_size_counts[s] +=
+        subset_size_counts_[s].load(std::memory_order_relaxed);
+  }
+  if (metrics->segments.size() < segments_.size()) {
+    metrics->segments.resize(segments_.size());
+  }
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    SegmentStats& seg = metrics->segments[s];
+    seg.arrivals += segments_[s].arrivals.load(std::memory_order_relaxed);
+    seg.processed += segments_[s].processed.load(std::memory_order_relaxed);
+    seg.missed += segments_[s].missed.load(std::memory_order_relaxed);
+    seg.subset_size_sum +=
+        segments_[s].subset_size_sum.load(std::memory_order_relaxed);
+    seg.accuracy_sum +=
+        segments_[s].accuracy_sum.load(std::memory_order_relaxed);
+    seg.latency_ms_sum +=
+        segments_[s].latency_ms_sum.load(std::memory_order_relaxed);
+  }
+}
+
+}  // namespace schemble

@@ -1,0 +1,74 @@
+#ifndef SCHEMBLE_SERVING_METRIC_SINK_H_
+#define SCHEMBLE_SERVING_METRIC_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "serving/completion.h"
+#include "serving/metrics.h"
+#include "simcore/simulation.h"
+#include "workload/trace.h"
+
+namespace schemble {
+
+/// Lock-free accumulator for concurrent completion recording: the atomic
+/// counterpart of serving's RecordOutcome. The sharded runtime keeps one
+/// sink per scheduler domain so finalizing threads never contend on a
+/// shared cache line across domains, then merges the sinks into a single
+/// ServingMetrics once the run drains.
+///
+/// Thread-safety: Record may be called concurrently from any number of
+/// threads (all cells are atomics updated relaxed); AccumulateInto and the
+/// scalar accessors are safe once recording has quiesced (after the run
+/// joins its threads) — mid-run reads see per-counter-consistent
+/// approximations only.
+class MetricSink {
+ public:
+  /// `num_segments` arrival-time windows and models 0..`num_models`
+  /// subset-size cells (index = aggregated subset size, 0 = missed).
+  MetricSink(size_t num_segments, int num_models);
+
+  MetricSink(const MetricSink&) = delete;
+  MetricSink& operator=(const MetricSink&) = delete;
+
+  /// Applies one scored outcome. `latency_slot`, when non-null and the
+  /// query was processed, receives the latency sample; slots are disjoint
+  /// per query, so the write needs no synchronization.
+  void Record(const TracedQuery& tq, const QueryOutcome& outcome,
+              SimTime segment_duration, double* latency_slot);
+
+  /// Adds this sink's counters into `metrics` (segments and subset-size
+  /// cells are grown as needed; latency samples are the caller's job —
+  /// they live in the per-query slots).
+  void AccumulateInto(ServingMetrics* metrics) const;
+
+  int64_t total() const { return total_.load(std::memory_order_relaxed); }
+  int64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+  int64_t missed() const { return missed_.load(std::memory_order_relaxed); }
+
+ private:
+  /// Per-segment metric cells updated lock-free from completion callbacks.
+  struct AtomicSegment {
+    std::atomic<int64_t> arrivals{0};
+    std::atomic<int64_t> processed{0};
+    std::atomic<int64_t> missed{0};
+    std::atomic<int64_t> subset_size_sum{0};
+    std::atomic<double> accuracy_sum{0.0};
+    std::atomic<double> latency_ms_sum{0.0};
+  };
+
+  std::atomic<int64_t> total_{0};
+  std::atomic<int64_t> processed_{0};
+  std::atomic<int64_t> missed_{0};
+  std::atomic<double> accuracy_sum_{0.0};
+  std::atomic<double> processed_accuracy_sum_{0.0};
+  std::vector<AtomicSegment> segments_;
+  std::vector<std::atomic<int64_t>> subset_size_counts_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_SERVING_METRIC_SINK_H_

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "baselines/original_policy.h"
+#include "core/discrepancy.h"
+#include "core/schemble_policy.h"
+#include "models/task_factory.h"
+#include "runtime/concurrent_server.h"
+#include "runtime/routing_policy.h"
+#include "workload/trace.h"
+#include "workload/traffic.h"
+
+namespace schemble {
+namespace {
+
+/// Structural invariants every sharded run must satisfy regardless of
+/// thread timing: conservation across the per-domain metric sinks (a lost
+/// or double-counted query breaks one of these even when the exactly-once
+/// finalize CHECK is not hit).
+void CheckShardedInvariants(const ServingMetrics& metrics,
+                            const QueryTrace& trace) {
+  EXPECT_EQ(metrics.total, trace.size());
+  const int64_t size_count_total =
+      std::accumulate(metrics.subset_size_counts.begin(),
+                      metrics.subset_size_counts.end(), int64_t{0});
+  EXPECT_EQ(size_count_total, metrics.total);
+  int64_t seg_arrivals = 0;
+  for (const SegmentStats& seg : metrics.segments) {
+    seg_arrivals += seg.arrivals;
+  }
+  EXPECT_EQ(seg_arrivals, metrics.total);
+  EXPECT_EQ(metrics.latency_ms.count(),
+            static_cast<int64_t>(metrics.processed));
+}
+
+/// Routes every query to one fixed domain — the adversarial input for the
+/// work-stealing and rebalancing paths.
+class FixedRouting final : public RoutingPolicy {
+ public:
+  explicit FixedRouting(int target) : target_(target) {}
+  std::string name() const override { return "fixed"; }
+  int Route(const TracedQuery&, SimTime,
+            std::span<const DomainLoad>) override {
+    return target_;
+  }
+
+ private:
+  int target_;
+};
+
+QueryTrace MakeSimpleTrace(const SyntheticTask& task, double rate,
+                           SimTime duration, SimTime deadline,
+                           uint64_t seed) {
+  PoissonTraffic traffic(rate);
+  ConstantDeadline deadlines(deadline);
+  TraceOptions options;
+  options.seed = seed;
+  return BuildTrace(task, traffic, deadlines, duration, options);
+}
+
+TEST(ShardedServerTest, ForceModeProcessesEverythingAcrossDomains) {
+  const SyntheticTask task = MakeTextMatchingTask(3);
+  OriginalPolicy policy_a;
+  OriginalPolicy policy_b;
+  ConcurrentServerOptions options;
+  options.num_domains = 2;
+  options.executor_models = {0, 0, 1, 1, 2, 2};
+  options.routing = RoutingPolicyKind::kRoundRobin;
+  options.allow_rejection = false;
+  options.speedup = 100.0;
+  ConcurrentServer server(task, {&policy_a, &policy_b}, options);
+  EXPECT_EQ(server.num_domains(), 2);
+  EXPECT_EQ(server.num_executors(), 6);
+  const QueryTrace trace =
+      MakeSimpleTrace(task, 10.0, 10 * kSecond, 10 * kSecond, 17);
+  const ServingMetrics metrics = server.Run(trace);
+  CheckShardedInvariants(metrics, trace);
+  EXPECT_EQ(metrics.processed, trace.size());
+}
+
+TEST(ShardedServerTest, MismatchedPolicyCountIsRejected) {
+  const SyntheticTask task = MakeTextMatchingTask(3);
+  OriginalPolicy policy;
+  ConcurrentServerOptions options;
+  options.num_domains = 2;
+  options.executor_models = {0, 0, 1, 1, 2, 2};
+  EXPECT_DEATH(ConcurrentServer(task, {&policy}, options),
+               "one policy instance per scheduler domain");
+}
+
+TEST(ShardedServerTest, UnderReplicatedModelIsRejected) {
+  const SyntheticTask task = MakeTextMatchingTask(3);
+  OriginalPolicy policy_a;
+  OriginalPolicy policy_b;
+  ConcurrentServerOptions options;
+  options.num_domains = 2;
+  // Model 2 has a single replica: domain 1 could never serve it.
+  options.executor_models = {0, 0, 1, 1, 2};
+  EXPECT_DEATH(ConcurrentServer(task, {&policy_a, &policy_b}, options),
+               "fewer replicas than scheduler domains");
+}
+
+TEST(ShardedServerTest, StealRescuesSkewedRouting) {
+  const SyntheticTask task = MakeTextMatchingTask(3);
+  OriginalPolicy policy_a;
+  OriginalPolicy policy_b;
+  FixedRouting all_to_zero(0);
+  ConcurrentServerOptions options;
+  options.num_domains = 2;
+  options.executor_models = {0, 0, 1, 1, 2, 2};
+  options.router = &all_to_zero;
+  options.allow_rejection = false;
+  options.speedup = 100.0;
+  // Tiny executor queues: domain 0's admitter stalls dispatching the
+  // flood, arrivals back up in its inbox, and the only way domain 1 ever
+  // sees work is by stealing it out of that inbox.
+  options.queue_capacity = 4;
+  options.steal_batch = 8;
+  ConcurrentServer server(task, {&policy_a, &policy_b}, options);
+  // ~3x the capacity of domain 0's executor slice.
+  const QueryTrace trace =
+      MakeSimpleTrace(task, 60.0, 10 * kSecond, 60 * kSecond, 23);
+  const ServingMetrics metrics = server.Run(trace);
+  CheckShardedInvariants(metrics, trace);
+  // Force mode: every query still completes exactly once (a double
+  // dispatch would trip the host's finalize CHECK).
+  EXPECT_EQ(metrics.processed, trace.size());
+  const ConcurrentServer::SchedulerStatsSnapshot sched =
+      server.scheduler_stats();
+  EXPECT_GT(sched.steals, 0);
+  EXPECT_GT(sched.stolen, 0);
+  // The thief's own counters live on domain 1.
+  const ConcurrentServer::SchedulerStatsSnapshot thief =
+      server.scheduler_stats(1);
+  EXPECT_EQ(thief.steals, sched.steals);
+}
+
+class ShardedSchembleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    task_ = std::make_unique<SyntheticTask>(MakeTextMatchingTask(3));
+    history_ = task_->GenerateDataset(
+        2000, DifficultyDistribution::UniformFull(), 5);
+    auto scorer = DiscrepancyScorer::Fit(*task_, history_);
+    ASSERT_TRUE(scorer.ok());
+    scorer_ = std::make_unique<DiscrepancyScorer>(std::move(scorer).value());
+    const auto scores = scorer_->ScoreAll(history_);
+    auto profile = AccuracyProfile::Build(*task_, history_, scores);
+    ASSERT_TRUE(profile.ok());
+    profile_ = std::make_unique<AccuracyProfile>(std::move(profile).value());
+  }
+
+  SchemblePolicy MakeOraclePolicy() const {
+    SchembleConfig config;
+    config.score_source = ScoreSource::kOracle;
+    return SchemblePolicy(*task_, *profile_, nullptr, scorer_.get(),
+                          std::move(config));
+  }
+
+  std::unique_ptr<SyntheticTask> task_;
+  std::vector<Query> history_;
+  std::unique_ptr<DiscrepancyScorer> scorer_;
+  std::unique_ptr<AccuracyProfile> profile_;
+};
+
+TEST_F(ShardedSchembleTest, RebalanceDonatesBufferedBacklog) {
+  // Schemble buffers under load; with every arrival routed to domain 0 and
+  // domain 1 idle, the only way the backlog levels out is the donor-side
+  // rebalance path. Generous deadlines keep donated queries completable,
+  // and conservation plus the exactly-once finalize CHECK prove no query
+  // is lost or double-dispatched across the migration.
+  SchemblePolicy policy_a = MakeOraclePolicy();
+  SchemblePolicy policy_b = MakeOraclePolicy();
+  FixedRouting all_to_zero(0);
+  ConcurrentServerOptions options;
+  options.num_domains = 2;
+  options.executor_models = {0, 0, 1, 1, 2, 2};
+  options.router = &all_to_zero;
+  options.speedup = 100.0;
+  options.steal_batch = 8;
+  options.rebalance_period = 5 * kMillisecond;
+  ConcurrentServer server(*task_, {&policy_a, &policy_b}, options);
+  const QueryTrace trace =
+      MakeSimpleTrace(*task_, 60.0, 10 * kSecond, 20 * kSecond, 31);
+  const ServingMetrics metrics = server.Run(trace);
+  CheckShardedInvariants(metrics, trace);
+  const ConcurrentServer::SchedulerStatsSnapshot sched =
+      server.scheduler_stats();
+  // Cross-domain movement happened: the backlog left domain 0 through
+  // donations, steals, or (typically) both.
+  EXPECT_GT(sched.donated + sched.stolen, 0);
+  // The donor's counters live on domain 0.
+  EXPECT_EQ(server.scheduler_stats(0).donated, sched.donated);
+}
+
+/// The multi-domain TSan target: four domains, 32 workers over a 3-model
+/// ensemble (replicas 8/16/8), four independent Schemble policy instances,
+/// a bursty trace skewed 7:1 onto domain 0 so the steal/donate/readmit
+/// paths all fire while admission, planning, deadline and worker threads
+/// run in every domain at once.
+TEST_F(ShardedSchembleTest, StressFourDomainsSkewedBurstyTraffic) {
+  SchemblePolicy policy_a = MakeOraclePolicy();
+  SchemblePolicy policy_b = MakeOraclePolicy();
+  SchemblePolicy policy_c = MakeOraclePolicy();
+  SchemblePolicy policy_d = MakeOraclePolicy();
+
+  /// 7 of 8 queries land on domain 0; the rest cycle the other domains.
+  class SkewedRouting final : public RoutingPolicy {
+   public:
+    std::string name() const override { return "skewed"; }
+    int Route(const TracedQuery& query, SimTime,
+              std::span<const DomainLoad> domains) override {
+      const int64_t id = query.query.id;
+      if (id % 8 != 0) return 0;
+      return 1 + static_cast<int>((id / 8) % (domains.size() - 1));
+    }
+  };
+  SkewedRouting skew;
+
+  ConcurrentServerOptions options;
+  options.num_domains = 4;
+  options.executor_models.assign(8, 0);
+  options.executor_models.insert(options.executor_models.end(), 16, 1);
+  options.executor_models.insert(options.executor_models.end(), 8, 2);
+  options.router = &skew;
+  options.speedup = 100.0;
+  // Small executor queues: domain 0's admitter stalls dispatching the
+  // skewed flood, so its inbox and buffer back up and the steal/donate
+  // paths fire on every run rather than only under unlucky timing.
+  options.queue_capacity = 4;
+  options.steal_batch = 8;
+  options.rebalance_period = 5 * kMillisecond;
+  ConcurrentServer server(
+      *task_, {&policy_a, &policy_b, &policy_c, &policy_d}, options);
+  EXPECT_EQ(server.num_executors(), 32);
+
+  DiurnalTraffic traffic = DiurnalTraffic::QaDayShape(
+      /*peak_rate_per_second=*/150.0, /*segment_duration=*/1 * kSecond);
+  // Loose enough that queries survive the virtual-time lag of a loaded CI
+  // box at speedup 100, tight enough that the deadline threads stay busy.
+  ConstantDeadline deadlines(5 * kSecond);
+  TraceOptions trace_options;
+  trace_options.seed = 29;
+  const QueryTrace trace = BuildTrace(*task_, traffic, deadlines,
+                                      traffic.total_duration(), trace_options);
+  ASSERT_GT(trace.size(), 500);
+
+  const ServingMetrics metrics = server.Run(trace);
+  CheckShardedInvariants(metrics, trace);
+  EXPECT_GT(metrics.processed, 0);
+  // The skew guarantees cross-domain traffic on every run.
+  const ConcurrentServer::SchedulerStatsSnapshot sched =
+      server.scheduler_stats();
+  EXPECT_GT(sched.steals + sched.rebalances, 0);
+}
+
+}  // namespace
+}  // namespace schemble

@@ -39,6 +39,16 @@ Rules (see DESIGN.md "Static analysis & lock discipline"):
                         PR-5 under-lock DP solve from being reintroduced
                         silently.
 
+  domain-crossing       Inside src/runtime/, calls into another scheduler
+                        domain's inbox surface (.PushRouted / .TryPushRouted
+                        / .StealRouted on an object) must carry a
+                        `// crosses(domain)` marker on the same or the
+                        preceding line. Domains may interact ONLY through
+                        these inbox entry points and published load atomics,
+                        never through a peer's mutex; the marker makes every
+                        crossing grep-able and forces new cross-domain
+                        traffic through an audited surface.
+
 Exit status is non-zero when any rule fires or clang-tidy (when run)
 reports a diagnostic. Run from the repo root, or pass --repo.
 """
@@ -77,6 +87,13 @@ HOT_OK_RE = re.compile(r"//\s*hot-ok:")
 POLICY_STATEFUL_RE = re.compile(r"->\s*(OnArrival|OnIdle)\s*\(")
 
 SERIALIZED_OK_RE = re.compile(r"//\s*serialized\(mu_\)")
+
+# Calls on an object (not declarations/definitions, which use `::` or a
+# bare name) into a scheduler domain's cross-domain inbox surface.
+DOMAIN_CROSSING_RE = re.compile(
+    r"(->|\.)\s*(PushRouted|TryPushRouted|StealRouted)\s*\(")
+
+CROSSES_OK_RE = re.compile(r"//\s*crosses\(domain\)")
 
 FP_BANNED = [
     (re.compile(r"\bstd::fmaf?\b|\b__builtin_fmaf?\b"),
@@ -202,6 +219,19 @@ class Linter:
                            "mutex (add the marker on this or the preceding "
                            "line) or it must go through the const "
                            "PlanOnView / CreatePlanState planning path")
+            for i, raw in enumerate(lines, 1):
+                code = strip_comments_and_strings(raw)
+                if not DOMAIN_CROSSING_RE.search(code):
+                    continue
+                prev = lines[i - 2] if i >= 2 else ""
+                if CROSSES_OK_RE.search(raw) or CROSSES_OK_RE.search(prev):
+                    continue
+                self.error(rel, i, "domain-crossing",
+                           "call into a scheduler domain's inbox surface "
+                           "without a `// crosses(domain)` marker on this "
+                           "or the preceding line; cross-domain traffic "
+                           "must go through the audited inbox entry points "
+                           "and be grep-able")
 
         for start, body in find_hot_function_bodies(text):
             body_text = "\n".join(strip_comments_and_strings(lines[j])
