@@ -42,6 +42,10 @@ ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
       options_.executor_models.push_back(k);
     }
   }
+  SCHEMBLE_CHECK(options_.executor_faults.empty() ||
+                 options_.executor_faults.size() ==
+                     options_.executor_models.size())
+      << "executor_faults must be empty or match the executor count";
 
   // Partition the executor pool: each model's replicas are dealt
   // round-robin across domains, so replica counts that are multiples of
@@ -49,6 +53,7 @@ ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
   const int n_domains = options_.num_domains;
   std::vector<std::vector<int>> domain_models(n_domains);
   std::vector<std::vector<int>> domain_ids(n_domains);
+  std::vector<std::vector<ExecutorFault>> domain_faults(n_domains);
   std::vector<int> next_domain(static_cast<size_t>(task_->num_models()), 0);
   std::vector<int> model_replicas(static_cast<size_t>(task_->num_models()),
                                   0);
@@ -61,6 +66,10 @@ ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
     ++model_replicas[static_cast<size_t>(model)];
     domain_models[d].push_back(model);
     domain_ids[d].push_back(static_cast<int>(e));
+    // Faults follow their executor into its domain slice.
+    if (!options_.executor_faults.empty()) {
+      domain_faults[d].push_back(options_.executor_faults[e]);
+    }
   }
   for (int k = 0; k < task_->num_models(); ++k) {
     if (model_replicas[static_cast<size_t>(k)] == 0) continue;
@@ -84,6 +93,7 @@ ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
     dom.num_domains = n_domains;
     dom.executor_models = std::move(domain_models[d]);
     dom.executor_ids = std::move(domain_ids[d]);
+    dom.faults = std::move(domain_faults[d]);
     dom.allow_rejection = options_.allow_rejection;
     dom.seed = options_.seed;
     dom.speedup = options_.speedup;
@@ -134,6 +144,9 @@ ConcurrentServer::SchedulerStatsSnapshot ConcurrentServer::scheduler_stats(
   snapshot.stolen = s.stolen;
   snapshot.rebalances = s.rebalances;
   snapshot.donated = s.donated;
+  snapshot.failstops = s.failstops;
+  snapshot.requeues = s.requeues;
+  snapshot.stale_tasks_dropped = s.stale_tasks_dropped;
   return snapshot;
 }
 
@@ -150,6 +163,9 @@ ConcurrentServer::SchedulerStatsSnapshot ConcurrentServer::scheduler_stats()
     total.stolen += s.stolen;
     total.rebalances += s.rebalances;
     total.donated += s.donated;
+    total.failstops += s.failstops;
+    total.requeues += s.requeues;
+    total.stale_tasks_dropped += s.stale_tasks_dropped;
   }
   return total;
 }

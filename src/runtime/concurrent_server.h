@@ -63,6 +63,11 @@ struct ConcurrentServerOptions {
   int steal_batch = 16;
   /// Virtual period of the per-domain rebalance tick (multi-domain only).
   SimTime rebalance_period = 10 * kMillisecond;
+  /// Per-executor fault injection for stress scenarios, indexed like
+  /// executor_models (global executor id). Empty = every executor clean.
+  /// Fail-stop scenarios must leave >= 1 live replica per model per domain
+  /// (the dispatch path CHECK-fails otherwise).
+  std::vector<ExecutorFault> executor_faults;
 };
 
 /// Wall-clock, multi-threaded counterpart of the discrete-event
@@ -145,6 +150,13 @@ class ConcurrentServer : private DomainHost {
     /// Rebalance donations: rounds that moved >= 1 query / queries moved.
     int64_t rebalances = 0;
     int64_t donated = 0;
+    /// Fault-injection telemetry (stress scenarios): executors that
+    /// fail-stopped, queries re-queued through domain inboxes after a
+    /// failure, and in-flight tasks dropped because their query's
+    /// generation moved on (re-queue or donation) while they serviced.
+    int64_t failstops = 0;
+    int64_t requeues = 0;
+    int64_t stale_tasks_dropped = 0;
   };
   /// Summed over all domains.
   SchedulerStatsSnapshot scheduler_stats() const;

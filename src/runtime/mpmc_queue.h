@@ -165,6 +165,28 @@ class MpmcQueue {
     not_full_.NotifyAll();
   }
 
+  /// Atomically closes the queue AND drains everything still buffered into
+  /// `out` (appended), in FIFO order, in one critical section. The
+  /// fail-stop primitive: a failing consumer takes ownership of its whole
+  /// backlog with no window in which a concurrent producer could slip an
+  /// item into a queue that will never be drained again (a Close();
+  /// TryPopN() sequence would leave exactly that gap for a producer
+  /// blocked in PushAll). Blocked producers wake and observe closed_,
+  /// reporting their un-pushed remainder back to the caller, so every item
+  /// is accounted for on exactly one side. Returns the number drained.
+  size_t CloseAndDrain(std::vector<T>* out) SCHEMBLE_EXCLUDES(mu_) {
+    size_t taken = 0;
+    {
+      MutexLock lock(&mu_);
+      closed_ = true;
+      taken = size_;
+      for (size_t i = 0; i < taken; ++i) out->push_back(PopLocked());
+    }
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
+    return taken;
+  }
+
   size_t size() const SCHEMBLE_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return size_;

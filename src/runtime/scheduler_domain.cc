@@ -41,6 +41,9 @@ SchedulerDomain::SchedulerDomain(const SyntheticTask& task,
       << "a scheduler domain needs at least one executor";
   SCHEMBLE_CHECK_EQ(options_.executor_models.size(),
                     options_.executor_ids.size());
+  SCHEMBLE_CHECK(options_.faults.empty() ||
+                 options_.faults.size() == options_.executor_models.size())
+      << "executor fault list must be empty or match the executor count";
   executors_ = std::vector<Executor>(options_.executor_models.size());
   for (size_t e = 0; e < executors_.size(); ++e) {
     const int model = options_.executor_models[e];
@@ -48,6 +51,14 @@ SchedulerDomain::SchedulerDomain(const SyntheticTask& task,
     SCHEMBLE_CHECK_LT(model, task_->num_models());
     executors_[e].model = model;
     executors_[e].global_id = options_.executor_ids[e];
+    if (!options_.faults.empty()) {
+      const ExecutorFault& fault = options_.faults[e];
+      SCHEMBLE_CHECK_GT(fault.speed, 0.0);
+      SCHEMBLE_CHECK_GE(fault.straggle_factor, 1.0);
+      SCHEMBLE_CHECK_GE(fault.straggle_after, 0);
+      SCHEMBLE_CHECK_GE(fault.fail_at, 0);
+      executors_[e].fault = fault;
+    }
     executors_[e].queue = std::make_unique<MpmcQueue<Task>>(
         static_cast<size_t>(options_.queue_capacity));
   }
@@ -76,6 +87,10 @@ SchedulerDomain::StatsSnapshot SchedulerDomain::stats() const {
   s.stolen = stolen_.load(std::memory_order_relaxed);
   s.rebalances = rebalances_.load(std::memory_order_relaxed);
   s.donated = donated_.load(std::memory_order_relaxed);
+  s.failstops = failstops_.load(std::memory_order_relaxed);
+  s.requeues = requeues_.load(std::memory_order_relaxed);
+  s.stale_tasks_dropped =
+      stale_tasks_dropped_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -165,6 +180,10 @@ SCHEMBLE_HOT void SchedulerDomain::BuildViewInto(ServerView* view) const {
   view->executors.clear();
   for (size_t e = 0; e < executors_.size(); ++e) {
     const Executor& ex = executors_[e];
+    // Fail-stopped executors are invisible to policies: anything routed to
+    // them would never complete. Scenarios must keep at least one live
+    // replica per model per domain (dispatch CHECK-fails otherwise).
+    if (ex.failed.load(std::memory_order_acquire)) continue;
     const SimTime busy_until =
         ex.busy.load(std::memory_order_acquire)
             ? ex.busy_until.load(std::memory_order_acquire)
@@ -229,8 +248,12 @@ SCHEMBLE_HOT void SchedulerDomain::EnqueueBatch(
   {
     MutexLock lock(&mu_);
     for (const Commit& commit : commits) {
-      if (states_[static_cast<size_t>(commit.index)].finalized) continue;
+      const QueryState& state = states_[static_cast<size_t>(commit.index)];
+      if (state.finalized) continue;
       scratch->live.push_back(commit);  // hot-ok: bounded by batch size
+      // Stamp the post-commit generation: completions (and fail-stop
+      // re-queues) of the dispatched tasks only apply while it matches.
+      scratch->live.back().generation = state.generation;
     }
   }
   if (scratch->live.empty()) return;
@@ -260,16 +283,19 @@ SCHEMBLE_HOT void SchedulerDomain::EnqueueBatch(
       SimTime best_available = kSimTimeMax;
       for (size_t e = 0; e < executors_.size(); ++e) {
         if (executors_[e].model != k) continue;
+        if (executors_[e].failed.load(std::memory_order_acquire)) continue;
         if (scratch->avail[e] < best_available) {
           best_available = scratch->avail[e];
           best = static_cast<int>(e);
         }
       }
       SCHEMBLE_CHECK_GE(best, 0)
-          << "no executor deployed for model " << k << " in domain "
-          << options_.domain_id;
-      scratch->runs[static_cast<size_t>(best)].push_back(  // hot-ok: batch-bounded
-          Task{commit.index});
+          << "no live executor for model " << k << " in domain "
+          << options_.domain_id
+          << " (fault scenarios must keep >= 1 replica per model alive)";
+      scratch->runs[static_cast<size_t>(best)]
+          .push_back(  // hot-ok: batch-bounded
+              Task{commit.index, commit.generation});
       scratch->avail[static_cast<size_t>(best)] +=
           task_->profile(k).latency_us;
     }
@@ -282,10 +308,18 @@ SCHEMBLE_HOT void SchedulerDomain::EnqueueBatch(
     const size_t pushed = executors_[e].queue->PushAll(
         std::span<const Task>(run.data(), run.size()));
     if (pushed < run.size()) {
-      // Queue closed: shutdown already decided, the remainder is moot.
+      // Queue closed under us: either shutdown (all queries already
+      // finalized, so the re-queue below is a no-op) or the executor
+      // fail-stopped between placement and push. Re-queue the remainder —
+      // conservation: every placed task either lands in a live queue or
+      // flows back through RequeueTasks.
       executors_[e].queued.fetch_sub(
           static_cast<int64_t>(run.size() - pushed),
           std::memory_order_acq_rel);
+      const std::vector<Task> remainder(
+          run.begin() + static_cast<ptrdiff_t>(pushed),
+          run.end());  // hot-ok: cold fail-stop path
+      RequeueTasks(remainder);
     }
   }
 }
@@ -342,7 +376,12 @@ SCHEMBLE_HOT void SchedulerDomain::AdmitBatch(const std::vector<int>& indices,
                 best = &ex;
               }
             }
-            SCHEMBLE_CHECK(best != nullptr);
+            // BuildViewInto drops fail-stopped executors, so an empty
+            // candidate set means the model lost its last live replica.
+            SCHEMBLE_CHECK(best != nullptr)
+                << "no live executor for model " << k << " in domain "
+                << options_.domain_id << " (fault scenarios must keep >= 1 "
+                << "replica per model alive)";
             best->available_at = std::max(best->available_at, view->now) +
                                  view->model_exec_time[k];
             ++best->queue_length;
@@ -509,6 +548,10 @@ void SchedulerDomain::MaybeSteal(ServerView* view, SchedulerScratch* s) {
   if (inbox_depth_.load(std::memory_order_acquire) > 0) return;
   bool any_idle = false;
   for (const Executor& ex : executors_) {
+    // A fail-stopped executor is permanently not-busy with an empty queue;
+    // without this skip it would read as idle capacity and drive steals
+    // forever.
+    if (ex.failed.load(std::memory_order_acquire)) continue;
     if (!ex.busy.load(std::memory_order_acquire) &&
         ex.queued.load(std::memory_order_acquire) == 0) {
       any_idle = true;
@@ -742,6 +785,7 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
   constexpr size_t kRunLength = 16;
   Executor& ex = executors_[static_cast<size_t>(executor_id)];
   const ModelProfile& profile = task_->profile(ex.model);
+  const ExecutorFault& fault = ex.fault;
   Rng rng(HashSeed("worker", options_.seed + ex.global_id));
   std::vector<Task> run;
   run.reserve(kRunLength);
@@ -750,14 +794,31 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
     if (ex.queue->PopN(&run, kRunLength) == 0) {
       return;  // closed and drained: shutdown
     }
-    for (const Task& task : run) {
+    for (size_t t = 0; t < run.size(); ++t) {
+      const Task& task = run[t];
+      if (fault.fail_at > 0 && clock_->Now() >= fault.fail_at) {
+        // Fail-stop: this executor dies at the first task examined past
+        // fail_at. The un-started local remainder (this task included)
+        // plus everything still queued flows back through RequeueTasks so
+        // no query is lost — the worker thread then exits for good.
+        std::vector<Task> backlog(run.begin() + static_cast<ptrdiff_t>(t),
+                                  run.end());
+        FailStopExecutor(executor_id, &backlog);
+        return;
+      }
       ex.queued.fetch_sub(1, std::memory_order_acq_rel);
 
-      const double factor =
-          std::max(0.2, 1.0 + profile.latency_jitter * rng.Normal());
+      double factor =
+          std::max(0.2, 1.0 + profile.latency_jitter * rng.Normal()) /
+          fault.speed;
+      const SimTime start = clock_->Now();
+      if (fault.straggle_after > 0 && start >= fault.straggle_after) {
+        // Straggler injection: every task serviced past the onset time is
+        // inflated, modelling thermal throttling / noisy-neighbour decay.
+        factor *= fault.straggle_factor;
+      }
       const SimTime service = static_cast<SimTime>(
           static_cast<double>(profile.latency_us) * factor);
-      const SimTime start = clock_->Now();
       ex.busy_until.store(start + service, std::memory_order_release);
       ex.busy.store(true, std::memory_order_release);
       if (options_.service_mode == ServiceMode::kSleep) {
@@ -782,7 +843,7 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
       {
         MutexLock lock(&mu_);
         QueryState& state = states_[static_cast<size_t>(index)];
-        if (!state.finalized) {
+        if (!state.finalized && state.generation == task.generation) {
           state.done |= SubsetMask{1} << ex.model;
           state.last_done_time = clock_->Now();
           if (state.done == state.assigned) {
@@ -790,6 +851,12 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
             outputs = state.done;
             completion = state.last_done_time;
           }
+        } else if (!state.finalized) {
+          // Generation moved on while this task was in service: the query
+          // was re-queued after a sibling executor fail-stopped (or
+          // donated away and re-planned). Its new assignment owns the done
+          // mask now; folding this stale completion in would corrupt it.
+          stale_tasks_dropped_.fetch_add(1, std::memory_order_relaxed);
         }
         // Scheduler wakeup folded into the completion critical section:
         // capacity just freed up, so if anything is buffered the planner
@@ -804,6 +871,104 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
       }
       if (notify) scheduler_cv_.NotifyOne();
     }
+  }
+}
+
+void SchedulerDomain::FailStopExecutor(int executor_id,
+                                       std::vector<Task>* backlog) {
+  Executor& ex = executors_[static_cast<size_t>(executor_id)];
+  // Publish the failure first: dispatch/planning observe it and stop
+  // routing here. A dispatcher that raced past the flag hits the closed
+  // queue below and re-queues its own remainder (EnqueueBatch shortfall
+  // path), so the two sides never double-count a task.
+  ex.failed.store(true, std::memory_order_release);
+  ex.busy.store(false, std::memory_order_release);
+  ex.queue->CloseAndDrain(backlog);
+  // Everything in `backlog` — the worker's un-started local run remainder
+  // plus the freshly drained queue — was still counted in `queued` (the
+  // per-task decrement happens at service start, which none of them
+  // reached). Conservation: each backlog task is decremented here exactly
+  // once and re-queued exactly once.
+  ex.queued.fetch_sub(static_cast<int64_t>(backlog->size()),
+                      std::memory_order_acq_rel);
+  failstops_.fetch_add(1, std::memory_order_relaxed);
+  RequeueTasks(*backlog);
+}
+
+void SchedulerDomain::RequeueTasks(const std::vector<Task>& tasks) {
+  if (tasks.empty()) return;
+  std::vector<int> to_route;
+  to_route.reserve(tasks.size());
+  {
+    MutexLock lock(&mu_);
+    for (const Task& task : tasks) {
+      QueryState& state = states_[static_cast<size_t>(task.query_index)];
+      if (state.finalized || state.generation != task.generation) {
+        // Finalized (deadline miss / shutdown drain) or already re-queued
+        // via a sibling task of the same query: nothing left to recover.
+        stale_tasks_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // A live task implies a dispatched query: owned by this domain, out
+      // of the buffer, with a committed subset. Anything else means a task
+      // leaked past the generation discipline.
+      SCHEMBLE_CHECK(state.owned && !state.buffered && state.assigned != 0u)
+          << "re-queued task for query in impossible state (domain "
+          << options_.domain_id << ")";
+      // Full readmission: wipe the assignment (sibling in-flight tasks of
+      // the old subset turn stale via the generation bump and are dropped
+      // at completion) and send the query back through the domain inbox so
+      // the policy decides afresh against post-failure capacity.
+      state.assigned = 0;
+      state.done = 0;
+      state.owned = false;
+      ++state.generation;
+      to_route.push_back(task.query_index);
+    }
+  }
+  if (to_route.empty()) return;
+  requeues_.fetch_add(static_cast<int64_t>(to_route.size()),
+                      std::memory_order_relaxed);
+  size_t kept = 0;
+  for (const int index : to_route) {
+    // Non-blocking: a blocking push from the admitter's own call stack
+    // (EnqueueBatch shortfall) would deadlock on a full inbox, since this
+    // thread is the only consumer. TryPushRouted wakes the admitter via
+    // the inbox condition variable.
+    if (!TryPushRouted(index)) to_route[kept++] = index;
+  }
+  if (kept == 0) return;
+  // Inbox full or closed: re-buffer the leftovers directly (same fallback
+  // as donation leftovers). The policy's arrival decision is skipped, but
+  // the scheduler's next planning round covers them; finalized queries
+  // cannot appear here (a query is only finalizable while owned, and these
+  // were un-owned for the whole window).
+  bool readmitted = false;
+  {
+    MutexLock lock(&mu_);
+    for (size_t i = 0; i < kept; ++i) {
+      const int index = to_route[i];
+      QueryState& state = states_[static_cast<size_t>(index)];
+      if (state.finalized) continue;
+      state.owned = true;
+      state.buffered = true;
+      buffer_.push_back(index);
+      // Re-arm the deadline: the heap entry may have popped (and been
+      // skipped as un-owned) during the window; duplicates drop on pop.
+      if (options_.allow_rejection) {
+        const TracedQuery& tq = trace_->items[static_cast<size_t>(index)];
+        deadline_heap_.push({tq.deadline, index});
+      }
+      readmitted = true;
+    }
+    if (readmitted) {
+      PublishBufferedLocked();
+      scheduler_signal_ = true;
+    }
+  }
+  if (readmitted) {
+    deadline_cv_.NotifyAll();
+    scheduler_cv_.NotifyOne();
   }
 }
 

@@ -27,6 +27,28 @@ class SchedulerDomain;
 /// inference; scales only with real cores).
 enum class ServiceMode { kSleep, kSpin };
 
+/// Fault-injection profile of one executor (the stress harness's scenario
+/// dimensions; see DESIGN.md "Randomized stress harness"). The default is
+/// a clean executor, so pre-existing configurations are unaffected.
+struct ExecutorFault {
+  /// Throughput multiplier: service time is divided by this, so 2.0 is a
+  /// 2x-faster executor and 0.5 a 2x-slower one (heterogeneous fleets).
+  double speed = 1.0;
+  /// Straggler injection: once the virtual clock passes `straggle_after`
+  /// (> 0 to enable), service times are inflated by `straggle_factor`.
+  SimTime straggle_after = 0;
+  double straggle_factor = 1.0;
+  /// Fail-stop injection: the executor dies at the first task it examines
+  /// once the virtual clock passes `fail_at` (> 0 to enable). Its
+  /// in-flight and queued tasks are re-queued through the domain inbox and
+  /// re-admitted, so no query is ever lost to a failure.
+  SimTime fail_at = 0;
+
+  bool clean() const {
+    return speed == 1.0 && straggle_after == 0 && fail_at == 0;
+  }
+};
+
 /// Services a scheduler domain consumes from its owning server. The host
 /// owns everything global — the trace, the clock, the metric sinks, the
 /// run-completion doorbell — while each domain owns one shard of the
@@ -62,6 +84,9 @@ struct SchedulerDomainOptions {
   /// Matching global executor ids (seed the per-worker RNG streams so the
   /// single-domain configuration reproduces the pre-sharding streams).
   std::vector<int> executor_ids;
+  /// Per-executor fault profile, parallel to executor_models. Empty means
+  /// every executor is clean.
+  std::vector<ExecutorFault> faults;
   bool allow_rejection = true;
   uint64_t seed = 97;
   double speedup = 1.0;
@@ -156,24 +181,41 @@ class SchedulerDomain {
     /// Donation rounds that moved at least one query / queries donated out.
     int64_t rebalances = 0;
     int64_t donated = 0;
+    /// Fault-injection telemetry: executors that fail-stopped, queries
+    /// re-queued after losing a task to a failure (through the inbox or
+    /// the direct-to-buffer fallback), and stale tasks dropped because
+    /// their query had already been re-queued or finalized.
+    int64_t failstops = 0;
+    int64_t requeues = 0;
+    int64_t stale_tasks_dropped = 0;
   };
   StatsSnapshot stats() const;
   Mutex::Stats lock_stats() const { return mu_.stats(); }
 
  private:
-  /// Per-query task; executed by the worker owning `executor`.
+  /// Per-query task; executed by the worker owning `executor`. Carries the
+  /// query's generation at dispatch time: a completion (or a fail-stop
+  /// re-queue) only applies while the generation still matches, so tasks
+  /// orphaned by a re-queue-and-reassign cycle are dropped instead of
+  /// corrupting the new assignment's done mask.
   struct Task {
     int query_index = 0;
+    uint64_t generation = 0;
   };
 
   struct Executor {
     int model = 0;
     /// Global executor id (RNG stream seed), from options_.executor_ids.
     int global_id = 0;
+    /// Fault profile (clean by default), from options_.faults.
+    ExecutorFault fault;
     std::unique_ptr<MpmcQueue<Task>> queue;
     /// Virtual time when the in-flight task (if any) finishes; 0 if idle.
     std::atomic<SimTime> busy_until{0};
     std::atomic<bool> busy{false};
+    /// Fail-stopped: excluded from views and dispatch placement; its queue
+    /// is closed and drained.
+    std::atomic<bool> failed{false};
     std::atomic<int64_t> queued{0};
   };
 
@@ -195,10 +237,13 @@ class SchedulerDomain {
     uint64_t generation = 0;
   };
 
-  /// One planned or admitted assignment awaiting dispatch.
+  /// One planned or admitted assignment awaiting dispatch. `generation` is
+  /// stamped inside EnqueueBatch's liveness filter (the post-commit value)
+  /// and travels on every dispatched Task.
   struct Commit {
     int index = 0;
     SubsetMask subset = 0;
+    uint64_t generation = 0;
   };
 
   /// Reusable scratch for EnqueueBatch: per-executor task runs plus
@@ -265,6 +310,20 @@ class SchedulerDomain {
   /// when queues are full, hence must not hold mu_.
   void EnqueueBatch(const std::vector<Commit>& commits,
                     DispatchScratch* scratch) SCHEMBLE_EXCLUDES(mu_);
+  /// Fail-stop recovery: marks the executor failed, closes-and-drains its
+  /// queue into `backlog` (which already holds the worker's un-started run
+  /// remainder, in-flight task included) and re-queues every affected
+  /// query. Called by the failing worker, which exits afterwards.
+  void FailStopExecutor(int executor_id, std::vector<Task>* backlog)
+      SCHEMBLE_EXCLUDES(mu_);
+  /// Re-queues the queries of `tasks` through the domain inbox: each query
+  /// whose generation still matches is reset to the un-admitted state
+  /// (conservation CHECKed) and pushed back into the inbox for a full
+  /// re-admission through OnArrival; when the inbox is full or closed the
+  /// query is re-buffered directly under mu_ instead, so it is never
+  /// lost. Stale tasks (query re-queued by a sibling failure, finalized,
+  /// or re-assigned since dispatch) are dropped and counted.
+  void RequeueTasks(const std::vector<Task>& tasks) SCHEMBLE_EXCLUDES(mu_);
   void PublishBufferedLocked() SCHEMBLE_REQUIRES(mu_) {
     buffered_count_.store(static_cast<int64_t>(buffer_.size()),
                           std::memory_order_relaxed);
@@ -327,6 +386,9 @@ class SchedulerDomain {
   std::atomic<int64_t> stolen_{0};
   std::atomic<int64_t> rebalances_{0};
   std::atomic<int64_t> donated_{0};
+  std::atomic<int64_t> failstops_{0};
+  std::atomic<int64_t> requeues_{0};
+  std::atomic<int64_t> stale_tasks_dropped_{0};
 
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_requested_{false};

@@ -1,0 +1,37 @@
+#ifndef SCHEMBLE_STRESS_HOST_H_
+#define SCHEMBLE_STRESS_HOST_H_
+
+#include <string>
+#include <thread>
+
+namespace schemble {
+
+/// Why a load-sensitive test should be skipped on this host, or the empty
+/// string to run it. The runtime's timing assertions (throughput ratios,
+/// "the scheduler drained the buffer", stress-matrix deadline bounds)
+/// assume the admission/scheduler/deadline/worker threads actually get to
+/// run concurrently; on the 2-core CI containers they time-slice instead
+/// and the assertions measure the host, not the code. Usage:
+///
+///   if (const std::string reason = LoadSensitiveSkipReason();
+///       !reason.empty()) {
+///     GTEST_SKIP() << reason;
+///   }
+///
+/// The guard only ever SKIPS (with a logged reason) — it never loosens an
+/// assertion, so on an adequate host the full check always runs.
+inline std::string LoadSensitiveSkipReason(unsigned min_cores = 4) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  // 0 means "unknown": assume an adequate host rather than silently
+  // skipping coverage everywhere.
+  if (cores != 0 && cores < min_cores) {
+    return "load-sensitive test skipped: hardware_concurrency() = " +
+           std::to_string(cores) + " < " + std::to_string(min_cores) +
+           " (thread timing assertions are unreliable on tiny hosts)";
+  }
+  return std::string();
+}
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_STRESS_HOST_H_

@@ -1,0 +1,89 @@
+#ifndef SCHEMBLE_STRESS_LCG_H_
+#define SCHEMBLE_STRESS_LCG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+/// The stress harness's one source of randomness: a 64-bit linear
+/// congruential generator (MMIX multiplier/increment) in the MathGeoLib
+/// TestRunner tradition — a deliberately tiny PRNG whose whole state is
+/// the seed, so printing the seed IS printing the full reproduction
+/// recipe. Every scenario parameter, trace seed and fault profile flows
+/// from one Lcg instance; tools/lint.py bans rand()/std::random_device/
+/// std::mt19937 under src/stress and tests/stress to keep that true.
+///
+/// Statistical quality is intentionally secondary to replayability: the
+/// harness needs diverse-but-reproducible configurations, not
+/// cryptographic randomness.
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {
+    // Scramble the (possibly tiny, user-typed) seed once so seeds 1 and 2
+    // do not start with near-identical high bits.
+    state_ = Mix(state_ + kIncrement);
+  }
+
+  /// Next raw 32-bit draw: the HIGH half of the advanced 64-bit state (the
+  /// low bits of an LCG cycle with short periods and are never exposed).
+  uint32_t Next() {
+    state_ = state_ * kMultiplier + kIncrement;
+    return static_cast<uint32_t>(state_ >> 32);
+  }
+
+  /// Uniform integer in [lo, hi], both inclusive. The modulo bias is
+  /// irrelevant at scenario-parameter ranges (hundreds of values against a
+  /// 2^32 draw) and keeps the mapping trivially portable.
+  int IntRange(int lo, int hi) {
+    SCHEMBLE_CHECK_LE(lo, hi);
+    const uint32_t span = static_cast<uint32_t>(hi - lo) + 1u;
+    return lo + static_cast<int>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double Float01() {
+    return static_cast<double>(Next()) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double FloatRange(double lo, double hi) {
+    SCHEMBLE_CHECK_LE(lo, hi);
+    return lo + (hi - lo) * Float01();
+  }
+
+  /// True with probability `p`.
+  bool Chance(double p) { return Float01() < p; }
+
+  /// Derives an independent-looking 64-bit sub-seed (for BuildTrace,
+  /// MakeTextMatchingTask, server seeds, ...) while advancing this
+  /// generator exactly once, so the draw sequence stays a pure function of
+  /// the root seed.
+  uint64_t NextSeed() {
+    state_ = state_ * kMultiplier + kIncrement;
+    return Mix(state_);
+  }
+
+  uint64_t state() const { return state_; }
+
+ private:
+  /// SplitMix64 finalizer: full-avalanche mixing for seed derivation.
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  static constexpr uint64_t kMultiplier = 6364136223846793005ULL;
+  static constexpr uint64_t kIncrement = 1442695040888963407ULL;
+
+  uint64_t state_;
+};
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_STRESS_LCG_H_

@@ -1,0 +1,102 @@
+#include "stress/scenario.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace schemble {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return std::string(buffer);
+}
+
+int ScenarioContext::DrawInt(const std::string& name, int lo, int hi) {
+  const int value = rng_.IntRange(lo, hi);
+  Event("draw " + name + " = " + std::to_string(value) + " in [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  return value;
+}
+
+double ScenarioContext::DrawDouble(const std::string& name, double lo,
+                                   double hi) {
+  const double value = rng_.FloatRange(lo, hi);
+  Event("draw " + name + " = " + FormatDouble(value) + " in [" +
+        FormatDouble(lo) + ", " + FormatDouble(hi) + "]");
+  return value;
+}
+
+bool ScenarioContext::DrawChance(const std::string& name, double p) {
+  const bool value = rng_.Chance(p);
+  Event("draw " + name + " = " + (value ? "true" : "false") + " (p=" +
+        FormatDouble(p) + ")");
+  return value;
+}
+
+uint64_t ScenarioContext::DrawSeed(const std::string& name) {
+  const uint64_t value = rng_.NextSeed();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  Event("draw " + name + " = " + buffer);
+  return value;
+}
+
+void ScenarioContext::ExpectTrue(bool condition, const std::string& what) {
+  if (!condition) Fail("expected: " + what);
+}
+
+void ScenarioContext::ExpectEq(int64_t actual, int64_t expected,
+                               const std::string& what) {
+  if (actual != expected) {
+    Fail("expected " + what + " == " + std::to_string(expected) + ", got " +
+         std::to_string(actual));
+  }
+}
+
+void ScenarioContext::ExpectGe(int64_t actual, int64_t bound,
+                               const std::string& what) {
+  if (actual < bound) {
+    Fail("expected " + what + " >= " + std::to_string(bound) + ", got " +
+         std::to_string(actual));
+  }
+}
+
+void ScenarioContext::ExpectLeDouble(double actual, double bound,
+                                     const std::string& what) {
+  if (!(actual <= bound)) {
+    Fail("expected " + what + " <= " + FormatDouble(bound) + ", got " +
+         FormatDouble(actual));
+  }
+}
+
+ScenarioRegistry& ScenarioRegistry::Instance() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+void ScenarioRegistry::Register(Scenario scenario) {
+  SCHEMBLE_CHECK(scenario.fn != nullptr);
+  SCHEMBLE_CHECK(!scenario.name.empty());
+  SCHEMBLE_CHECK(Find(scenario.name) == nullptr)
+      << "duplicate scenario name " << scenario.name;
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::Find(const std::string& name) const {
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+ScenarioContext RunScenario(const Scenario& scenario, uint64_t seed) {
+  ScenarioContext ctx(seed);
+  ctx.Event("scenario " + scenario.name + " seed " + std::to_string(seed));
+  scenario.fn(ctx);
+  return ctx;
+}
+
+}  // namespace schemble

@@ -1,0 +1,112 @@
+#ifndef SCHEMBLE_STRESS_SCENARIO_H_
+#define SCHEMBLE_STRESS_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stress/lcg.h"
+
+namespace schemble {
+
+/// Per-run state handed to a scenario function: the seeded LCG plus three
+/// output channels with different determinism contracts.
+///
+///  - events:   the REPLAY LOG. Every randomized draw and every derived
+///              configuration decision lands here, and nothing
+///              timing-dependent ever does — two runs with the same seed
+///              must produce byte-identical event logs (the acceptance
+///              criterion the fixed-seed tests and the nightly fuzz lane
+///              both check).
+///  - notes:    free-form observations (throughput, counter values, wall
+///              times). Allowed to vary between replays; never compared.
+///  - failures: violated expectations. WHICH expectation fails is
+///              deterministic for timing-independent invariants; the
+///              message may embed measured values, so failures live
+///              outside the event log.
+class ScenarioContext {
+ public:
+  explicit ScenarioContext(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+  Lcg& rng() { return rng_; }
+
+  /// Randomized draws, each appended to the event log as
+  /// "draw <name> = <value> in [<lo>, <hi>]".
+  int DrawInt(const std::string& name, int lo, int hi);
+  double DrawDouble(const std::string& name, double lo, double hi);
+  bool DrawChance(const std::string& name, double p);
+  /// Derived sub-seed (trace/task/server seeds); logged in hex.
+  uint64_t DrawSeed(const std::string& name);
+
+  /// Deterministic configuration event (must be a pure function of prior
+  /// draws): "fault executor 3 fail_at=2400000".
+  void Event(std::string line) { events_.push_back(std::move(line)); }
+  /// Timing-dependent observation; excluded from replay comparison.
+  void Note(std::string line) { notes_.push_back(std::move(line)); }
+  /// Records an invariant violation; the run fails but keeps checking.
+  void Fail(std::string line) { failures_.push_back(std::move(line)); }
+
+  /// Expectation helpers in the gtest spirit, recording through Fail().
+  void ExpectTrue(bool condition, const std::string& what);
+  void ExpectEq(int64_t actual, int64_t expected, const std::string& what);
+  void ExpectGe(int64_t actual, int64_t bound, const std::string& what);
+  void ExpectLeDouble(double actual, double bound, const std::string& what);
+
+  bool failed() const { return !failures_.empty(); }
+  const std::vector<std::string>& events() const { return events_; }
+  const std::vector<std::string>& notes() const { return notes_; }
+  const std::vector<std::string>& failures() const { return failures_; }
+
+ private:
+  const uint64_t seed_;
+  Lcg rng_;
+  std::vector<std::string> events_;
+  std::vector<std::string> notes_;
+  std::vector<std::string> failures_;
+};
+
+/// Shortest-round-trip decimal formatting for doubles (%.17g): the same
+/// value always formats to the same bytes, which keeps drawn doubles safe
+/// to embed in the replay log.
+std::string FormatDouble(double value);
+
+using ScenarioFn = void (*)(ScenarioContext&);
+
+/// A named randomized scenario in the MathGeoLib TestRunner style: the
+/// function draws its whole configuration from ctx.rng() and asserts
+/// invariants through ctx expectations.
+struct Scenario {
+  std::string name;
+  std::string description;
+  ScenarioFn fn = nullptr;
+};
+
+/// Process-wide scenario registry. Registration happens through explicit
+/// RegisterBuiltinScenarios() (idempotent) rather than static initializers
+/// so the binary and the tests control when the list is built.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& Instance();
+
+  void Register(Scenario scenario);
+  /// Scenario by name; nullptr when unknown.
+  const Scenario* Find(const std::string& name) const;
+  const std::vector<Scenario>& scenarios() const { return scenarios_; }
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// Registers the built-in scenario fleet (heterogeneous speeds,
+/// stragglers, fail-stop recovery, multi-tenant deadlines, bursty overlay,
+/// sharded chaos). Safe to call more than once.
+void RegisterBuiltinScenarios();
+
+/// Runs one scenario with one seed, returning the populated context.
+/// Prints nothing — callers (the binary, the ctest matrix) own reporting.
+ScenarioContext RunScenario(const Scenario& scenario, uint64_t seed);
+
+}  // namespace schemble
+
+#endif  // SCHEMBLE_STRESS_SCENARIO_H_

@@ -1,0 +1,159 @@
+// schemble_stress: the randomized stress-scenario runner (DESIGN.md
+// "Randomized stress harness").
+//
+//   schemble_stress --list                      # registered scenarios
+//   schemble_stress [--scenario=NAME] [--seed=N] [--runs=K] [--dump-events]
+//
+// Without --scenario every registered scenario runs; without --seed a
+// fresh time-derived seed is drawn (and printed — every run is replayable
+// from its printed command line). Run i of K uses seed + i. The replay
+// command is printed BEFORE the run starts, so even a CHECK-abort inside
+// the runtime leaves the reproduction recipe on stdout.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "stress/scenario.h"
+
+namespace schemble {
+namespace {
+
+struct Args {
+  std::string scenario;  // empty = all
+  uint64_t seed = 0;
+  bool seed_set = false;
+  int runs = 1;
+  bool list = false;
+  bool dump_events = false;
+  bool ok = true;
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* flag) -> const char* {
+      const size_t len = std::strlen(flag);
+      if (arg.compare(0, len, flag) == 0 && arg.size() > len &&
+          arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (arg == "--list") {
+      args.list = true;
+    } else if (arg == "--dump-events") {
+      args.dump_events = true;
+    } else if (const char* scenario = value_of("--scenario")) {
+      args.scenario = scenario;
+    } else if (const char* seed = value_of("--seed")) {
+      args.seed = std::strtoull(seed, nullptr, 0);
+      args.seed_set = true;
+    } else if (const char* runs = value_of("--runs")) {
+      args.runs = std::atoi(runs);
+      if (args.runs < 1) args.ok = false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      args.ok = false;
+    }
+  }
+  return args;
+}
+
+/// The nightly-fuzz default: a fresh seed per invocation, derived from the
+/// wall clock. This is the ONLY non-reproducible input in the binary, and
+/// it is immediately printed so the run becomes reproducible.
+uint64_t TimeDerivedSeed() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+int Main(int argc, char** argv) {
+  RegisterBuiltinScenarios();
+  const Args args = Parse(argc, argv);
+  if (!args.ok) {
+    std::fprintf(stderr,
+                 "usage: schemble_stress [--list] [--scenario=NAME] "
+                 "[--seed=N] [--runs=K] [--dump-events]\n");
+    return 2;
+  }
+  const ScenarioRegistry& registry = ScenarioRegistry::Instance();
+  if (args.list) {
+    for (const Scenario& scenario : registry.scenarios()) {
+      std::printf("%-24s %s\n", scenario.name.c_str(),
+                  scenario.description.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<const Scenario*> selected;
+  if (args.scenario.empty()) {
+    for (const Scenario& scenario : registry.scenarios()) {
+      selected.push_back(&scenario);
+    }
+  } else {
+    const Scenario* scenario = registry.Find(args.scenario);
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "unknown scenario: %s (see --list)\n",
+                   args.scenario.c_str());
+      return 2;
+    }
+    selected.push_back(scenario);
+  }
+
+  const uint64_t base_seed = args.seed_set ? args.seed : TimeDerivedSeed();
+  if (!args.seed_set) {
+    std::printf("no --seed given; using time-derived seed %llu\n",
+                static_cast<unsigned long long>(base_seed));
+  }
+
+  int failures = 0;
+  for (const Scenario* scenario : selected) {
+    for (int run = 0; run < args.runs; ++run) {
+      const uint64_t seed = base_seed + static_cast<uint64_t>(run);
+      std::printf("=== %s seed %llu (run %d/%d)\n", scenario->name.c_str(),
+                  static_cast<unsigned long long>(seed), run + 1, args.runs);
+      // Before the run, and flushed: a CHECK-abort inside the runtime must
+      // not eat the reproduction recipe.
+      std::printf("replay: schemble_stress --scenario=%s --seed=%llu\n",
+                  scenario->name.c_str(),
+                  static_cast<unsigned long long>(seed));
+      std::fflush(stdout);
+
+      const ScenarioContext ctx = RunScenario(*scenario, seed);
+
+      if (args.dump_events || ctx.failed()) {
+        for (const std::string& event : ctx.events()) {
+          std::printf("  event: %s\n", event.c_str());
+        }
+      }
+      for (const std::string& note : ctx.notes()) {
+        std::printf("  note: %s\n", note.c_str());
+      }
+      for (const std::string& failure : ctx.failures()) {
+        std::printf("  FAILED: %s\n", failure.c_str());
+      }
+      std::printf("%s: %s seed %llu\n", ctx.failed() ? "FAIL" : "PASS",
+                  scenario->name.c_str(),
+                  static_cast<unsigned long long>(seed));
+      std::fflush(stdout);
+      if (ctx.failed()) ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::printf("%d scenario run(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace schemble
+
+int main(int argc, char** argv) { return schemble::Main(argc, argv); }

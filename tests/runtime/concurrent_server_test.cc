@@ -12,6 +12,7 @@
 #include "core/discrepancy.h"
 #include "core/schemble_policy.h"
 #include "models/task_factory.h"
+#include "stress/host.h"
 #include "workload/trace.h"
 #include "workload/traffic.h"
 
@@ -283,6 +284,14 @@ class ConcurrentSchembleTest : public ::testing::Test {
 };
 
 TEST_F(ConcurrentSchembleTest, BufferedPolicyDrainsThroughScheduler) {
+  // "Queries queue up so the scheduler must have run" is a statement
+  // about thread interleaving: on a 2-core host the admitter can drain
+  // arrivals before the scheduler thread ever wakes, and the test
+  // measures the host instead of the code.
+  if (const std::string reason = LoadSensitiveSkipReason();
+      !reason.empty()) {
+    GTEST_SKIP() << reason;
+  }
   SchemblePolicy policy = MakeOraclePolicy();
   ConcurrentServerOptions options;
   options.speedup = 100.0;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <span>
@@ -342,6 +343,97 @@ TEST(MpmcQueueTest, ManyProducersManyConsumersPreserveItems) {
   const int64_t n = kProducers * kPerProducer;
   EXPECT_EQ(consumed_count.load(), n);
   EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+}
+
+TEST(MpmcQueueTest, CloseAndDrainTakesEverythingInFifoOrder) {
+  MpmcQueue<int> queue(4);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  ASSERT_TRUE(queue.Push(3));
+  std::vector<int> out;
+  EXPECT_EQ(queue.CloseAndDrain(&out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.size(), 0u);
+  // Closed on both sides: pushes fail, pops report exhaustion.
+  EXPECT_FALSE(queue.Push(4));
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(MpmcQueueTest, CloseAndDrainAppendsAndReportsCount) {
+  MpmcQueue<int> queue(4);
+  ASSERT_TRUE(queue.Push(7));
+  std::vector<int> out{5, 6};  // pre-existing backlog is preserved
+  EXPECT_EQ(queue.CloseAndDrain(&out), 1u);
+  EXPECT_EQ(out, (std::vector<int>{5, 6, 7}));
+  // Idempotent on an already-closed queue: nothing left to take.
+  EXPECT_EQ(queue.CloseAndDrain(&out), 0u);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(MpmcQueueTest, CloseAndDrainUnblocksFullProducer) {
+  // The fail-stop window this primitive exists for: a producer blocked on
+  // a full queue must wake, observe closed, and report its item UN-pushed
+  // — never slip it into a queue nobody will drain again.
+  MpmcQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> rejected{false};
+  std::thread producer([&] {
+    const bool pushed = queue.Push(2);  // blocks: queue full
+    EXPECT_FALSE(pushed);
+    rejected.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(rejected.load());
+  std::vector<int> out;
+  EXPECT_EQ(queue.CloseAndDrain(&out), 1u);
+  producer.join();
+  EXPECT_TRUE(rejected.load());
+  // Item 1 drained, item 2 rejected back to its producer: both accounted
+  // for on exactly one side.
+  EXPECT_EQ(out, (std::vector<int>{1}));
+}
+
+TEST(MpmcQueueTest, CloseAndDrainConservesAgainstBatchedProducers) {
+  // Producers PushAll batches while one consumer pops and then fail-stops
+  // via CloseAndDrain: pushed items must equal popped + drained (exactly
+  // once each), with the un-pushed remainders reported by PushAll.
+  constexpr int kProducers = 2;
+  constexpr int kPerProducer = 4000;
+  MpmcQueue<int> queue(8);
+  std::atomic<int64_t> pushed_count{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<int> batch;
+      for (int i = 0; i < kPerProducer; ++i) {
+        batch.push_back(p * kPerProducer + i);
+      }
+      pushed_count.fetch_add(
+          static_cast<int64_t>(queue.PushAll(batch)));
+    });
+  }
+
+  std::vector<int> popped;
+  while (popped.size() < 200) {
+    if (auto item = queue.TryPop()) popped.push_back(*item);
+  }
+  std::vector<int> drained;
+  queue.CloseAndDrain(&drained);
+  for (std::thread& t : producers) t.join();
+  // A producer that raced the close may have pushed a chunk the consumer
+  // never saw; drain the leftovers like RequeueTasks' caller would.
+  // (CloseAndDrain is atomic, so nothing can arrive after it returns.)
+  EXPECT_EQ(queue.size(), 0u);
+
+  EXPECT_EQ(static_cast<int64_t>(popped.size() + drained.size()),
+            pushed_count.load());
+  std::vector<int> all = popped;
+  all.insert(all.end(), drained.begin(), drained.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end())
+      << "an item came out twice";
 }
 
 }  // namespace

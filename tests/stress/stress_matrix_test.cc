@@ -1,0 +1,115 @@
+// The fixed-seed stress matrix: every registered scenario runs under a
+// small set of pinned seeds so tier-1 ctest stays deterministic while the
+// nightly fuzz lane explores fresh seeds. A failure here reproduces with
+//   schemble_stress --scenario=<name> --seed=<seed> --dump-events
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "stress/host.h"
+#include "stress/scenario.h"
+
+namespace schemble {
+namespace {
+
+// The pinned matrix seeds. Two per scenario keeps the runtime-label wall
+// time modest while still exercising two distinct configurations of every
+// randomization dimension.
+constexpr uint64_t kMatrixSeeds[] = {7, 41};
+
+std::vector<std::string> ScenarioNames() {
+  RegisterBuiltinScenarios();
+  std::vector<std::string> names;
+  for (const Scenario& scenario :
+       ScenarioRegistry::Instance().scenarios()) {
+    names.push_back(scenario.name);
+  }
+  return names;
+}
+
+class StressMatrixTest
+    : public testing::TestWithParam<std::tuple<std::string, uint64_t>> {
+ protected:
+  void SetUp() override {
+    // Same guard as the other load-sensitive runtime tests: on tiny hosts
+    // the scenario's timing invariants measure the host, not the code.
+    if (const std::string reason = LoadSensitiveSkipReason();
+        !reason.empty()) {
+      GTEST_SKIP() << reason;
+    }
+    RegisterBuiltinScenarios();
+  }
+};
+
+TEST_P(StressMatrixTest, PinnedSeedPasses) {
+  const auto& [name, seed] = GetParam();
+  const Scenario* scenario = ScenarioRegistry::Instance().Find(name);
+  ASSERT_NE(scenario, nullptr) << name;
+
+  const ScenarioContext ctx = RunScenario(*scenario, seed);
+  for (const std::string& failure : ctx.failures()) {
+    ADD_FAILURE() << name << " seed " << seed << ": " << failure;
+  }
+  if (ctx.failed()) {
+    std::string log = "replay: schemble_stress --scenario=" + name +
+                      " --seed=" + std::to_string(seed) + "\n";
+    for (const std::string& event : ctx.events()) {
+      log += "  event: " + event + "\n";
+    }
+    ADD_FAILURE() << log;
+  }
+}
+
+std::string MatrixParamName(
+    const testing::TestParamInfo<StressMatrixTest::ParamType>& info) {
+  std::string name = std::get<0>(info.param);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fleet, StressMatrixTest,
+    testing::Combine(testing::ValuesIn(ScenarioNames()),
+                     testing::ValuesIn(kMatrixSeeds)),
+    MatrixParamName);
+
+// The acceptance criterion from DESIGN.md: the fail-stop scenario replays
+// bit-identically from its seed. Two full runs — server threads, fault
+// injection, requeue path and all — must produce byte-identical event
+// logs, because the log records only draws and derived configuration.
+TEST(StressReplayTest, FailStopRecoveryReplaysBitIdentically) {
+  if (const std::string reason = LoadSensitiveSkipReason();
+      !reason.empty()) {
+    GTEST_SKIP() << reason;
+  }
+  RegisterBuiltinScenarios();
+  const Scenario* scenario =
+      ScenarioRegistry::Instance().Find("fail-stop-recovery");
+  ASSERT_NE(scenario, nullptr);
+
+  const ScenarioContext first = RunScenario(*scenario, 12345);
+  const ScenarioContext second = RunScenario(*scenario, 12345);
+  EXPECT_FALSE(first.failed());
+  ASSERT_EQ(first.events().size(), second.events().size());
+  for (size_t i = 0; i < first.events().size(); ++i) {
+    EXPECT_EQ(first.events()[i], second.events()[i]) << "event " << i;
+  }
+
+  // And a distinct seed actually explores a different configuration.
+  const ScenarioContext other = RunScenario(*scenario, 54321);
+  EXPECT_FALSE(other.failed());
+  bool differs = other.events().size() != first.events().size();
+  for (size_t i = 1; !differs && i < first.events().size(); ++i) {
+    differs = first.events()[i] != other.events()[i];
+  }
+  EXPECT_TRUE(differs) << "seeds 12345 and 54321 drew identical configs";
+}
+
+}  // namespace
+}  // namespace schemble

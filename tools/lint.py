@@ -49,6 +49,14 @@ Rules (see DESIGN.md "Static analysis & lock discipline"):
                         crossing grep-able and forces new cross-domain
                         traffic through an audited surface.
 
+  stress-rng            Inside src/stress/ and tests/stress/, rand() /
+                        std::random_device / std::mt19937 (and friends) are
+                        banned: the stress harness's replay-from-seed
+                        guarantee holds only while every random draw flows
+                        through the one Lcg whose whole state is the printed
+                        seed. Hidden entropy sources would make a nightly
+                        failure unreproducible.
+
 Exit status is non-zero when any rule fires or clang-tidy (when run)
 reports a diagnostic. Run from the repo root, or pass --repo.
 """
@@ -94,6 +102,14 @@ DOMAIN_CROSSING_RE = re.compile(
     r"(->|\.)\s*(PushRouted|TryPushRouted|StealRouted)\s*\(")
 
 CROSSES_OK_RE = re.compile(r"//\s*crosses\(domain\)")
+
+# Entropy sources that would break seed-replayability in the stress
+# harness. `\brand\s*\(` catches C rand() without matching srand/strtoull;
+# the std:: engines and distributions cover <random>.
+STRESS_RNG_RE = re.compile(
+    r"(?<![\w:])rand\s*\(|\bsrand\s*\(|"
+    r"\bstd::(random_device|mt19937(_64)?|minstd_rand0?|ranlux\w+|"
+    r"knuth_b|default_random_engine)\b")
 
 FP_BANNED = [
     (re.compile(r"\bstd::fmaf?\b|\b__builtin_fmaf?\b"),
@@ -232,6 +248,17 @@ class Linter:
                            "or the preceding line; cross-domain traffic "
                            "must go through the audited inbox entry points "
                            "and be grep-able")
+
+        if rel.startswith((os.path.join("src", "stress") + os.sep,
+                           os.path.join("tests", "stress") + os.sep)):
+            for i, raw in enumerate(lines, 1):
+                code = strip_comments_and_strings(raw)
+                m = STRESS_RNG_RE.search(code)
+                if m:
+                    self.error(rel, i, "stress-rng",
+                               f"{m.group(0).strip()} in the stress harness "
+                               "breaks replay-from-seed; draw through the "
+                               "scenario's Lcg (stress/lcg.h) instead")
 
         for start, body in find_hot_function_bodies(text):
             body_text = "\n".join(strip_comments_and_strings(lines[j])
