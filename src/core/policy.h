@@ -7,23 +7,36 @@
 #include <vector>
 
 #include "core/profiling.h"
+#include "models/model_profile.h"
 #include "simcore/simulation.h"
 #include "workload/trace.h"
 
 namespace schemble {
 
 /// State of one deployed executor (a model instance with its own task
-/// queue) as exposed to policies.
+/// queue) as exposed to policies. In the sharded concurrent runtime each
+/// scheduler domain owns a disjoint slice of the deployment and builds
+/// views over that slice only: `executor_id` is the index *within the
+/// domain's slice* (dense, 0-based), not a server-global id, and the
+/// executors of one view all belong to the same domain. The discrete-event
+/// EnsembleServer is the degenerate single-domain case where the slice is
+/// the whole deployment. Policies therefore plan against exactly the
+/// executors their caller can dispatch to; peer domains' replicas are
+/// reachable only through the runtime's routing/stealing surface, never
+/// through a view.
 struct ExecutorView {
   int executor_id = 0;
   int model_index = 0;
   /// Time at which a task enqueued now would start executing (== now when
-  /// the executor is idle).
+  /// the executor is idle). Under batching the owner projects this with
+  /// coalesced service time (BatchLatencyModel::BacklogUs), not the
+  /// per-task sum.
   SimTime available_at = 0;
   int queue_length = 0;
 };
 
-/// Snapshot of the server a policy decides against.
+/// Snapshot of the server (in the sharded runtime: of one scheduler
+/// domain's slice — see ExecutorView) a policy decides against.
 struct ServerView {
   SimTime now = 0;
   std::vector<ExecutorView> executors;
@@ -31,9 +44,27 @@ struct ServerView {
   std::vector<SimTime> model_exec_time;
   /// Earliest availability per base model (min over its executors).
   std::vector<SimTime> model_available_at;
+  /// Batch-aware composition, populated only when the owning runtime has
+  /// ConcurrentServerOptions::batching on (empty otherwise, so callers that
+  /// never batch — e.g. the discrete-event EnsembleServer — see identical
+  /// views and produce bit-identical plans). `model_queued[k]` is the total
+  /// backlog queued across model k's executors in this slice;
+  /// `model_batch[k]` its calibrated batch latency curve.
+  std::vector<int> model_queued;
+  std::vector<BatchLatencyModel> model_batch;
   bool allow_rejection = true;
 
   int num_models() const { return static_cast<int>(model_exec_time.size()); }
+
+  /// True when the view carries batch composition (see above).
+  bool batching() const { return !model_batch.empty(); }
+
+  /// Service time a planner should charge one task of model k: the plain
+  /// per-task mean when batching is off; under batching, the amortized
+  /// per-item cost of the batch this task would join (current backlog plus
+  /// itself, capped at max_batch). At low load the backlog is empty, the
+  /// projected batch is 1, and this equals model_exec_time[k] exactly.
+  SimTime PlannedExecTime(int k) const;
 
   /// Estimated completion time of running `subset` starting now, using the
   /// least-loaded executor of each member model.

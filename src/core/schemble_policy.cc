@@ -24,6 +24,9 @@ struct SchemblePlanState final : PolicyPlanState {
   std::vector<SchedulerQuery> queries;
   SchedulerEnv env;
   std::vector<SimTime> avail;
+  /// Per-model coalescing headroom for the batch-aware commit gate (empty
+  /// when the view carries no batch composition).
+  std::vector<int> batch_budget;
 };
 
 }  // namespace
@@ -178,6 +181,15 @@ void SchemblePolicy::PlanOnView(const ServerView& view,
   env.now = view.now;
   env.model_available_at = view.model_available_at;
   env.model_exec_time = view.model_exec_time;
+  if (view.batching()) {
+    // Batch-aware planning: charge each model the amortized per-item cost
+    // of the batch a new task would join, so the DP sees coalesced service
+    // time instead of the per-task sum. Empty backlog gives a batch of 1
+    // and the plain per-task time — low-load plans are unchanged.
+    for (int k = 0; k < view.num_models(); ++k) {
+      env.model_exec_time[k] = view.PlannedExecTime(k);
+    }
+  }
 
   SchedulePlan plan;
   scheduler_runs_.fetch_add(1, std::memory_order_relaxed);
@@ -209,9 +221,27 @@ void SchemblePolicy::PlanOnView(const ServerView& view,
   std::vector<SimTime>& avail = state->avail;
   avail = env.model_available_at;
   for (SimTime& t : avail) t = std::max(t, view.now);
+  // Under batching, idle capacity is not the only dispatch opportunity:
+  // each executor can absorb up to one full batch of backlog that its
+  // worker drains as a single coalesced execution. Budget the commit loop
+  // with that headroom (sum over executors of max_batch - queued, per
+  // model) so the planner fills coalescing windows under load. At low load
+  // the backlog is zero, at most one batch window is open per replica, and
+  // the extra commits just land on idle executors — p50 is unchanged.
+  std::vector<int>& budget = state->batch_budget;
+  budget.clear();
+  if (view.batching()) {
+    budget.assign(static_cast<size_t>(view.num_models()), 0);
+    for (const ExecutorView& ex : view.executors) {
+      const size_t k = static_cast<size_t>(ex.model_index);
+      budget[k] +=
+          std::max(0, view.model_batch[k].max_batch - ex.queue_length);
+    }
+  }
   bool any_idle = false;
   for (int k = 0; k < view.num_models(); ++k) {
     any_idle |= avail[k] <= view.now;
+    any_idle |= !budget.empty() && budget[static_cast<size_t>(k)] > 0;
   }
   // Force-processing mode: a query the plan leaves unscheduled (deadline
   // infeasible) still has to run; fall back to the fastest single model.
@@ -233,17 +263,27 @@ void SchemblePolicy::PlanOnView(const ServerView& view,
     }
     bool starts_now = false;
     for (int k = 0; k < view.num_models(); ++k) {
-      if ((decision.subset & (SubsetMask{1} << k)) && avail[k] <= view.now) {
+      if ((decision.subset & (SubsetMask{1} << k)) == 0) continue;
+      if (avail[k] <= view.now ||
+          (!budget.empty() && budget[static_cast<size_t>(k)] > 0)) {
         starts_now = true;
         break;
       }
     }
     if (!starts_now) continue;
+    if (!budget.empty()) {
+      for (int k = 0; k < view.num_models(); ++k) {
+        if (decision.subset & (SubsetMask{1} << k)) {
+          --budget[static_cast<size_t>(k)];
+        }
+      }
+    }
     ApplySubset(decision.subset, env.model_exec_time, avail);
     output.assignments.push_back({decision.query_id, decision.subset});
     any_idle = false;
     for (int k = 0; k < view.num_models(); ++k) {
       any_idle |= avail[k] <= view.now;
+      any_idle |= !budget.empty() && budget[static_cast<size_t>(k)] > 0;
     }
   }
 }

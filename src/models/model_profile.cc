@@ -5,6 +5,43 @@
 
 namespace schemble {
 
+BatchLatencyModel BatchLatencyModel::FromLatency(SimTime latency_us,
+                                                 double base_fraction,
+                                                 double coalescing,
+                                                 int max_batch) {
+  BatchLatencyModel m;
+  m.base_us = static_cast<SimTime>(static_cast<double>(latency_us) *
+                                   std::clamp(base_fraction, 0.0, 0.95));
+  // Marginal absorbs the integer remainder so ServiceUs(1) == latency_us
+  // exactly; batch_size=1 stays bit-identical to the unbatched path.
+  m.marginal_us = latency_us - m.base_us;
+  m.coalescing = std::clamp(coalescing, 0.0, 1.0);
+  m.max_batch = std::max(1, max_batch);
+  return m;
+}
+
+SimTime BatchLatencyModel::ServiceUs(int n) const {
+  if (n <= 1) return base_us + marginal_us;
+  const SimTime extra = static_cast<SimTime>(
+      static_cast<double>(n - 1) * static_cast<double>(marginal_us) *
+      coalescing);
+  return base_us + marginal_us + extra;
+}
+
+SimTime BatchLatencyModel::BacklogUs(int64_t queued) const {
+  if (queued <= 0) return 0;
+  const int64_t full = queued / max_batch;
+  const int rem = static_cast<int>(queued % max_batch);
+  SimTime total = full * ServiceUs(max_batch);
+  if (rem > 0) total += ServiceUs(rem);
+  return total;
+}
+
+BatchLatencyModel ModelProfile::batch_latency() const {
+  return BatchLatencyModel::FromLatency(latency_us, batch_base_fraction,
+                                        batch_coalescing, max_batch);
+}
+
 double ModelProfile::CorrectProbability(double difficulty) const {
   // Sigmoid transition: deep models are reliably right on clearly-easy
   // inputs and fail mostly inside a hard regime, rather than degrading

@@ -9,6 +9,37 @@
 
 namespace schemble {
 
+/// Batch latency curve of one base model: a batched execution of n
+/// compatible tasks costs a fixed base (weight loading, kernel launch) plus
+/// a full marginal cost for the first item and a coalesced fraction of the
+/// marginal cost for every further item:
+///
+///   ServiceUs(n) = base_us + marginal_us * (1 + coalescing * (n - 1))
+///
+/// Calibrated from a per-task latency so ServiceUs(1) == latency_us exactly
+/// (bit-identical to unbatched execution at batch size 1). `coalescing` in
+/// (0, 1]: 1.0 means no batching benefit, small values approach the fixed
+/// cost of a single item. Batches never exceed `max_batch` items.
+struct BatchLatencyModel {
+  SimTime base_us = 0;
+  SimTime marginal_us = 0;
+  double coalescing = 0.3;
+  int max_batch = 16;
+
+  /// Splits `latency_us` into base + marginal so that ServiceUs(1) is
+  /// exactly latency_us (integer-safe: marginal absorbs the remainder).
+  static BatchLatencyModel FromLatency(SimTime latency_us,
+                                       double base_fraction,
+                                       double coalescing, int max_batch);
+
+  /// Service time of one batched execution of n tasks (n >= 1).
+  SimTime ServiceUs(int n) const;
+
+  /// Total service time to drain `queued` tasks in max_batch-sized
+  /// executions (the batch-aware replacement for queued * latency_us).
+  SimTime BacklogUs(int64_t queued) const;
+};
+
 /// Static description of one synthetic base model: everything the serving
 /// stack and the output generator need to stand in for a real deep model.
 ///
@@ -37,9 +68,20 @@ struct ModelProfile {
   /// different seeds behave like the same architecture retrained with a
   /// different random seed (high-variance "preferences", Fig. 5).
   uint64_t seed = 0;
+  /// Batch latency shape: fraction of latency_us that is fixed per
+  /// execution, the coalescing factor paid by items beyond the first, and
+  /// the largest batch one execution may carry. Together they define
+  /// batch_latency(); defaults give a 16-item batch ~3.9x the cost of one
+  /// task (~4x throughput headroom).
+  double batch_base_fraction = 0.35;
+  double batch_coalescing = 0.30;
+  int max_batch = 16;
 
   /// P(prediction == true label | difficulty), linear in difficulty.
   double CorrectProbability(double difficulty) const;
+
+  /// Batch latency curve calibrated so ServiceUs(1) == latency_us.
+  BatchLatencyModel batch_latency() const;
 };
 
 /// The text-matching ensemble from the paper's intelligent Q&A system

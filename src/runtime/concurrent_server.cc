@@ -102,6 +102,8 @@ ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
     dom.service_mode = options_.service_mode;
     dom.steal_batch = options_.steal_batch;
     dom.rebalance_period = options_.rebalance_period;
+    dom.batching = options_.batching;
+    dom.max_batch = options_.max_batch;
     // The explicit cast happens here, inside a member, because the
     // DomainHost base is private (domains are the only callers).
     domains_.push_back(std::make_unique<SchedulerDomain>(
@@ -147,6 +149,8 @@ ConcurrentServer::SchedulerStatsSnapshot ConcurrentServer::scheduler_stats(
   snapshot.failstops = s.failstops;
   snapshot.requeues = s.requeues;
   snapshot.stale_tasks_dropped = s.stale_tasks_dropped;
+  snapshot.batches_executed = s.batches_executed;
+  snapshot.tasks_batched = s.tasks_batched;
   return snapshot;
 }
 
@@ -166,6 +170,8 @@ ConcurrentServer::SchedulerStatsSnapshot ConcurrentServer::scheduler_stats()
     total.failstops += s.failstops;
     total.requeues += s.requeues;
     total.stale_tasks_dropped += s.stale_tasks_dropped;
+    total.batches_executed += s.batches_executed;
+    total.tasks_batched += s.tasks_batched;
   }
   return total;
 }

@@ -68,6 +68,18 @@ struct ConcurrentServerOptions {
   /// Fail-stop scenarios must leave >= 1 live replica per model per domain
   /// (the dispatch path CHECK-fails otherwise).
   std::vector<ExecutorFault> executor_faults;
+
+  /// Cross-query task batching (see DESIGN.md "Cross-query batching"):
+  /// workers coalesce compatible same-model tasks from their queue into
+  /// one batched execution priced by the model's BatchLatencyModel, and
+  /// the planning/dispatch layers project availability with coalesced
+  /// service time (ServerView gains model_queued/model_batch). Off (the
+  /// default) keeps the runtime bit-identical to the pre-batching per-task
+  /// path.
+  bool batching = false;
+  /// Caps every model's batch size when > 0 (0 keeps each profile's own
+  /// max_batch; 1 forces unbatched semantics on the batched path).
+  int max_batch = 0;
 };
 
 /// Wall-clock, multi-threaded counterpart of the discrete-event
@@ -157,6 +169,18 @@ class ConcurrentServer : private DomainHost {
     int64_t failstops = 0;
     int64_t requeues = 0;
     int64_t stale_tasks_dropped = 0;
+    /// Batched executions performed and tasks they carried (every
+    /// execution counts: a batch of 1 with batching off, so the occupancy
+    /// baseline is exactly 1.0).
+    int64_t batches_executed = 0;
+    int64_t tasks_batched = 0;
+
+    /// Mean tasks per execution; 1.0 when nothing coalesced (or ran).
+    double mean_batch_occupancy() const {
+      return batches_executed > 0 ? static_cast<double>(tasks_batched) /
+                                        static_cast<double>(batches_executed)
+                                  : 1.0;
+    }
   };
   /// Summed over all domains.
   SchedulerStatsSnapshot scheduler_stats() const;

@@ -62,6 +62,18 @@ SchedulerDomain::SchedulerDomain(const SyntheticTask& task,
     executors_[e].queue = std::make_unique<MpmcQueue<Task>>(
         static_cast<size_t>(options_.queue_capacity));
   }
+  SCHEMBLE_CHECK_GE(options_.max_batch, 0);
+  if (options_.batching) {
+    batch_models_.reserve(static_cast<size_t>(task_->num_models()));
+    for (int k = 0; k < task_->num_models(); ++k) {
+      BatchLatencyModel bm = task_->profile(k).batch_latency();
+      if (options_.max_batch > 0) {
+        bm.max_batch = std::min(bm.max_batch, options_.max_batch);
+      }
+      SCHEMBLE_CHECK_GE(bm.max_batch, 1);
+      batch_models_.push_back(bm);
+    }
+  }
 }
 
 SchedulerDomain::~SchedulerDomain() {
@@ -91,7 +103,16 @@ SchedulerDomain::StatsSnapshot SchedulerDomain::stats() const {
   s.requeues = requeues_.load(std::memory_order_relaxed);
   s.stale_tasks_dropped =
       stale_tasks_dropped_.load(std::memory_order_relaxed);
+  s.batches_executed = batches_executed_.load(std::memory_order_relaxed);
+  s.tasks_batched = tasks_batched_.load(std::memory_order_relaxed);
   return s;
+}
+
+SimTime SchedulerDomain::BacklogServiceTime(int model, int64_t queued) const {
+  if (batch_models_.empty()) {
+    return queued * task_->profile(model).latency_us;
+  }
+  return batch_models_[static_cast<size_t>(model)].BacklogUs(queued);
 }
 
 void SchedulerDomain::Start() {
@@ -177,6 +198,14 @@ SCHEMBLE_HOT void SchedulerDomain::BuildViewInto(ServerView* view) const {
   for (int k = 0; k < task_->num_models(); ++k) {
     view->model_exec_time[k] = task_->profile(k).latency_us;
   }
+  if (!batch_models_.empty()) {
+    // Publish the batch composition so policies can plan with coalesced
+    // service times (ServerView::PlannedExecTime). Never populated with
+    // batching off, so those callers see pre-batching views verbatim.
+    view->model_batch = batch_models_;  // hot-ok: capacity pinned, POD copy
+    view->model_queued.assign(  // hot-ok: capacity pinned at first call
+        static_cast<size_t>(task_->num_models()), 0);
+  }
   view->executors.clear();
   for (size_t e = 0; e < executors_.size(); ++e) {
     const Executor& ex = executors_[e];
@@ -189,13 +218,16 @@ SCHEMBLE_HOT void SchedulerDomain::BuildViewInto(ServerView* view) const {
             ? ex.busy_until.load(std::memory_order_acquire)
             : view->now;
     const int64_t queued = ex.queued.load(std::memory_order_acquire);
-    const SimTime available =
-        std::max(busy_until, view->now) +
-        queued * task_->profile(ex.model).latency_us;
+    const SimTime available = std::max(busy_until, view->now) +
+                              BacklogServiceTime(ex.model, queued);
     view->executors.push_back(  // hot-ok: bounded by the executor count
         {static_cast<int>(e), ex.model, available, static_cast<int>(queued)});
     view->model_available_at[ex.model] =
         std::min(view->model_available_at[ex.model], available);
+    if (!view->model_queued.empty()) {
+      view->model_queued[static_cast<size_t>(ex.model)] +=
+          static_cast<int>(queued);
+    }
   }
 }
 
@@ -265,6 +297,7 @@ SCHEMBLE_HOT void SchedulerDomain::EnqueueBatch(
   const SimTime now = clock_->Now();
   scratch->runs.resize(executors_.size());  // hot-ok: fixed executor count
   scratch->avail.resize(executors_.size());  // hot-ok: fixed executor count
+  scratch->qcount.resize(executors_.size());  // hot-ok: fixed executor count
   for (size_t e = 0; e < executors_.size(); ++e) {
     scratch->runs[e].clear();
     const Executor& ex = executors_[e];
@@ -272,9 +305,9 @@ SCHEMBLE_HOT void SchedulerDomain::EnqueueBatch(
         ex.busy.load(std::memory_order_acquire)
             ? ex.busy_until.load(std::memory_order_acquire)
             : now;
+    scratch->qcount[e] = ex.queued.load(std::memory_order_acquire);
     scratch->avail[e] = std::max(busy_until, now) +
-                        ex.queued.load(std::memory_order_acquire) *
-                            task_->profile(ex.model).latency_us;
+                        BacklogServiceTime(ex.model, scratch->qcount[e]);
   }
   for (const Commit& commit : scratch->live) {
     for (int k = 0; k < task_->num_models(); ++k) {
@@ -296,8 +329,13 @@ SCHEMBLE_HOT void SchedulerDomain::EnqueueBatch(
       scratch->runs[static_cast<size_t>(best)]
           .push_back(  // hot-ok: batch-bounded
               Task{commit.index, commit.generation});
+      // Marginal-backlog advance: with batching off the delta is exactly
+      // one per-task latency; with it on, a task joining an open batch
+      // costs only the coalesced marginal.
+      const int64_t q = scratch->qcount[static_cast<size_t>(best)];
       scratch->avail[static_cast<size_t>(best)] +=
-          task_->profile(k).latency_us;
+          BacklogServiceTime(k, q + 1) - BacklogServiceTime(k, q);
+      scratch->qcount[static_cast<size_t>(best)] = q + 1;
     }
   }
   for (size_t e = 0; e < executors_.size(); ++e) {
@@ -382,9 +420,16 @@ SCHEMBLE_HOT void SchedulerDomain::AdmitBatch(const std::vector<int>& indices,
                 << "no live executor for model " << k << " in domain "
                 << options_.domain_id << " (fault scenarios must keep >= 1 "
                 << "replica per model alive)";
-            best->available_at = std::max(best->available_at, view->now) +
-                                 view->model_exec_time[k];
+            // Marginal-backlog advance, matching EnqueueBatch's projection
+            // (reduces to one per-task latency with batching off).
+            best->available_at =
+                std::max(best->available_at, view->now) +
+                BacklogServiceTime(k, best->queue_length + 1) -
+                BacklogServiceTime(k, best->queue_length);
             ++best->queue_length;
+            if (!view->model_queued.empty()) {
+              ++view->model_queued[static_cast<size_t>(k)];
+            }
             view->model_available_at[k] = kSimTimeMax;
             for (const ExecutorView& ex : view->executors) {
               if (ex.model_index != k) continue;
@@ -447,6 +492,20 @@ bool SchedulerDomain::PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
       if (ex.available_at <= view->now) {
         any_idle = true;
         break;
+      }
+    }
+    if (!any_idle && !batch_models_.empty()) {
+      // Batching: keep planning while any executor still has coalescing
+      // headroom. Filling a busy executor's queue up to one full batch is
+      // exactly what lets its worker drain the backlog as one coalesced
+      // execution; waiting for idleness would pin queues at depth <= 1 and
+      // no batch would ever form.
+      for (const ExecutorView& ex : view->executors) {
+        if (ex.queue_length <
+            batch_models_[static_cast<size_t>(ex.model_index)].max_batch) {
+          any_idle = true;
+          break;
+        }
       }
     }
     if (!any_idle) return true;
@@ -778,6 +837,27 @@ void SchedulerDomain::DeadlineLoop() {
   }
 }
 
+SCHEMBLE_HOT size_t SchedulerDomain::CoalesceBatch(Executor& ex,
+                                                   const std::vector<Task>& run,
+                                                   size_t start, size_t cap,
+                                                   TaskBatch* batch) {
+  batch->tasks.clear();
+  const size_t capacity_before = batch->tasks.capacity();
+  size_t t = start;
+  while (t < run.size() && batch->tasks.size() < cap) {
+    batch->tasks.push_back(run[t++]);
+  }
+  if (batch->tasks.size() < cap) {
+    // Top up from the queue without blocking: coalesce whatever compatible
+    // backlog is already waiting, never wait for more to arrive.
+    ex.queue->TryPopN(&batch->tasks, cap - batch->tasks.size());
+  }
+  // The workspace is reserved to `cap` by the worker, so steady-state
+  // coalescing never grows it; the counter feeds the caller's grow guard.
+  if (batch->tasks.capacity() != capacity_before) ++batch->grow_events;
+  return t;
+}
+
 void SchedulerDomain::WorkerLoop(int executor_id) {
   // Longest task run drained from the queue per lock round-trip. Tasks in
   // the local run still count in `queued` (each is decremented at its own
@@ -786,28 +866,59 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
   Executor& ex = executors_[static_cast<size_t>(executor_id)];
   const ModelProfile& profile = task_->profile(ex.model);
   const ExecutorFault& fault = ex.fault;
+  const bool batching = !batch_models_.empty();
+  const BatchLatencyModel batch_model =
+      batching ? batch_models_[static_cast<size_t>(ex.model)]
+               : BatchLatencyModel{};
+  // Coalescing cap per execution. 1 (batching off) reproduces the per-task
+  // path exactly: one jitter draw, one completion lock round-trip and one
+  // profile.latency_us service interval per task.
+  const size_t cap =
+      batching ? static_cast<size_t>(batch_model.max_batch) : 1;
   Rng rng(HashSeed("worker", options_.seed + ex.global_id));
   std::vector<Task> run;
   run.reserve(kRunLength);
+  TaskBatch batch;  // batch-workspace: one reusable workspace per worker
+  batch.tasks.reserve(std::max(cap, size_t{1}));
+  // Per-batch finalize list, drained off-lock (capacity pins at cap).
+  struct Done {
+    int index;
+    SubsetMask outputs;
+    SimTime completion;
+  };
+  std::vector<Done> finalizes;
+  finalizes.reserve(cap);
   while (true) {
     run.clear();
     if (ex.queue->PopN(&run, kRunLength) == 0) {
       return;  // closed and drained: shutdown
     }
-    for (size_t t = 0; t < run.size(); ++t) {
-      const Task& task = run[t];
+    size_t t = 0;
+    while (t < run.size()) {
       if (fault.fail_at > 0 && clock_->Now() >= fault.fail_at) {
-        // Fail-stop: this executor dies at the first task examined past
-        // fail_at. The un-started local remainder (this task included)
-        // plus everything still queued flows back through RequeueTasks so
-        // no query is lost — the worker thread then exits for good.
+        // Fail-stop: this executor dies at the first task (batch) examined
+        // past fail_at. The un-started local remainder plus everything
+        // still queued flows back through RequeueTasks so no query is
+        // lost — the worker thread then exits for good. Tasks already
+        // coalesced into earlier batches completed normally, so per-task
+        // conservation holds across the failure.
         std::vector<Task> backlog(run.begin() + static_cast<ptrdiff_t>(t),
                                   run.end());
         FailStopExecutor(executor_id, &backlog);
         return;
       }
-      ex.queued.fetch_sub(1, std::memory_order_acq_rel);
+      {
+        // Steady state: the workspace was reserved to the coalescing cap
+        // up front, so the drain may not grow it.
+        ScopedGrowGuard grow_guard(batch.grow_events, "worker coalesce");
+        t = CoalesceBatch(ex, run, t, cap, &batch);
+      }
+      const size_t n = batch.tasks.size();
+      ex.queued.fetch_sub(static_cast<int64_t>(n),
+                          std::memory_order_acq_rel);
 
+      // One jitter draw per batched execution — per task when cap == 1,
+      // the exact pre-batching RNG stream.
       double factor =
           std::max(0.2, 1.0 + profile.latency_jitter * rng.Normal()) /
           fault.speed;
@@ -817,8 +928,11 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
         // inflated, modelling thermal throttling / noisy-neighbour decay.
         factor *= fault.straggle_factor;
       }
-      const SimTime service = static_cast<SimTime>(
-          static_cast<double>(profile.latency_us) * factor);
+      const SimTime nominal =
+          batching ? batch_model.ServiceUs(static_cast<int>(n))
+                   : profile.latency_us;
+      const SimTime service =
+          static_cast<SimTime>(static_cast<double>(nominal) * factor);
       ex.busy_until.store(start + service, std::memory_order_release);
       ex.busy.store(true, std::memory_order_release);
       if (options_.service_mode == ServiceMode::kSleep) {
@@ -834,29 +948,36 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
         }
       }
       ex.busy.store(false, std::memory_order_release);
+      batches_executed_.fetch_add(1, std::memory_order_relaxed);
+      tasks_batched_.fetch_add(static_cast<int64_t>(n),
+                               std::memory_order_relaxed);
 
-      const int index = task.query_index;
-      bool claimed = false;
+      // Batch completion: one lock round-trip covers every coalesced task,
+      // with PR-7's per-task generation discipline intact — stale tasks
+      // (query re-queued or re-assigned since dispatch) are dropped
+      // individually, never the whole batch.
+      finalizes.clear();
       bool notify = false;
-      SubsetMask outputs = 0;
-      SimTime completion = 0;
       {
         MutexLock lock(&mu_);
-        QueryState& state = states_[static_cast<size_t>(index)];
-        if (!state.finalized && state.generation == task.generation) {
-          state.done |= SubsetMask{1} << ex.model;
-          state.last_done_time = clock_->Now();
-          if (state.done == state.assigned) {
-            claimed = ClaimFinalizeLocked(index);
-            outputs = state.done;
-            completion = state.last_done_time;
+        for (const Task& task : batch.tasks) {
+          const int index = task.query_index;
+          QueryState& state = states_[static_cast<size_t>(index)];
+          if (!state.finalized && state.generation == task.generation) {
+            state.done |= SubsetMask{1} << ex.model;
+            state.last_done_time = clock_->Now();
+            if (state.done == state.assigned && ClaimFinalizeLocked(index)) {
+              finalizes.push_back(
+                  {index, state.done, state.last_done_time});
+            }
+          } else if (!state.finalized) {
+            // Generation moved on while this task was in service: the
+            // query was re-queued after a sibling executor fail-stopped
+            // (or donated away and re-planned). Its new assignment owns
+            // the done mask now; folding this stale completion in would
+            // corrupt it.
+            stale_tasks_dropped_.fetch_add(1, std::memory_order_relaxed);
           }
-        } else if (!state.finalized) {
-          // Generation moved on while this task was in service: the query
-          // was re-queued after a sibling executor fail-stopped (or
-          // donated away and re-planned). Its new assignment owns the done
-          // mask now; folding this stale completion in would corrupt it.
-          stale_tasks_dropped_.fetch_add(1, std::memory_order_relaxed);
         }
         // Scheduler wakeup folded into the completion critical section:
         // capacity just freed up, so if anything is buffered the planner
@@ -866,8 +987,9 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
           notify = true;
         }
       }
-      if (claimed) {
-        host_->FinalizeQuery(options_.domain_id, index, outputs, completion);
+      for (const Done& done : finalizes) {
+        host_->FinalizeQuery(options_.domain_id, done.index, done.outputs,
+                             done.completion);
       }
       if (notify) scheduler_cv_.NotifyOne();
     }

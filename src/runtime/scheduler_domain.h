@@ -100,6 +100,16 @@ struct SchedulerDomainOptions {
   /// how often an otherwise-idle domain scans peers to steal from and an
   /// overloaded one considers donating buffered queries.
   SimTime rebalance_period = 10 * kMillisecond;
+  /// Cross-query batching: workers coalesce compatible same-model tasks
+  /// from their queue into one batched execution priced by the model's
+  /// BatchLatencyModel, and planning/dispatch project availability with
+  /// coalesced service time. Off (the default) keeps the per-task path
+  /// bit-identical to the pre-batching runtime.
+  bool batching = false;
+  /// Caps every model's batch size when > 0 (0 keeps each profile's own
+  /// max_batch). 1 forces unbatched semantics on the batched path — used
+  /// by the equivalence tests.
+  int max_batch = 0;
 };
 
 /// One scheduling domain of the sharded concurrent runtime: a shard of the
@@ -188,6 +198,12 @@ class SchedulerDomain {
     int64_t failstops = 0;
     int64_t requeues = 0;
     int64_t stale_tasks_dropped = 0;
+    /// Batched executions performed and tasks they carried. Advance on
+    /// every execution (a batch of 1 when batching is off), so
+    /// tasks_batched / batches_executed is the mean batch occupancy —
+    /// exactly 1.0 on the unbatched path.
+    int64_t batches_executed = 0;
+    int64_t tasks_batched = 0;
   };
   StatsSnapshot stats() const;
   Mutex::Stats lock_stats() const { return mu_.stats(); }
@@ -247,13 +263,27 @@ class SchedulerDomain {
   };
 
   /// Reusable scratch for EnqueueBatch: per-executor task runs plus
-  /// projected availability. All vectors reach a stable capacity after the
-  /// first few batches, so steady-state dispatch performs no heap
-  /// allocation.
+  /// projected availability (and, under batching, the projected queue
+  /// depth the coalesced-backlog deltas are computed against). All vectors
+  /// reach a stable capacity after the first few batches, so steady-state
+  /// dispatch performs no heap allocation.
   struct DispatchScratch {
     std::vector<Commit> live;
     std::vector<std::vector<Task>> runs;
     std::vector<SimTime> avail;
+    std::vector<int64_t> qcount;
+  };
+
+  /// Reusable per-worker batch workspace: the tasks of one coalesced
+  /// execution (each carrying its dispatch-time generation, so stale
+  /// completions are still dropped per task) plus a growth counter the
+  /// coalescing drain is grow-guarded against. Workers construct exactly
+  /// one, reserved to the coalescing cap, outside their drain loop
+  /// (lint rule batch-workspace) — steady-state coalescing performs no
+  /// per-batch heap allocation.
+  struct TaskBatch {
+    std::vector<Task> tasks;
+    int64_t grow_events = 0;
   };
 
   /// Reusable scratch for the admit/plan phases of the scheduler loop.
@@ -294,6 +324,17 @@ class SchedulerDomain {
   /// that peer's inbox (TryPush; leftovers are re-admitted locally).
   void MaybeRebalance(SchedulerScratch* s) SCHEMBLE_EXCLUDES(mu_);
 
+  /// Projected total service time of `queued` backlogged tasks on `model`:
+  /// the plain per-task sum when batching is off (exactly the pre-batching
+  /// arithmetic), the coalesced BatchLatencyModel::BacklogUs when on.
+  SimTime BacklogServiceTime(int model, int64_t queued) const;
+  /// Fills `batch` with up to `cap` tasks of `ex`'s model: the local run
+  /// remainder starting at `start` first, then a non-blocking top-up from
+  /// the executor queue (coalesce what already waits, never wait for
+  /// more). Returns the new run cursor. cap == 1 reproduces the per-task
+  /// path exactly.
+  size_t CoalesceBatch(Executor& ex, const std::vector<Task>& run,
+                       size_t start, size_t cap, TaskBatch* batch);
   /// Fills the policy's server view over this domain's executor slice,
   /// reusing `view`'s vector capacity.
   void BuildViewInto(ServerView* view) const SCHEMBLE_REQUIRES(mu_);
@@ -334,6 +375,10 @@ class SchedulerDomain {
   DomainHost* host_;
   SchedulerDomainOptions options_;
   std::vector<Executor> executors_;
+  /// Per-model batch latency curves (profile-calibrated, max_batch clamped
+  /// by options_.max_batch). Built iff options_.batching; empty means every
+  /// batch-aware code path falls back to the exact per-task arithmetic.
+  std::vector<BatchLatencyModel> batch_models_;
   const QueryTrace* trace_ = nullptr;
   Clock* clock_ = nullptr;
 
@@ -389,6 +434,8 @@ class SchedulerDomain {
   std::atomic<int64_t> failstops_{0};
   std::atomic<int64_t> requeues_{0};
   std::atomic<int64_t> stale_tasks_dropped_{0};
+  std::atomic<int64_t> batches_executed_{0};
+  std::atomic<int64_t> tasks_batched_{0};
 
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_requested_{false};

@@ -222,6 +222,82 @@ void FailStopRecovery(ScenarioContext& ctx) {
            ", stale drops = " + std::to_string(sched.stale_tasks_dropped));
 }
 
+/// Cross-query batching under fail-stop: randomized batch latency profiles
+/// (base fraction, coalescing factor, per-model cap) on an overloaded
+/// deployment with batching on, one executor fail-stopping mid-run. The
+/// coalescing drain must conserve every query — each re-queued or
+/// completed exactly once, per task generation — and must actually batch
+/// under the backlog.
+void BatchedCoalescing(ScenarioContext& ctx) {
+  const uint64_t task_seed = ctx.DrawSeed("task_seed");
+  const SyntheticTask base_task = MakeTextMatchingTask(task_seed);
+  std::vector<ModelProfile> profiles = base_task.profiles();
+  for (size_t k = 0; k < profiles.size(); ++k) {
+    const std::string tag = std::to_string(k);
+    profiles[k].batch_base_fraction =
+        ctx.DrawDouble("batch_base_fraction_" + tag, 0.1, 0.7);
+    profiles[k].batch_coalescing =
+        ctx.DrawDouble("batch_coalescing_" + tag, 0.1, 0.8);
+    profiles[k].max_batch = ctx.DrawInt("max_batch_" + tag, 2, 16);
+  }
+  const SyntheticTask task(base_task.spec(), std::move(profiles), task_seed);
+
+  ConcurrentServerOptions options;
+  options.executor_models = ReplicatedExecutors(task, 2);
+  options.allow_rejection = false;
+  options.speedup = kSpeedup;
+  options.seed = ctx.DrawSeed("server_seed");
+  options.batching = true;
+  // Half the runs also cap the batch size server-side, exercising the
+  // min(profile cap, server cap) composition.
+  if (ctx.DrawChance("cap_batches", 0.5)) {
+    options.max_batch = ctx.DrawInt("server_max_batch", 2, 8);
+  }
+
+  const double rate = ctx.DrawDouble("rate_qps", 25.0, 60.0);
+  const int duration_s = ctx.DrawInt("duration_s", 5, 8);
+  const SimTime duration = duration_s * kSecond;
+  // Exactly one victim: its model keeps a live replica, so dispatch always
+  // has somewhere to place re-queued work.
+  const int victim = ctx.DrawInt(
+      "victim_executor", 0,
+      static_cast<int>(options.executor_models.size()) - 1);
+  const int fail_pct = ctx.DrawInt("fail_at_pct", 30, 60);
+  options.executor_faults.assign(options.executor_models.size(),
+                                 ExecutorFault{});
+  options.executor_faults[static_cast<size_t>(victim)].fail_at =
+      duration * fail_pct / 100;
+  ctx.Event("fault executor " + std::to_string(victim) + " fail_at=" +
+            std::to_string(duration * fail_pct / 100));
+
+  const QueryTrace trace = MakePoissonTrace(
+      task, rate, duration, 60 * kSecond, ctx.DrawSeed("trace_seed"));
+  ctx.Event("trace queries = " + std::to_string(trace.size()));
+
+  OriginalPolicy policy;
+  ConcurrentServer server(task, &policy, options);
+  const ServingMetrics metrics = server.Run(trace);
+
+  InvariantOptions inv;
+  inv.allow_rejection = false;
+  CheckServingInvariants(ctx, metrics, trace, inv);
+  const auto sched = server.scheduler_stats();
+  CheckSchedulerCounters(ctx, sched);
+  ctx.ExpectEq(sched.failstops, 1, "failstops");
+  ctx.ExpectGe(sched.requeues, 1, "requeues after fail-stop");
+  // Original fans every query to every model against well under the needed
+  // capacity, so queues run deep and the workers must actually coalesce
+  // (every profile allows batches of at least 2).
+  ctx.ExpectGe(sched.batches_executed, 1, "batched executions");
+  ctx.ExpectGe(sched.tasks_batched, sched.batches_executed + 1,
+               "coalescing under backlog");
+  ctx.Note("requeues = " + std::to_string(sched.requeues) +
+           ", stale drops = " + std::to_string(sched.stale_tasks_dropped) +
+           ", occupancy = " +
+           FormatDouble(static_cast<double>(sched.tasks_batched) /
+                        static_cast<double>(sched.batches_executed)));
+}
+
 /// Multi-tenant traces: several sources (priority classes), each with its
 /// own uniformly drawn relative deadline, sharing one serving fleet under
 /// rejection — the per-source deadline heap pressure test.
@@ -430,6 +506,11 @@ void RegisterBuiltinScenarios() {
                      "two domains, speed skew + stragglers + fail-stops at "
                      "once under diurnal load with deadlines",
                      &ShardedChaos});
+  registry.Register({"batched-coalescing",
+                     "randomized batch latency profiles + a fail-stop "
+                     "executor under overload; coalescing drain conserves "
+                     "every query",
+                     &BatchedCoalescing});
 }
 
 }  // namespace schemble

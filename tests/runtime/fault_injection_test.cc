@@ -180,6 +180,38 @@ TEST_F(FaultInjectionTest, FailStopRequeuesBacklogAndConservesQueries) {
   EXPECT_GE(sched.stale_tasks_dropped, 0);
 }
 
+TEST_F(FaultInjectionTest, BatchedFailStopRequeuesEveryTaskExactlyOnce) {
+  OriginalPolicy policy;
+  ConcurrentServerOptions options = ForceOptions();
+  // Two replicas per model, batching on: the victim's queue holds whole
+  // coalesced batches when it dies, and every batched task must flow back
+  // through the generation-stamped re-queue path — completed exactly once,
+  // never double-counted (a duplicate finalize is a CHECK failure inside
+  // the server, so conservation here proves exactly-once).
+  options.executor_models = {0, 0, 1, 1, 2, 2};
+  options.batching = true;
+  options.executor_faults.assign(options.executor_models.size(),
+                                 ExecutorFault{});
+  options.executor_faults[0].fail_at = 4 * kSecond;
+  ConcurrentServer server(*task_, &policy, options);
+
+  // 3x the FailStopRequeues rate so executor queues run deep enough that
+  // the workers genuinely coalesce (occupancy > 1) before the failure.
+  const QueryTrace trace = MakeTrace(30.0, 10 * kSecond, 60 * kSecond);
+  const ServingMetrics metrics = server.Run(trace);
+
+  EXPECT_EQ(metrics.processed, trace.size());
+  EXPECT_EQ(metrics.missed + metrics.processed,
+            static_cast<int64_t>(trace.size()));
+  const auto sched = server.scheduler_stats();
+  EXPECT_EQ(sched.failstops, 1);
+  EXPECT_GE(sched.requeues, 1);
+  // The batch counters advance on the batched path too, and under this
+  // overload at least one execution carried more than one task.
+  EXPECT_GE(sched.batches_executed, 1);
+  EXPECT_GT(sched.tasks_batched, sched.batches_executed);
+}
+
 TEST_F(FaultInjectionTest, FailStopWithoutLiveReplicaDies) {
   OriginalPolicy policy;
   ConcurrentServerOptions options = ForceOptions();

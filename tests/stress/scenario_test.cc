@@ -105,14 +105,15 @@ TEST(ScenarioContextTest, FormatDoubleRoundTripsDeterministically) {
 TEST(ScenarioRegistryTest, BuiltinFleetRegistersOnceAndIsFindable) {
   RegisterBuiltinScenarios();
   const size_t count = ScenarioRegistry::Instance().scenarios().size();
-  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(count, 7u);
   RegisterBuiltinScenarios();  // idempotent
   EXPECT_EQ(ScenarioRegistry::Instance().scenarios().size(), count);
 
   const ScenarioRegistry& registry = ScenarioRegistry::Instance();
   for (const char* name :
        {"hetero-speeds", "stragglers-diurnal", "fail-stop-recovery",
-        "multi-tenant-priorities", "bursty-overlay", "sharded-chaos"}) {
+        "multi-tenant-priorities", "bursty-overlay", "sharded-chaos",
+        "batched-coalescing"}) {
     const Scenario* scenario = registry.Find(name);
     ASSERT_NE(scenario, nullptr) << name;
     EXPECT_EQ(scenario->name, name);

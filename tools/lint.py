@@ -49,6 +49,15 @@ Rules (see DESIGN.md "Static analysis & lock discipline"):
                         crossing grep-able and forces new cross-domain
                         traffic through an audited surface.
 
+  batch-workspace       Inside src/runtime/, constructing a TaskBatch must
+                        carry a `// batch-workspace` marker on the same or
+                        the preceding line: worker loops reuse ONE
+                        per-worker workspace (reserved to the batch cap,
+                        growth routed through grow_events + ScopedGrowGuard)
+                        so the coalescing drain never heap-allocates per
+                        batch. Pointer/reference uses are free — passing
+                        the workspace around is the approved pattern.
+
   stress-rng            Inside src/stress/ and tests/stress/, rand() /
                         std::random_device / std::mt19937 (and friends) are
                         banned: the stress harness's replay-from-seed
@@ -102,6 +111,14 @@ DOMAIN_CROSSING_RE = re.compile(
     r"(->|\.)\s*(PushRouted|TryPushRouted|StealRouted)\s*\(")
 
 CROSSES_OK_RE = re.compile(r"//\s*crosses\(domain\)")
+
+# A TaskBatch object being constructed (declaration-with-name or a
+# temporary). Pointer/reference parameters (`TaskBatch*`, `TaskBatch&`)
+# deliberately do not match: passing the reusable workspace around is the
+# approved pattern.
+BATCH_CTOR_RE = re.compile(r"\bTaskBatch\s+\w+|\bTaskBatch\s*[({]")
+
+BATCH_OK_RE = re.compile(r"//\s*batch-workspace")
 
 # Entropy sources that would break seed-replayability in the stress
 # harness. `\brand\s*\(` catches C rand() without matching srand/strtoull;
@@ -248,6 +265,22 @@ class Linter:
                            "or the preceding line; cross-domain traffic "
                            "must go through the audited inbox entry points "
                            "and be grep-able")
+            for i, raw in enumerate(lines, 1):
+                code = strip_comments_and_strings(raw)
+                if not BATCH_CTOR_RE.search(code):
+                    continue
+                if "struct TaskBatch" in code:
+                    continue  # the type's own definition
+                prev = lines[i - 2] if i >= 2 else ""
+                if BATCH_OK_RE.search(raw) or BATCH_OK_RE.search(prev):
+                    continue
+                self.error(rel, i, "batch-workspace",
+                           "TaskBatch constructed without a "
+                           "`// batch-workspace` marker on this or the "
+                           "preceding line; worker loops must reuse one "
+                           "per-worker workspace (reserved to the batch "
+                           "cap, growth tracked by grow_events) instead of "
+                           "allocating a batch per coalescing drain")
 
         if rel.startswith((os.path.join("src", "stress") + os.sep,
                            os.path.join("tests", "stress") + os.sep)):
