@@ -58,6 +58,7 @@ class ScopedGrowGuard {
 
  private:
   int64_t Current() const {
+    // relaxed-ok: advisory telemetry read; no ordering needed
     return atomic_ != nullptr ? atomic_->load(std::memory_order_relaxed)
                               : *plain_;
   }

@@ -6,9 +6,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <source_location>
 #include <thread>
 #include <utility>
 
+#include "common/lock_order.h"
 #include "common/logging.h"
 
 /// Clang thread-safety-analysis attribute macros plus the annotated lock
@@ -103,6 +105,13 @@ namespace schemble {
 ///
 /// Beyond the compile-time capability, it keeps the dynamic discipline the
 /// PR-3 PolicyLock pioneered, now for every lock in the codebase:
+///  - every Mutex is constructed with a mandatory LockRank and name
+///    (common/lock_order.h): in checked builds every blocking Lock()
+///    validates against the thread's held-lock stack and the global
+///    lock-order graph BEFORE touching the underlying mutex, so the first
+///    rank inversion CHECK-fails with both acquisition sites instead of
+///    deadlocking. TryLock is order-exempt (it cannot block) but still
+///    joins the held set;
 ///  - the owning thread id is tracked (release/acquire atomics), so
 ///    re-entrant Lock() and Unlock()-by-non-owner are CHECK failures in
 ///    every build type instead of undefined behaviour, and components can
@@ -116,26 +125,44 @@ class SCHEMBLE_CAPABILITY("mutex") Mutex {
  public:
   enum class StatsMode { kDisabled, kEnabled };
 
-  Mutex() = default;
-  explicit Mutex(StatsMode stats)
-      : collect_stats_(stats == StatsMode::kEnabled) {}
+  /// Rank and name are mandatory: the rank places the lock in the global
+  /// acquisition order (src/common/lock_order.h), the name appears in
+  /// inversion reports and contention stats. Standalone locks with no
+  /// runtime ordering relationship use LockRank::kLeaf.
+  Mutex(LockRank rank, const char* name,
+        StatsMode stats = StatsMode::kDisabled)
+      : rank_(rank),
+        name_(name),
+        collect_stats_(stats == StatsMode::kEnabled) {}
 
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() SCHEMBLE_ACQUIRE() {
+  void Lock(const std::source_location& loc =
+                std::source_location::current()) SCHEMBLE_ACQUIRE() {
     SCHEMBLE_CHECK(!HeldByCurrentThread())
         << "re-entrant Mutex::Lock (std::mutex would deadlock or worse)";
+#if SCHEMBLE_LOCK_ORDER_CHECKS
+    // Before mu_.lock(): past that point an actual inversion is already a
+    // deadlock and no post-acquire check would ever run.
+    lock_order::ValidateBlockingAcquire(this, rank_, name_, loc);
+#endif
     mu_.lock();
-    MarkAcquired();
+    MarkAcquired(loc);
   }
 
-  /// Acquires when free; returns true iff the lock was taken.
-  bool TryLock() SCHEMBLE_TRY_ACQUIRE(true) {
+  /// Acquires when free; returns true iff the lock was taken. Exempt from
+  /// lock-order validation: a try-acquire can never block, which makes it
+  /// the sanctioned out-of-order primitive (work stealing probes peer
+  /// queues this way). The lock still joins the held-lock stack, so
+  /// blocking acquisitions made while holding it are validated.
+  bool TryLock(const std::source_location& loc =
+                   std::source_location::current())
+      SCHEMBLE_TRY_ACQUIRE(true) {
     SCHEMBLE_CHECK(!HeldByCurrentThread())
         << "re-entrant Mutex::TryLock";
     if (!mu_.try_lock()) return false;
-    MarkAcquired();
+    MarkAcquired(loc);
     return true;
   }
 
@@ -166,33 +193,51 @@ class SCHEMBLE_CAPABILITY("mutex") Mutex {
     int64_t held_ns = 0;
   };
   Stats stats() const {
+    // relaxed-ok: monotonic counters read for reporting only; the mutex
+    // itself orders the writes that matter.
     return {acquisitions_.load(std::memory_order_relaxed),
             held_ns_.load(std::memory_order_relaxed)};
   }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
  private:
   friend class CondVar;
 
   /// Bookkeeping on lock acquisition/release. Also used by CondVar to
   /// suspend ownership for the duration of a wait (the underlying
-  /// std::mutex is released inside std::condition_variable::wait).
-  void MarkAcquired() {
+  /// std::mutex is released inside std::condition_variable::wait), which
+  /// is why the held-lock stack push/pop lives here: a waiting thread
+  /// genuinely does not hold the lock, and the re-acquisition on wakeup
+  /// re-joins the stack without re-validating (its rank edge was recorded
+  /// by the original Lock).
+  void MarkAcquired(const std::source_location& loc) {
     owner_.store(std::this_thread::get_id(), std::memory_order_release);
+#if SCHEMBLE_LOCK_ORDER_CHECKS
+    lock_order::NoteAcquired(this, rank_, name_, loc);
+#endif
     if (collect_stats_) {
+      // relaxed-ok: stats counter; never synchronizes anything.
       acquisitions_.fetch_add(1, std::memory_order_relaxed);
       acquired_at_ = std::chrono::steady_clock::now();
     }
   }
   void MarkReleased() {
+#if SCHEMBLE_LOCK_ORDER_CHECKS
+    lock_order::NoteReleased(this);
+#endif
     owner_.store(std::thread::id{}, std::memory_order_release);
     if (collect_stats_) {
       const auto held = std::chrono::steady_clock::now() - acquired_at_;
       held_ns_.fetch_add(
           std::chrono::duration_cast<std::chrono::nanoseconds>(held).count(),
-          std::memory_order_relaxed);
+          std::memory_order_relaxed);  // relaxed-ok: stats counter.
     }
   }
 
+  const LockRank rank_;
+  const char* const name_;
   std::mutex mu_;
   /// Thread currently inside the critical section (empty id: none).
   std::atomic<std::thread::id> owner_{};
@@ -209,8 +254,10 @@ class SCHEMBLE_CAPABILITY("mutex") Mutex {
 /// outcomes off-lock between deadline scans).
 class SCHEMBLE_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex* mu) SCHEMBLE_ACQUIRE(mu) : mu_(mu) {
-    mu_->Lock();
+  explicit MutexLock(Mutex* mu, const std::source_location& loc =
+                                    std::source_location::current())
+      SCHEMBLE_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock(loc);
   }
   ~MutexLock() SCHEMBLE_RELEASE() {
     if (held_) mu_->Unlock();
@@ -228,9 +275,10 @@ class SCHEMBLE_SCOPED_CAPABILITY MutexLock {
   }
 
   /// Re-enters the critical section after Release().
-  void Acquire() SCHEMBLE_ACQUIRE() {
+  void Acquire(const std::source_location& loc =
+                   std::source_location::current()) SCHEMBLE_ACQUIRE() {
     SCHEMBLE_CHECK(!held_) << "MutexLock::Acquire while already held";
-    mu_->Lock();
+    mu_->Lock(loc);
     held_ = true;
   }
 
@@ -252,26 +300,31 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void Wait(Mutex& mu) SCHEMBLE_REQUIRES(mu) {
+  void Wait(Mutex& mu, const std::source_location& loc =
+                           std::source_location::current())
+      SCHEMBLE_REQUIRES(mu) {
     auto lock = SuspendOwnership(mu);
     cv_.wait(lock);
-    ResumeOwnership(mu, lock);
+    ResumeOwnership(mu, lock, loc);
   }
 
   template <typename Pred>
-  void Wait(Mutex& mu, Pred pred) SCHEMBLE_REQUIRES(mu) {
+  void Wait(Mutex& mu, Pred pred,
+            const std::source_location& loc = std::source_location::current())
+      SCHEMBLE_REQUIRES(mu) {
     auto lock = SuspendOwnership(mu);
     cv_.wait(lock, std::move(pred));
-    ResumeOwnership(mu, lock);
+    ResumeOwnership(mu, lock, loc);
   }
 
   /// Returns false on timeout (like std::condition_variable::wait_for).
   template <typename Rep, typename Period>
-  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
-      SCHEMBLE_REQUIRES(mu) {
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+               const std::source_location& loc =
+                   std::source_location::current()) SCHEMBLE_REQUIRES(mu) {
     auto lock = SuspendOwnership(mu);
     const std::cv_status status = cv_.wait_for(lock, timeout);
-    ResumeOwnership(mu, lock);
+    ResumeOwnership(mu, lock, loc);
     return status == std::cv_status::no_timeout;
   }
 
@@ -288,13 +341,49 @@ class CondVar {
     mu.MarkReleased();
     return std::unique_lock<std::mutex>(mu.mu_, std::adopt_lock);
   }
-  static void ResumeOwnership(Mutex& mu, std::unique_lock<std::mutex>& lock) {
+  static void ResumeOwnership(Mutex& mu, std::unique_lock<std::mutex>& lock,
+                              const std::source_location& loc) {
     lock.release();  // the Mutex wrapper owns the lock again
-    mu.MarkAcquired();
+    mu.MarkAcquired(loc);
   }
 
   std::condition_variable cv_;
 };
+
+/// Machine-readable encoding of the global rank table
+/// (src/common/lock_order.h) for clang's acquired_before/after analysis:
+/// one never-locked "anchor" mutex per rank, each declared
+/// SCHEMBLE_ACQUIRED_AFTER the previous, forming the total order
+/// server < domain < inbox < executor-queue < clock < done < leaf. Real
+/// locks sandwich themselves into the chain by declaring
+/// SCHEMBLE_ACQUIRED_AFTER(the anchor of the preceding rank) — see
+/// SchedulerDomain::mu_, MpmcQueue::mu_, ConcurrentServer::done_mu_.
+///
+/// Clang's -Wthread-safety-beta enforcement of acquired_before/after is
+/// intraprocedural, so cross-class inversions are caught by the runtime
+/// validator (lock_order.h), not this chain; the chain keeps the table in
+/// the one form the analysis CAN check (tests/static/
+/// lock_order_violation.cc is the WILL_FAIL proof that it fires), and
+/// tools/lint.py `lock-rank` cross-checks it against the enum and
+/// DESIGN.md. The anchors are never locked at runtime; kLeaf terminates
+/// the chain so utility/test locks have an explicit last position.
+namespace lock_ranks {
+
+inline Mutex server_anchor{LockRank::kServer, "rank.server"};
+inline Mutex domain_anchor SCHEMBLE_ACQUIRED_AFTER(server_anchor){
+    LockRank::kDomain, "rank.domain"};
+inline Mutex inbox_anchor SCHEMBLE_ACQUIRED_AFTER(domain_anchor){
+    LockRank::kInbox, "rank.inbox"};
+inline Mutex executor_queue_anchor SCHEMBLE_ACQUIRED_AFTER(inbox_anchor){
+    LockRank::kExecutorQueue, "rank.executor_queue"};
+inline Mutex clock_anchor SCHEMBLE_ACQUIRED_AFTER(executor_queue_anchor){
+    LockRank::kClock, "rank.clock"};
+inline Mutex done_anchor SCHEMBLE_ACQUIRED_AFTER(clock_anchor){
+    LockRank::kDone, "rank.done"};
+inline Mutex leaf_anchor SCHEMBLE_ACQUIRED_AFTER(done_anchor){
+    LockRank::kLeaf, "rank.leaf"};
+
+}  // namespace lock_ranks
 
 /// Test-only escapes for the lock-discipline death tests: they deliberately
 /// violate the discipline (re-entrant Lock, Unlock without holding) so the

@@ -192,6 +192,7 @@ void SchemblePolicy::PlanOnView(const ServerView& view,
   }
 
   SchedulePlan plan;
+  // relaxed-ok: monotonic scheduler telemetry counter
   scheduler_runs_.fetch_add(1, std::memory_order_relaxed);
   switch (config_.scheduler) {
     case BufferScheduler::kDp:
@@ -213,6 +214,7 @@ void SchemblePolicy::PlanOnView(const ServerView& view,
                  .Schedule(queries, env);
       break;
   }
+  // relaxed-ok: monotonic scheduler telemetry counter
   total_overhead_us_.fetch_add(output.overhead_us, std::memory_order_relaxed);
 
   // Commit plan entries, in plan (EDF) order, while idle capacity remains:

@@ -79,9 +79,11 @@ class SchemblePolicy : public ServingPolicy {
   /// Cumulative simulated scheduling overhead charged so far (across every
   /// planning caller).
   SimTime total_overhead_us() const {
+    // relaxed-ok: telemetry read; callers want totals, not ordering
     return total_overhead_us_.load(std::memory_order_relaxed);
   }
   int64_t scheduler_runs() const {
+    // relaxed-ok: telemetry read; callers want totals, not ordering
     return scheduler_runs_.load(std::memory_order_relaxed);
   }
 

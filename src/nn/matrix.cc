@@ -43,6 +43,7 @@ SCHEMBLE_HOT void Matrix::ApplyInto(const std::vector<double>& x,
                                     std::vector<double>* y) const {
   SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), cols_);
   SCHEMBLE_DCHECK(y != &x);
+  // relaxed-ok: grow-event telemetry counter
   op_stats().apply_into_calls.fetch_add(1, std::memory_order_relaxed);
   if (y->capacity() < static_cast<size_t>(rows_)) {
     op_stats().grow_events.fetch_add(1, std::memory_order_relaxed);
@@ -55,6 +56,7 @@ SCHEMBLE_HOT void Matrix::ApplyTransposedInto(
     const std::vector<double>& x, std::vector<double>* y) const {
   SCHEMBLE_CHECK_EQ(static_cast<int>(x.size()), rows_);
   SCHEMBLE_DCHECK(y != &x);
+  // relaxed-ok: grow-event telemetry counter
   op_stats().apply_into_calls.fetch_add(1, std::memory_order_relaxed);
   if (y->capacity() < static_cast<size_t>(cols_)) {
     op_stats().grow_events.fetch_add(1, std::memory_order_relaxed);

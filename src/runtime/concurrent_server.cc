@@ -284,6 +284,7 @@ ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
         std::make_unique<MetricSink>(num_segments, task_->num_models()));
   }
   finalize_claims_ = std::vector<std::atomic<uint8_t>>(n);
+  // relaxed-ok: reset before worker threads exist; thread creation synchronizes
   finalized_total_.store(0, std::memory_order_relaxed);
   latency_slots_.assign(n, std::numeric_limits<double>::quiet_NaN());
 

@@ -221,7 +221,10 @@ class ConcurrentServer : private DomainHost {
 
   /// Run-completion tracking: FinalizeQuery counts finalizations and the
   /// last one flips done_ under done_mu_ so Run() can wait on a CondVar.
-  Mutex done_mu_;
+  /// Rank kDone: always the final lock on a finalization path, acquired
+  /// with nothing else held and never held across other work.
+  Mutex done_mu_ SCHEMBLE_ACQUIRED_AFTER(lock_ranks::clock_anchor){
+      LockRank::kDone, "concurrent_server.done_mu"};
   CondVar done_cv_;
   bool done_ SCHEMBLE_GUARDED_BY(done_mu_) = false;
   std::atomic<int64_t> finalized_total_{0};

@@ -24,7 +24,13 @@ namespace schemble {
 template <typename T>
 class MpmcQueue {
  public:
-  explicit MpmcQueue(size_t capacity) : capacity_(capacity), ring_(capacity) {
+  /// `rank`/`name` place this queue's internal mutex in the global lock
+  /// order (common/lock_order.h): scheduler-domain inboxes pass
+  /// LockRank::kInbox, per-executor task queues LockRank::kExecutorQueue;
+  /// standalone queues (tests, benches) keep the kLeaf default.
+  explicit MpmcQueue(size_t capacity, LockRank rank = LockRank::kLeaf,
+                     const char* name = "mpmc_queue.mu")
+      : capacity_(capacity), mu_(rank, name), ring_(capacity) {
     SCHEMBLE_CHECK_GT(capacity, 0u);
   }
 
@@ -214,7 +220,12 @@ class MpmcQueue {
   /// ring itself never resizes after construction).
   const size_t capacity_;
 
-  mutable Mutex mu_;
+  /// Ranked kInbox or kExecutorQueue inside the runtime (see constructor);
+  /// both positions order after the domain mutex, which the anchor
+  /// annotation encodes for the static analysis. Work-stealing peers
+  /// acquire this lock only via TryLock (StealN), the order-exempt path.
+  // ranked: constructor parameter (kInbox / kExecutorQueue / kLeaf)
+  mutable Mutex mu_ SCHEMBLE_ACQUIRED_AFTER(lock_ranks::domain_anchor);
   CondVar not_empty_;
   CondVar not_full_;
   std::vector<T> ring_ SCHEMBLE_GUARDED_BY(mu_);

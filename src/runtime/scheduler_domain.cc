@@ -29,7 +29,8 @@ SchedulerDomain::SchedulerDomain(const SyntheticTask& task,
       policy_(policy),
       host_(host),
       options_(std::move(options)),
-      inbox_(static_cast<size_t>(options_.inbox_capacity)) {
+      inbox_(static_cast<size_t>(options_.inbox_capacity), LockRank::kInbox,
+             "scheduler_domain.inbox") {
   SCHEMBLE_CHECK(policy_ != nullptr);
   SCHEMBLE_CHECK(host_ != nullptr);
   SCHEMBLE_CHECK_GT(options_.speedup, 0.0);
@@ -60,7 +61,8 @@ SchedulerDomain::SchedulerDomain(const SyntheticTask& task,
       executors_[e].fault = fault;
     }
     executors_[e].queue = std::make_unique<MpmcQueue<Task>>(
-        static_cast<size_t>(options_.queue_capacity));
+        static_cast<size_t>(options_.queue_capacity),
+        LockRank::kExecutorQueue, "scheduler_domain.executor_queue");
   }
   SCHEMBLE_CHECK_GE(options_.max_batch, 0);
   if (options_.batching) {
@@ -91,6 +93,7 @@ int64_t SchedulerDomain::queued_tasks() const {
 
 SchedulerDomain::StatsSnapshot SchedulerDomain::stats() const {
   StatsSnapshot s;
+  // relaxed-ok: monotonic telemetry counter
   s.plans = plans_.load(std::memory_order_relaxed);
   s.plan_commits = plan_commits_.load(std::memory_order_relaxed);
   s.plans_invalidated = plans_invalidated_.load(std::memory_order_relaxed);
@@ -516,6 +519,7 @@ bool SchedulerDomain::PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
       // keep flowing while the DP runs.
       SnapshotBufferLocked(plan_ws);
       lock.Release();
+      // relaxed-ok: monotonic telemetry counter
       plans_.fetch_add(1, std::memory_order_relaxed);
       policy_->PlanOnView(*view, plan_ws);
       overhead = plan_ws->output.overhead_us;
@@ -549,12 +553,14 @@ bool SchedulerDomain::PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
         s->commits.push_back({snap->index, assignment.subset});
       }
       plan_commits_.fetch_add(static_cast<int64_t>(s->commits.size()),
+                              // relaxed-ok: monotonic telemetry counter
                               std::memory_order_relaxed);
       if (invalidated > 0) {
         plans_invalidated_.fetch_add(invalidated, std::memory_order_relaxed);
         // Part of the plan went stale: immediately re-plan whatever is
         // still buffered against fresh state (self-signal).
         if (!buffer_.empty()) {
+          // relaxed-ok: monotonic telemetry counter
           replans_.fetch_add(1, std::memory_order_relaxed);
           scheduler_signal_ = true;
           replanning = true;
@@ -603,6 +609,7 @@ bool SchedulerDomain::PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
 }
 
 void SchedulerDomain::MaybeSteal(ServerView* view, SchedulerScratch* s) {
+  // relaxed-ok: monotonic telemetry counter
   if (buffered_count_.load(std::memory_order_relaxed) > 0) return;
   if (inbox_depth_.load(std::memory_order_acquire) > 0) return;
   bool any_idle = false;
@@ -636,6 +643,7 @@ void SchedulerDomain::MaybeSteal(ServerView* view, SchedulerScratch* s) {
   const size_t got = host_->peer(victim).StealRouted(  // crosses(domain)
       &s->stolen, static_cast<size_t>(options_.steal_batch));
   if (got == 0) return;
+  // relaxed-ok: monotonic telemetry counter
   steals_.fetch_add(1, std::memory_order_relaxed);
   stolen_.fetch_add(static_cast<int64_t>(got), std::memory_order_relaxed);
   AdmitBatch(s->stolen, view, s);
@@ -709,6 +717,7 @@ void SchedulerDomain::MaybeRebalance(SchedulerScratch* s) {
   if (sent > 0) {
     // No explicit wakeup: the recipient's blocking admitter is woken by
     // its inbox's own condition variable.
+    // relaxed-ok: monotonic telemetry counter
     rebalances_.fetch_add(1, std::memory_order_relaxed);
     donated_.fetch_add(static_cast<int64_t>(sent), std::memory_order_relaxed);
   }
@@ -948,6 +957,7 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
         }
       }
       ex.busy.store(false, std::memory_order_release);
+      // relaxed-ok: advisory backlog hint; a stale read only delays a steal
       batches_executed_.fetch_add(1, std::memory_order_relaxed);
       tasks_batched_.fetch_add(static_cast<int64_t>(n),
                                std::memory_order_relaxed);
@@ -976,6 +986,7 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
             // (or donated away and re-planned). Its new assignment owns
             // the done mask now; folding this stale completion in would
             // corrupt it.
+            // relaxed-ok: monotonic telemetry counter
             stale_tasks_dropped_.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -1013,6 +1024,7 @@ void SchedulerDomain::FailStopExecutor(int executor_id,
   // once and re-queued exactly once.
   ex.queued.fetch_sub(static_cast<int64_t>(backlog->size()),
                       std::memory_order_acq_rel);
+  // relaxed-ok: monotonic telemetry counter
   failstops_.fetch_add(1, std::memory_order_relaxed);
   RequeueTasks(*backlog);
 }
@@ -1028,6 +1040,7 @@ void SchedulerDomain::RequeueTasks(const std::vector<Task>& tasks) {
       if (state.finalized || state.generation != task.generation) {
         // Finalized (deadline miss / shutdown drain) or already re-queued
         // via a sibling task of the same query: nothing left to recover.
+        // relaxed-ok: monotonic telemetry counter
         stale_tasks_dropped_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
@@ -1050,6 +1063,7 @@ void SchedulerDomain::RequeueTasks(const std::vector<Task>& tasks) {
   }
   if (to_route.empty()) return;
   requeues_.fetch_add(static_cast<int64_t>(to_route.size()),
+                      // relaxed-ok: monotonic telemetry counter
                       std::memory_order_relaxed);
   size_t kept = 0;
   for (const int index : to_route) {

@@ -172,6 +172,7 @@ class SchedulerDomain {
     return inbox_depth_.load(std::memory_order_acquire);
   }
   int64_t buffered_count() const {
+    // relaxed-ok: advisory load hint; readers tolerate staleness by design
     return buffered_count_.load(std::memory_order_relaxed);
   }
   int64_t queued_tasks() const;
@@ -367,6 +368,7 @@ class SchedulerDomain {
   void RequeueTasks(const std::vector<Task>& tasks) SCHEMBLE_EXCLUDES(mu_);
   void PublishBufferedLocked() SCHEMBLE_REQUIRES(mu_) {
     buffered_count_.store(static_cast<int64_t>(buffer_.size()),
+                          // relaxed-ok: advisory load hint; readers tolerate staleness by design
                           std::memory_order_relaxed);
   }
 
@@ -397,8 +399,12 @@ class SchedulerDomain {
   /// Guards policy calls, states_, buffer_, deadline_heap_. Stats
   /// collection is on: bench_runtime reports per-domain critical-section
   /// pressure. Owner tracking keeps "completion work runs off-lock" a
-  /// DCHECKed invariant.
-  Mutex mu_{Mutex::StatsMode::kEnabled};
+  /// DCHECKed invariant. Rank kDomain: the first runtime lock on every
+  /// scheduling path — queue locks, the clock, and done_mu_ all order
+  /// after it (and in today's runtime are never even held together with
+  /// it; the rank guards the future cancellation paths).
+  Mutex mu_ SCHEMBLE_ACQUIRED_AFTER(lock_ranks::server_anchor){
+      LockRank::kDomain, "scheduler_domain.mu", Mutex::StatsMode::kEnabled};
   std::vector<QueryState> states_ SCHEMBLE_GUARDED_BY(mu_);
   /// Buffered query indices in arrival order (this domain's shard).
   std::vector<int> buffer_ SCHEMBLE_GUARDED_BY(mu_);

@@ -13,6 +13,7 @@ MetricSink::MetricSink(size_t num_segments, int num_models)
 
 void MetricSink::Record(const TracedQuery& tq, const QueryOutcome& outcome,
                         SimTime segment_duration, double* latency_slot) {
+  // relaxed-ok: per-metric counter; aggregated after the run joins its threads
   total_.fetch_add(1, std::memory_order_relaxed);
   subset_size_counts_[static_cast<size_t>(outcome.subset_size)].fetch_add(
       1, std::memory_order_relaxed);
@@ -20,6 +21,7 @@ void MetricSink::Record(const TracedQuery& tq, const QueryOutcome& outcome,
       static_cast<size_t>(tq.arrival_time / segment_duration);
   SCHEMBLE_DCHECK(segment < segments_.size());
   AtomicSegment& seg = segments_[segment];
+  // relaxed-ok: per-metric counter; aggregated after the run joins its threads
   seg.arrivals.fetch_add(1, std::memory_order_relaxed);
   if (outcome.processed) {
     processed_.fetch_add(1, std::memory_order_relaxed);
@@ -35,12 +37,14 @@ void MetricSink::Record(const TracedQuery& tq, const QueryOutcome& outcome,
     if (latency_slot != nullptr) *latency_slot = outcome.latency_ms;
   }
   if (outcome.missed) {
+    // relaxed-ok: per-metric counter; aggregated after the run joins its threads
     missed_.fetch_add(1, std::memory_order_relaxed);
     seg.missed.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void MetricSink::AccumulateInto(ServingMetrics* metrics) const {
+  // relaxed-ok: per-metric counter; aggregated after the run joins its threads
   metrics->total += total_.load(std::memory_order_relaxed);
   metrics->processed += processed_.load(std::memory_order_relaxed);
   metrics->missed += missed_.load(std::memory_order_relaxed);
@@ -52,6 +56,7 @@ void MetricSink::AccumulateInto(ServingMetrics* metrics) const {
   }
   for (size_t s = 0; s < subset_size_counts_.size(); ++s) {
     metrics->subset_size_counts[s] +=
+        // relaxed-ok: per-metric counter; aggregated after the run joins its threads
         subset_size_counts_[s].load(std::memory_order_relaxed);
   }
   if (metrics->segments.size() < segments_.size()) {
@@ -59,6 +64,7 @@ void MetricSink::AccumulateInto(ServingMetrics* metrics) const {
   }
   for (size_t s = 0; s < segments_.size(); ++s) {
     SegmentStats& seg = metrics->segments[s];
+    // relaxed-ok: per-metric counter; aggregated after the run joins its threads
     seg.arrivals += segments_[s].arrivals.load(std::memory_order_relaxed);
     seg.processed += segments_[s].processed.load(std::memory_order_relaxed);
     seg.missed += segments_[s].missed.load(std::memory_order_relaxed);

@@ -43,6 +43,7 @@ class MetricSink {
   /// they live in the per-query slots).
   void AccumulateInto(ServingMetrics* metrics) const;
 
+  // relaxed-ok: per-metric counter read; totals, not ordering
   int64_t total() const { return total_.load(std::memory_order_relaxed); }
   int64_t processed() const {
     return processed_.load(std::memory_order_relaxed);

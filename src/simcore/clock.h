@@ -65,7 +65,11 @@ class ManualClock final : public Clock {
   void Advance(SimTime delta);
 
  private:
-  mutable Mutex mu_;
+  /// Rank kClock: Now() is called under a domain mutex when the runtime
+  /// runs on simulated time, so the clock orders after every scheduler
+  /// lock (and before done_mu_, which never wraps a clock read).
+  mutable Mutex mu_ SCHEMBLE_ACQUIRED_AFTER(lock_ranks::executor_queue_anchor){
+      LockRank::kClock, "manual_clock.mu"};
   CondVar cv_;
   SimTime now_ SCHEMBLE_GUARDED_BY(mu_) = 0;
 };

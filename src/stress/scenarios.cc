@@ -478,6 +478,123 @@ void ShardedChaos(ScenarioContext& ctx) {
                  "failstops bounded by injected faults");
 }
 
+/// The whole concurrency surface in one four-domain run: cross-query
+/// batching, work stealing, rebalance donation, speed skew and fail-stops
+/// together — the widest lock-interleaving scenario in the fleet. Added as
+/// a moving target for the lock-order validator: Debug/sanitizer builds
+/// validate every blocking Mutex::Lock in this tangle against the rank
+/// table (src/common/lock_order.h), so any future cross-domain locking
+/// shortcut that could deadlock dies here first.
+void FourDomainGauntlet(ScenarioContext& ctx) {
+  const uint64_t task_seed = ctx.DrawSeed("task_seed");
+  const SyntheticTask base_task = MakeTextMatchingTask(task_seed);
+  std::vector<ModelProfile> profiles = base_task.profiles();
+  for (size_t k = 0; k < profiles.size(); ++k) {
+    const std::string tag = std::to_string(k);
+    profiles[k].batch_base_fraction =
+        ctx.DrawDouble("batch_base_fraction_" + tag, 0.2, 0.6);
+    profiles[k].batch_coalescing =
+        ctx.DrawDouble("batch_coalescing_" + tag, 0.2, 0.7);
+    profiles[k].max_batch = ctx.DrawInt("max_batch_" + tag, 2, 12);
+  }
+  const SyntheticTask task(base_task.spec(), std::move(profiles), task_seed);
+
+  constexpr int kDomains = 4;
+  // 2 per domain (replica ordinal r lands in domain r % kDomains), so one
+  // fail-stop per model keeps a live replica in every domain.
+  constexpr int kReplicas = 2 * kDomains;
+
+  ConcurrentServerOptions options;
+  options.num_domains = kDomains;
+  options.executor_models = ReplicatedExecutors(task, kReplicas);
+  options.routing = RoutingPolicyKind::kLeastLoaded;
+  options.allow_rejection = false;
+  options.speedup = kSpeedup;
+  options.seed = ctx.DrawSeed("server_seed");
+  options.batching = true;
+  // Tiny queues keep the dispatch/steal/donate paths under pressure.
+  options.queue_capacity = ctx.DrawInt("queue_capacity", 8, 32);
+  options.steal_batch = ctx.DrawInt("steal_batch", 4, 12);
+  options.rebalance_period = 2 * kMillisecond;
+
+  // Original fans every query to every model; the rate band reproduces
+  // BatchedCoalescing's proven per-executor overload (4-7 qps/executor on
+  // 24 executors vs 4-10 on its 6), so queues run deep and the workers
+  // must actually coalesce.
+  const double rate = ctx.DrawDouble("rate_qps", 100.0, 160.0);
+  const int duration_s = ctx.DrawInt("duration_s", 4, 7);
+  const SimTime duration = duration_s * kSecond;
+
+  options.executor_faults.assign(options.executor_models.size(),
+                                 ExecutorFault{});
+  int failstops_injected = 0;
+  for (int k = 0; k < task.num_models(); ++k) {
+    const std::string model = std::to_string(k);
+    for (int r = 0; r < kReplicas; ++r) {
+      const size_t e = static_cast<size_t>(k * kReplicas + r);
+      options.executor_faults[e].speed =
+          ctx.DrawDouble("speed_m" + model + "_r" + std::to_string(r), 0.7,
+                         1.5);
+    }
+    if (ctx.DrawChance("failstop_model_" + model, 0.5)) {
+      const int victim = ctx.DrawInt("victim_replica_" + model, 0,
+                                     kReplicas - 1);
+      const int fail_pct = ctx.DrawInt("fail_pct_" + model, 25, 75);
+      const size_t e = static_cast<size_t>(k * kReplicas + victim);
+      options.executor_faults[e].fail_at = duration * fail_pct / 100;
+      ++failstops_injected;
+    }
+  }
+  ctx.Event("failstops injected = " + std::to_string(failstops_injected));
+
+  // A deliberately huge relative deadline: the run's length comes from the
+  // trace, not the deadline, and with ~30 threads time-slicing on small
+  // hosts (and TSan in CI) real-time stretch inflates virtual sojourns —
+  // an hour of virtual headroom keeps force-mode "missed == 0" a
+  // conservation statement instead of a host-speed lottery, and keeps the
+  // Schemble DP feasible so its domains never finalize empty subsets.
+  const QueryTrace trace = MakePoissonTrace(
+      task, rate, duration, 3600 * kSecond, ctx.DrawSeed("trace_seed"));
+  ctx.Event("trace queries = " + std::to_string(trace.size()));
+
+  // Asymmetric deployment: two Original domains (fan-out keeps their
+  // queues deep, guaranteeing coalescing and steal pressure) and two
+  // Schemble domains (the planning path that buffers queries, the only
+  // source of rebalance donations). The Schemble policies are built
+  // against the batched-profile task so runtime pricing matches what the
+  // server deploys.
+  const OracleBundle bundle(task_seed);
+  SchembleConfig config;
+  config.score_source = ScoreSource::kOracle;
+  SchemblePolicy policy_c(task, *bundle.profile, nullptr,
+                          bundle.scorer.get(), config);
+  SchemblePolicy policy_d(task, *bundle.profile, nullptr,
+                          bundle.scorer.get(), config);
+  OriginalPolicy policy_a;
+  OriginalPolicy policy_b;
+  ConcurrentServer server(
+      task, {&policy_a, &policy_b, &policy_c, &policy_d}, options);
+  const ServingMetrics metrics = server.Run(trace);
+
+  InvariantOptions inv;
+  inv.allow_rejection = false;
+  CheckServingInvariants(ctx, metrics, trace, inv);
+  const auto sched = server.scheduler_stats();
+  CheckSchedulerCounters(ctx, sched);
+  ctx.ExpectTrue(sched.failstops <= failstops_injected,
+                 "failstops bounded by injected faults");
+  // Deterministic structural assertions only: the overload makes
+  // coalescing certain in the Original domains, but steal and donation
+  // VOLUMES are contention-shaped, so they are reported, not asserted.
+  ctx.ExpectGe(sched.batches_executed, 1, "batched executions under backlog");
+  ctx.Note("steals = " + std::to_string(sched.steals) +
+           " (stolen " + std::to_string(sched.stolen) + "), rebalances = " +
+           std::to_string(sched.rebalances) + " (donated " +
+           std::to_string(sched.donated) + "), requeues = " +
+           std::to_string(sched.requeues) + ", batches = " +
+           std::to_string(sched.batches_executed));
+}
+
 }  // namespace
 
 void RegisterBuiltinScenarios() {
@@ -511,6 +628,12 @@ void RegisterBuiltinScenarios() {
                      "executor under overload; coalescing drain conserves "
                      "every query",
                      &BatchedCoalescing});
+  registry.Register({"four-domain-gauntlet",
+                     "four domains with batching, stealing, donation, "
+                     "speed skew and fail-stops at once; the widest "
+                     "lock-interleaving target for the lock-order "
+                     "validator",
+                     &FourDomainGauntlet});
 }
 
 }  // namespace schemble

@@ -16,7 +16,7 @@ namespace schemble {
 namespace {
 
 TEST(MutexTest, LockUnlockTracksOwnership) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   EXPECT_FALSE(mu.HeldByCurrentThread());
   mu.Lock();
   EXPECT_TRUE(mu.HeldByCurrentThread());
@@ -25,14 +25,14 @@ TEST(MutexTest, LockUnlockTracksOwnership) {
 }
 
 TEST(MutexTest, TryLockAcquiresWhenFree) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   ASSERT_TRUE(mu.TryLock());
   EXPECT_TRUE(mu.HeldByCurrentThread());
   mu.Unlock();
 }
 
 TEST(MutexTest, TryLockFailsFromAnotherThreadWhileHeld) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   mu.Lock();
   std::thread other([&mu] {
     EXPECT_FALSE(mu.HeldByCurrentThread());
@@ -47,13 +47,13 @@ TEST(MutexTest, TryLockFailsFromAnotherThreadWhileHeld) {
 }
 
 TEST(MutexTest, AssertHeldPassesWhileHolding) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   MutexLock lock(&mu);
   mu.AssertHeld();
 }
 
 TEST(MutexTest, StatsDisabledByDefault) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   for (int i = 0; i < 3; ++i) {
     MutexLock lock(&mu);
   }
@@ -63,7 +63,7 @@ TEST(MutexTest, StatsDisabledByDefault) {
 }
 
 TEST(MutexTest, StatsCountAcquisitionsAndHeldTime) {
-  Mutex mu(Mutex::StatsMode::kEnabled);
+  Mutex mu(LockRank::kLeaf, "test.mu", Mutex::StatsMode::kEnabled);
   for (int i = 0; i < 5; ++i) {
     MutexLock lock(&mu);
   }
@@ -73,7 +73,7 @@ TEST(MutexTest, StatsCountAcquisitionsAndHeldTime) {
 }
 
 TEST(MutexLockTest, ReleaseAcquireRoundTrip) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   MutexLock lock(&mu);
   EXPECT_TRUE(mu.HeldByCurrentThread());
   lock.Release();
@@ -83,7 +83,7 @@ TEST(MutexLockTest, ReleaseAcquireRoundTrip) {
 }
 
 TEST(MutexLockTest, DestructionAfterReleaseIsANoOp) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   {
     MutexLock lock(&mu);
     lock.Release();
@@ -94,7 +94,7 @@ TEST(MutexLockTest, DestructionAfterReleaseIsANoOp) {
 }
 
 struct Signal {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   CondVar cv;
   bool ready SCHEMBLE_GUARDED_BY(mu) = false;
 };
@@ -146,7 +146,7 @@ TEST(CondVarTest, WaitSuspendsOwnershipForTheProducer) {
 TEST(CondVarTest, WaitCountsAsAReacquisitionInStats) {
   // Lock (1), WaitFor suspends and resumes ownership (2), then the guard
   // unlocks: exactly two acquisitions, deterministically.
-  Mutex mu(Mutex::StatsMode::kEnabled);
+  Mutex mu(LockRank::kLeaf, "test.mu", Mutex::StatsMode::kEnabled);
   CondVar cv;
   {
     MutexLock lock(&mu);
@@ -156,7 +156,7 @@ TEST(CondVarTest, WaitCountsAsAReacquisitionInStats) {
 }
 
 struct Counter {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   int value SCHEMBLE_GUARDED_BY(mu) = 0;
 };
 

@@ -32,19 +32,19 @@ using thread_annotations_internal::LockIgnoringAnalysis;
 using thread_annotations_internal::UnlockIgnoringAnalysis;
 
 TEST(LockDisciplineDeathTest, ReentrantLockDies) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   MutexLock lock(&mu);
   EXPECT_DEATH(LockIgnoringAnalysis(mu), "re-entrant Mutex::Lock");
 }
 
 TEST(LockDisciplineDeathTest, UnlockWithoutLockDies) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   EXPECT_DEATH(UnlockIgnoringAnalysis(mu),
                "does not hold the lock");
 }
 
 TEST(LockDisciplineDeathTest, UnlockByNonOwnerDies) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   MutexLock lock(&mu);
   std::thread thief([&mu] {
     EXPECT_DEATH(UnlockIgnoringAnalysis(mu), "does not hold the lock");
@@ -58,7 +58,7 @@ TEST(LockDisciplineDeathTest, UnlockByNonOwnerDies) {
 // EXPECT_DEATH — which is the point. The scratch-TU compile-fail test
 // (tests/static/) proves the analysis rejects them.
 TEST(LockDisciplineDeathTest, AssertHeldWithoutLockDies) {
-  Mutex mu;
+  Mutex mu{LockRank::kLeaf, "test.mu"};
   EXPECT_DEATH(mu.AssertHeld(), "Check failed");
 }
 

@@ -1,0 +1,44 @@
+// lint-path: src/runtime/fixture_blocking.cc
+// lint-expect: blocking-under-lock
+// lint-expect: blocking-under-lock
+// lint-expect: blocking-under-lock
+// lint-expect: blocking-under-lock
+//
+// Blocking calls made while a lock is statically held: inside a MutexLock
+// guard scope, inside a SCHEMBLE_REQUIRES inline body, a CV wait on a
+// DIFFERENT mutex, and a clock sleep under a guard. Lint fixtures are
+// text-only (never compiled); see lint_fixtures_test.py.
+
+namespace schemble {
+
+class BlockingFixture {
+ public:
+  void PushUnderGuard() {
+    MutexLock lock(&mu_);
+    queue_.Push(1);  // fires: queue push can wait for space
+  }
+
+  void PopInRequiresBody() SCHEMBLE_REQUIRES(mu_) {
+    queue_.Pop();  // fires: the inline body holds mu_
+  }
+
+  void WaitOnForeignMutex() {
+    MutexLock lock(&mu_);
+    other_cv_.Wait(other_mu_);  // fires: waits on a mutex it does not hold
+  }
+
+  void SleepUnderGuard() {
+    MutexLock lock(&mu_);
+    clock_->SleepUntil(deadline_);  // fires: clock sleep under the lock
+  }
+
+ private:
+  Mutex mu_{LockRank::kLeaf, "fixture.mu"};
+  Mutex other_mu_{LockRank::kLeaf, "fixture.other_mu"};
+  CondVar other_cv_;
+  MpmcQueue<int> queue_{8};
+  Clock* clock_ = nullptr;
+  TimePoint deadline_;
+};
+
+}  // namespace schemble

@@ -1,0 +1,20 @@
+// lint-path: src/runtime/fixture_rank.cc
+// lint-expect: lock-rank
+// lint-expect: lock-rank
+//
+// Mutexes declared without placing themselves in the global rank table:
+// a default-style member and a brace-initialized local, neither naming a
+// LockRank::k* constant nor carrying a `// ranked:` marker.
+
+namespace schemble {
+
+struct RanklessFixture {
+  void Local() {
+    Mutex scratch{SomeOtherArg(), "fixture.scratch"};  // fires
+    MutexLock lock(&scratch);
+  }
+
+  Mutex mu_;  // fires: no rank anywhere in reach
+};
+
+}  // namespace schemble

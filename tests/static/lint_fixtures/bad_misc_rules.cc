@@ -1,0 +1,39 @@
+// lint-path: src/runtime/fixture_misc.cc
+// lint-expect: fp-determinism
+// lint-expect: hot-path
+// lint-expect: policy-serialization
+// lint-expect: domain-crossing
+// lint-expect: batch-workspace
+//
+// One violation each for the pre-existing src/runtime rules, so the
+// fixture suite locks their behaviour too.
+
+namespace schemble {
+
+struct MiscFixture {
+  double Fused(double a, double b, double c) {
+    return std::fma(a, b, c);  // fires: fp-determinism
+  }
+
+  SCHEMBLE_HOT void Hot(std::vector<int>* out) {
+    out->push_back(1);  // fires: untracked growth in a hot function
+  }
+
+  void Stateful() {
+    policy_->OnArrival(1);  // fires: no serialized(mu_) marker
+  }
+
+  void Cross() {
+    peer_.PushRouted(2);  // fires: no crosses(domain) marker
+  }
+
+  void Batch() {
+    TaskBatch batch;  // fires: no batch-workspace marker
+    (void)batch;
+  }
+
+  ServingPolicy* policy_ = nullptr;
+  Domain peer_;
+};
+
+}  // namespace schemble

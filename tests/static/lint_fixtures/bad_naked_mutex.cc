@@ -1,0 +1,24 @@
+// lint-path: src/serving/fixture_naked.cc
+// lint-expect: naked-mutex
+// lint-expect: naked-mutex
+// lint-expect: ts-suppression
+//
+// Raw standard-library locking primitives and a thread-safety-analysis
+// suppression outside thread_annotations.h.
+
+namespace schemble {
+
+struct NakedFixture {
+  void Locked() {
+    std::lock_guard<std::mutex> guard(raw_);  // fires: naked lock_guard
+  }
+
+  void Silenced() SCHEMBLE_NO_THREAD_SAFETY_ANALYSIS {  // fires
+    value_ = 1;
+  }
+
+  std::mutex raw_;  // fires: naked mutex
+  int value_ = 0;
+};
+
+}  // namespace schemble

@@ -1,0 +1,31 @@
+// lint-path: src/runtime/fixture_relaxed.cc
+// lint-expect: relaxed-atomic
+// lint-expect: relaxed-atomic
+//
+// memory_order_relaxed with no `// relaxed-ok:` marker in reach: one bare
+// line, and one standing after a covered block with more than one
+// non-relaxed line in between (outside the marker's contiguous coverage).
+
+namespace schemble {
+
+struct RelaxedFixture {
+  void Touch() {
+    count_.fetch_add(1, std::memory_order_relaxed);  // fires: no marker
+
+    // relaxed-ok: fixture marker covering only the block directly below
+    covered_.fetch_add(1, std::memory_order_relaxed);
+
+    helper();
+    other_helper();
+    stale_.store(1, std::memory_order_relaxed);  // fires: out of coverage
+  }
+
+  void helper() {}
+  void other_helper() {}
+
+  std::atomic<int> count_{0};
+  std::atomic<int> covered_{0};
+  std::atomic<int> stale_{0};
+};
+
+}  // namespace schemble

@@ -1,0 +1,19 @@
+// lint-path: src/stress/fixture_rng.cc
+// lint-expect: stress-rng
+// lint-expect: stress-rng
+//
+// Hidden entropy sources in the stress harness: both a std:: engine and
+// C rand() break the replay-from-seed guarantee.
+
+namespace schemble {
+
+struct RngFixture {
+  int Draw() {
+    std::mt19937 engine(seed_);  // fires: std engine outside the Lcg
+    return static_cast<int>(engine() + rand());  // fires: C rand()
+  }
+
+  unsigned seed_ = 0;
+};
+
+}  // namespace schemble

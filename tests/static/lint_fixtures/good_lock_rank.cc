@@ -1,0 +1,23 @@
+// lint-path: src/runtime/fixture_rank_ok.cc
+// lint-expect: none
+//
+// The three sanctioned ways a Mutex joins the rank table: LockRank::k* on
+// the declaration line, on the next line (clang-format wraps long member
+// initializers), or a `// ranked:` marker when the rank is a constructor
+// parameter (MpmcQueue) — accepted on the preceding, same, or next line.
+
+namespace schemble {
+
+struct RankedFixture {
+  Mutex inline_rank_{LockRank::kLeaf, "fixture.inline"};
+
+  Mutex wrapped_rank_ SCHEMBLE_ACQUIRED_AFTER(lock_ranks::domain_anchor){
+      LockRank::kDone, "fixture.wrapped"};
+
+  // ranked: constructor parameter, like MpmcQueue::mu_
+  Mutex forwarded_rank_;
+
+  Mutex trailing_marker_;  // ranked: forwarded by the enclosing template
+};
+
+}  // namespace schemble

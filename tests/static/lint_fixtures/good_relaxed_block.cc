@@ -1,0 +1,30 @@
+// lint-path: src/runtime/fixture_relaxed_ok.cc
+// lint-expect: none
+//
+// The relaxed-atomic marker's coverage semantics: a `// relaxed-ok:` line
+// covers the contiguous block of relaxed lines below it, tolerating a
+// single non-relaxed line inside the block (multi-line statements split
+// the operand and the memory_order across lines).
+
+namespace schemble {
+
+struct RelaxedOkFixture {
+  void Snapshot() {
+    // relaxed-ok: monotonic telemetry counters; fixture block coverage
+    a_.fetch_add(1, std::memory_order_relaxed);
+    b_.fetch_add(1, std::memory_order_relaxed);
+    c_with_a_very_long_name_.fetch_add(
+        1, std::memory_order_relaxed);
+    d_.store(a_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  }
+
+  void Inline() {
+    e_.store(1, std::memory_order_relaxed);  // relaxed-ok: same-line marker
+  }
+
+  std::atomic<long> a_{0}, b_{0}, c_with_a_very_long_name_{0};
+  std::atomic<long> d_{0}, e_{0};
+};
+
+}  // namespace schemble

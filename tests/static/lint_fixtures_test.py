@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/lint.py, run as a ctest (`static` label).
+
+Each snippet in tests/static/lint_fixtures/ declares where it pretends to
+live and which rules must fire on it:
+
+    // lint-path: src/runtime/fixture_blocking.cc
+    // lint-expect: blocking-under-lock     (one directive per expected hit)
+    // lint-expect: none                    (for good_* fixtures)
+
+The driver materializes every snippet at its declared path inside a
+throwaway repo, runs the real Linter over it, and compares the multiset of
+rules that fired against the declarations — so both directions are locked:
+bad_* fixtures prove each rule still catches its violation, good_* fixtures
+prove the sanctioned patterns and marker escapes stay quiet.
+
+It also exercises check_rank_table(): against synthetic repos seeded with
+every drift mode (reordered DESIGN.md table, broken anchor chain, stale
+kNumLockRanks) and — the acceptance check — against the REAL repo, which
+must be consistent.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+LINT_PATH_RE = re.compile(r"//\s*lint-path:\s*(\S+)")
+LINT_EXPECT_RE = re.compile(r"//\s*lint-expect:\s*([\w-]+)")
+
+failures = []
+
+
+def fail(name, message):
+    failures.append(f"{name}: {message}")
+    print(f"FAIL {name}: {message}")
+
+
+def ok(name):
+    print(f"  ok {name}")
+
+
+def run_fixture(lint, fixture_path):
+    name = os.path.basename(fixture_path)
+    with open(fixture_path, encoding="utf-8") as f:
+        text = f.read()
+    m = LINT_PATH_RE.search(text)
+    if not m:
+        fail(name, "missing `// lint-path:` directive")
+        return
+    rel = m.group(1).replace("/", os.sep)
+    expected = sorted(e for e in LINT_EXPECT_RE.findall(text) if e != "none")
+    if not expected and not LINT_EXPECT_RE.search(text):
+        fail(name, "missing `// lint-expect:` directives")
+        return
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dst = os.path.join(tmp, rel)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        with open(dst, "w", encoding="utf-8") as f:
+            f.write(text)
+        linter = lint.Linter(tmp)
+        linter.lint_file(rel)
+    fired = sorted(re.search(r"\[([\w-]+)\]", e).group(1)
+                   for e in linter.errors)
+    if fired != expected:
+        fail(name, f"expected rules {expected}, got {fired}; errors:\n  "
+                   + "\n  ".join(linter.errors or ["<none>"]))
+    else:
+        ok(name)
+
+
+# Synthetic three-copy rank tables for check_rank_table drift tests. The
+# regexes in lint.py only need the enum, the anchor chain and the DESIGN.md
+# `|` rows — everything else is irrelevant scaffolding.
+SYNTH_ENUM = """
+enum class LockRank : int {
+  kAlpha = 0,
+  kBeta = 1,
+  kGamma = 2,
+};
+inline constexpr int kNumLockRanks = 3;
+"""
+
+SYNTH_CHAIN = """
+inline Mutex alpha_anchor{LockRank::kAlpha, "rank.alpha"};
+inline Mutex beta_anchor SCHEMBLE_ACQUIRED_AFTER(alpha_anchor){
+    LockRank::kBeta, "rank.beta"};
+inline Mutex gamma_anchor SCHEMBLE_ACQUIRED_AFTER(beta_anchor){
+    LockRank::kGamma, "rank.gamma"};
+"""
+
+SYNTH_DESIGN = """
+| rank | lock |
+|------|------|
+| LockRank::kAlpha | a |
+| LockRank::kBeta | b |
+| LockRank::kGamma | c |
+"""
+
+
+def write_synth_repo(tmp, enum=SYNTH_ENUM, chain=SYNTH_CHAIN,
+                     design=SYNTH_DESIGN):
+    for rel, text in (
+            (os.path.join("src", "common", "lock_order.h"), enum),
+            (os.path.join("src", "common", "thread_annotations.h"), chain),
+            ("DESIGN.md", design)):
+        dst = os.path.join(tmp, rel)
+        os.makedirs(os.path.dirname(dst) or tmp, exist_ok=True)
+        with open(dst, "w", encoding="utf-8") as f:
+            f.write(text)
+
+
+def run_rank_table_cases(lint, repo):
+    cases = [
+        ("rank_table_consistent", {}, None),
+        ("rank_table_design_reordered",
+         {"design": SYNTH_DESIGN.replace("kBeta", "kTmp")
+                                .replace("kGamma", "kBeta")
+                                .replace("kTmp", "kGamma")},
+         "DESIGN.md"),
+        ("rank_table_design_missing_rows",
+         {"design": "no table here\n"}, "DESIGN.md"),
+        ("rank_table_chain_reordered",
+         {"chain": SYNTH_CHAIN.replace(
+             "beta_anchor SCHEMBLE_ACQUIRED_AFTER(alpha_anchor)",
+             "beta_anchor")},
+         "anchor"),
+        ("rank_table_count_stale",
+         {"enum": SYNTH_ENUM.replace("kNumLockRanks = 3",
+                                     "kNumLockRanks = 4")},
+         "kNumLockRanks"),
+    ]
+    for name, overrides, want in cases:
+        with tempfile.TemporaryDirectory() as tmp:
+            write_synth_repo(tmp, **overrides)
+            errors = lint.check_rank_table(tmp)
+        if want is None:
+            if errors:
+                fail(name, f"expected consistency, got: {errors}")
+            else:
+                ok(name)
+        elif not any(want in e for e in errors):
+            fail(name, f"expected an error mentioning {want!r}, "
+                       f"got: {errors or ['<none>']}")
+        else:
+            ok(name)
+
+    # The real repo's three copies must agree — this is the live
+    # cross-check, not a synthetic one.
+    errors = lint.check_rank_table(repo)
+    if errors:
+        fail("rank_table_real_repo", f"inconsistent in-tree table: {errors}")
+    else:
+        ok("rank_table_real_repo")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", required=True, help="repository root")
+    args = parser.parse_args()
+    repo = os.path.abspath(args.repo)
+
+    sys.path.insert(0, os.path.join(repo, "tools"))
+    import lint  # noqa: E402  (the module under test)
+
+    fixtures_dir = os.path.join(repo, "tests", "static", "lint_fixtures")
+    fixtures = sorted(f for f in os.listdir(fixtures_dir)
+                      if f.endswith(".cc"))
+    if len(fixtures) < 2:
+        fail("corpus", f"suspiciously small fixture corpus: {fixtures}")
+    for fixture in fixtures:
+        run_fixture(lint, os.path.join(fixtures_dir, fixture))
+
+    run_rank_table_cases(lint, repo)
+
+    if failures:
+        print(f"lint_fixtures: FAILED ({len(failures)} case(s))")
+        return 1
+    print(f"lint_fixtures: OK ({len(fixtures)} fixture(s) + rank-table "
+          "cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+// Deliberate lock-ORDER violation. This TU must NOT compile when the clang
+// thread-safety analysis is on: the static-analysis CI job builds the
+// `lock_order_violation` target (excluded from ALL) through a ctest
+// WILL_FAIL test and fails if the build unexpectedly succeeds — proving the
+// acquired_before/after layer (-Wthread-safety-beta, promoted to an error
+// for this target) actually rejects rank inversions at compile time rather
+// than leaving them all to the runtime validator.
+//
+// The clang ordering analysis is intraprocedural: it catches an inversion
+// it can see within one function against annotations it can see on the
+// mutexes involved — which is exactly what this TU provides. Cross-class
+// inversions assembled at runtime are the runtime validator's job
+// (tests/runtime/lock_order_validator_test.cc). Building this TU with
+// plain gcc (no analysis) succeeds by design.
+
+#include "common/thread_annotations.h"
+
+namespace schemble {
+
+// External linkage throughout, like thread_safety_violation.cc: this TU
+// must fail ONLY through the thread-safety diagnostics.
+class InvertedOrder {
+ public:
+  // The legal order: first_ (kDomain) strictly before second_ (kDone).
+  void RightOrder() SCHEMBLE_EXCLUDES(first_, second_) {
+    MutexLock first(&first_);
+    MutexLock second(&second_);
+  }
+
+  // VIOLATION: blocks on first_ while holding second_, inverting the
+  // ACQUIRED_AFTER relation declared on the members below.
+  void WrongOrder() SCHEMBLE_EXCLUDES(first_, second_) {
+    MutexLock second(&second_);
+    MutexLock first(&first_);
+  }
+
+ private:
+  Mutex first_{LockRank::kDomain, "inversion.first"};
+  Mutex second_ SCHEMBLE_ACQUIRED_AFTER(first_){LockRank::kDone,
+                                                "inversion.second"};
+};
+
+// Anchor so the class is fully instantiated.
+void TouchInversion() {
+  InvertedOrder inverted;
+  inverted.RightOrder();
+  inverted.WrongOrder();
+}
+
+}  // namespace schemble

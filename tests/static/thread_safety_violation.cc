@@ -36,7 +36,7 @@ class Account {
     balance_ -= amount;
   }
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kLeaf, "violation.mu"};
   int balance_ SCHEMBLE_GUARDED_BY(mu_) = 0;
 };
 

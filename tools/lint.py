@@ -66,6 +66,41 @@ Rules (see DESIGN.md "Static analysis & lock discipline"):
                         seed. Hidden entropy sources would make a nightly
                         failure unreproducible.
 
+  blocking-under-lock   Inside src/, blocking calls — queue operations that
+                        can wait (Push / PushAll / Pop / PopN /
+                        CloseAndDrain), clock sleeps (SleepUntil /
+                        sleep_for / sleep_until) and condition-variable
+                        waits on a DIFFERENT mutex — are banned inside a
+                        MutexLock scope or a SCHEMBLE_REQUIRES function
+                        body unless the line (or the preceding one) carries
+                        `// blocking-ok: <reason>`. Waiting on the mutex the
+                        scope itself holds is the normal CV pattern and is
+                        always allowed; a MutexLock guard's Release() /
+                        Acquire() windows suspend the rule. Holding a lock
+                        across a blocking call is how lock-order cycles
+                        (and priority inversions) are born; the runtime
+                        plans off-lock by design.
+
+  relaxed-atomic        Inside src/, std::memory_order_relaxed requires a
+                        `// relaxed-ok: <reason>` marker on the same line
+                        or above the contiguous block of relaxed lines it
+                        covers. Relaxed loads/stores are correct for
+                        monotonic telemetry counters and advisory load
+                        hints, and subtly wrong nearly everywhere else; the
+                        marker records which case the author claims.
+
+  lock-rank             Every Mutex declared inside src/ must place itself
+                        in the global rank table: the declaration (or its
+                        next line) names a LockRank::k* constant, or
+                        carries `// ranked: <where>` when the rank is a
+                        constructor parameter (MpmcQueue). The rule also
+                        cross-checks the three copies of the rank table —
+                        the LockRank enum (src/common/lock_order.h), the
+                        acquired_after anchor chain
+                        (src/common/thread_annotations.h) and the DESIGN.md
+                        table — for identical order, so they cannot drift
+                        apart silently.
+
 Exit status is non-zero when any rule fires or clang-tidy (when run)
 reports a diagnostic. Run from the repo root, or pass --repo.
 """
@@ -78,7 +113,16 @@ import shutil
 import subprocess
 import sys
 
-LINT_EXEMPT = {os.path.join("src", "common", "thread_annotations.h")}
+# thread_annotations.h implements the annotated primitives over the naked
+# ones; lock_order.h implements the lock-order validator, which cannot be
+# built on the Mutex it validates.
+LINT_EXEMPT = {os.path.join("src", "common", "thread_annotations.h"),
+               os.path.join("src", "common", "lock_order.h")}
+
+# Deliberate-violation snippets driven by tests/static/lint_fixtures_test.py,
+# which lints each one under its declared `// lint-path:` and asserts the
+# declared rules fire. Linted there, never as part of the real tree.
+LINT_FIXTURES_DIR = os.path.join("tests", "static", "lint_fixtures")
 
 NAKED_MUTEX_RE = re.compile(
     r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
@@ -128,6 +172,39 @@ STRESS_RNG_RE = re.compile(
     r"\bstd::(random_device|mt19937(_64)?|minstd_rand0?|ranlux\w+|"
     r"knuth_b|default_random_engine)\b")
 
+# Calls that can block the calling thread: queue operations that wait for
+# space/items, clock sleeps, and CV waits. Try* variants deliberately do
+# not match (the [.>] anchor sits right before the name). StealN is
+# TryLock-based and never blocks.
+BLOCKING_CALL_RE = re.compile(
+    r"[.>](PushAll|Push|PopN|Pop|CloseAndDrain|SleepUntil)\s*\(|"
+    r"\bsleep_for\s*\(|\bsleep_until\s*\(")
+
+# A CV wait and the mutex expression it waits on (first argument).
+CV_WAIT_RE = re.compile(r"[.>](?:WaitFor|Wait)\s*\(\s*&?\s*([A-Za-z_][\w.]*)")
+
+BLOCKING_OK_RE = re.compile(r"//\s*blocking-ok:")
+
+# `MutexLock guard(&expr)` / `MutexLock guard{&expr}`: opens a locked
+# region over `expr` until the enclosing brace closes.
+MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+(\w+)\s*[({]\s*&\s*([\w.>-]*\w)")
+
+# SCHEMBLE_REQUIRES(mu_) on a function whose body follows inline: the body
+# is a locked region over every listed mutex.
+REQUIRES_RE = re.compile(r"SCHEMBLE_REQUIRES\s*\(([^)]*)\)")
+
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+
+RELAXED_OK_RE = re.compile(r"//\s*relaxed-ok:")
+
+# A Mutex being declared (member or local). MutexLock, Mutex:: scope uses,
+# and pointer/reference parameters deliberately do not match.
+MUTEX_DECL_RE = re.compile(r"\bMutex\s+\w+\s*[;({=]|\bMutex\s+\w+\s+SCHEMBLE")
+
+RANKED_OK_RE = re.compile(r"//\s*ranked:")
+
+LOCK_RANK_USE_RE = re.compile(r"\bLockRank::k\w+")
+
 FP_BANNED = [
     (re.compile(r"\bstd::fmaf?\b|\b__builtin_fmaf?\b"),
      "fused multiply-add breaks the -ffp-contract=off bit-stability pin"),
@@ -171,6 +248,82 @@ def strip_comments_and_strings(line):
     return "".join(out)
 
 
+def find_blocking_under_lock(lines, stripped):
+    """Yields (line_number, message) for blocking calls made while a lock
+    is statically known to be held: inside a `MutexLock` guard scope
+    (minus its Release()/Acquire() windows) or inside the inline body of a
+    SCHEMBLE_REQUIRES function. CV waits on a mutex the enclosing region
+    itself holds are the normal condition-variable pattern and never
+    flagged. Line-based with brace tracking, like the rest of this linter:
+    crude but sufficient for the project style."""
+    scopes = []  # {kind, var, mutexes, depth, active}
+    pending_requires = None  # mutexes awaiting their body's opening brace
+    depth = 0
+    for i, code in enumerate(stripped):
+        raw = lines[i]
+        line_no = i + 1
+
+        m = REQUIRES_RE.search(code)
+        if m:
+            mutexes = [a.strip().lstrip("&!") for a in m.group(1).split(",")]
+            pending_requires = [mu for mu in mutexes if mu]
+
+        # Guard declarations open a scope at the depth that encloses them.
+        gm = MUTEXLOCK_RE.search(code)
+        if gm:
+            at = gm.start()
+            local = depth + code[:at].count("{") - code[:at].count("}")
+            scopes.append({"kind": "guard", "var": gm.group(1),
+                           "mutexes": [gm.group(2)], "depth": local,
+                           "active": True})
+
+        for scope in scopes:
+            if scope["kind"] != "guard":
+                continue
+            if re.search(rf"\b{re.escape(scope['var'])}\s*\.\s*Release\s*\(",
+                         code):
+                scope["active"] = False
+            if re.search(rf"\b{re.escape(scope['var'])}\s*\.\s*Acquire\s*\(",
+                         code):
+                scope["active"] = True
+
+        # Flag blocking calls visible in any active region. The guard's own
+        # declaration line cannot also be a blocking call site.
+        held = [mu for s in scopes if s["active"] for mu in s["mutexes"]]
+        if held and BLOCKING_CALL_RE.search(code) is None and \
+                CV_WAIT_RE.search(code) is None:
+            pass  # fast path: nothing blocking on this line
+        elif held:
+            prev = lines[i - 1] if i >= 1 else ""
+            if not (BLOCKING_OK_RE.search(raw) or BLOCKING_OK_RE.search(prev)):
+                cv = CV_WAIT_RE.search(code)
+                if cv and cv.group(1) in held:
+                    pass  # waiting on the held mutex: the CV pattern
+                elif BLOCKING_CALL_RE.search(code) or cv:
+                    what = (BLOCKING_CALL_RE.search(code) or cv).group(0)
+                    yield line_no, (
+                        f"blocking call `{what.strip()}` while holding "
+                        f"{', '.join(held)}; blocking under a lock invites "
+                        "lock-order cycles — move it off-lock (snapshot/"
+                        "plan/commit) or justify with "
+                        "`// blocking-ok: <reason>`")
+
+        # Brace accounting closes guard scopes and opens REQUIRES bodies.
+        for ch in code:
+            if ch == "{":
+                depth += 1
+                if pending_requires is not None:
+                    scopes.append({"kind": "requires", "var": None,
+                                   "mutexes": pending_requires,
+                                   "depth": depth, "active": True})
+                    pending_requires = None
+            elif ch == "}":
+                depth -= 1
+                scopes = [s for s in scopes if s["depth"] <= depth]
+            elif ch == ";" and pending_requires is not None:
+                pending_requires = None  # declaration only, no inline body
+
+
 def find_hot_function_bodies(text):
     """Yields (start_line, body_lines) for every SCHEMBLE_HOT function.
     The body is delimited by the first '{' after the marker and its brace
@@ -206,6 +359,8 @@ class Linter:
         self.errors.append(f"{path}:{line}: [{rule}] {message}")
 
     def lint_file(self, rel):
+        if rel.startswith(LINT_FIXTURES_DIR + os.sep):
+            return
         path = os.path.join(self.repo, rel)
         try:
             with open(path, encoding="utf-8") as f:
@@ -236,6 +391,59 @@ class Linter:
                 for pattern, why in FP_BANNED:
                     if pattern.search(code):
                         self.error(rel, i, "fp-determinism", why)
+
+        if rel.startswith("src" + os.sep) and not exempt:
+            stripped = [strip_comments_and_strings(l) for l in lines]
+            for line_no, message in find_blocking_under_lock(lines, stripped):
+                self.error(rel, line_no, "blocking-under-lock", message)
+            for i, raw in enumerate(lines, 1):
+                code = strip_comments_and_strings(raw)
+                if RELAXED_RE.search(code):
+                    # A marker covers its own line plus the contiguous
+                    # block of relaxed lines below it (counter banks like
+                    # StatsSnapshot would need a marker per line otherwise,
+                    # fighting the 80-column format check).
+                    covered = RELAXED_OK_RE.search(raw) is not None
+                    j = i - 2
+                    gap = 0
+                    while not covered and j >= 0:
+                        if RELAXED_OK_RE.search(lines[j]):
+                            covered = True
+                        elif RELAXED_RE.search(
+                                strip_comments_and_strings(lines[j])):
+                            gap = 0
+                            j -= 1
+                        elif gap == 0:
+                            # One non-relaxed line is tolerated inside a
+                            # block: multi-line statements put the operand
+                            # and the memory_order on different lines.
+                            gap = 1
+                            j -= 1
+                        else:
+                            break
+                    if not covered:
+                        self.error(rel, i, "relaxed-atomic",
+                                   "memory_order_relaxed without a "
+                                   "`// relaxed-ok: <reason>` marker on this "
+                                   "or the preceding line; relaxed ordering "
+                                   "is right for monotonic telemetry and "
+                                   "advisory hints only — say which this is")
+                if MUTEX_DECL_RE.search(code):
+                    nxt = lines[i] if i < len(lines) else ""
+                    prev = lines[i - 2] if i >= 2 else ""
+                    if not (LOCK_RANK_USE_RE.search(code) or
+                            LOCK_RANK_USE_RE.search(
+                                strip_comments_and_strings(nxt)) or
+                            RANKED_OK_RE.search(raw) or
+                            RANKED_OK_RE.search(nxt) or
+                            RANKED_OK_RE.search(prev)):
+                        self.error(rel, i, "lock-rank",
+                                   "Mutex declared without a LockRank::k* "
+                                   "on this or the next line; place the "
+                                   "lock in the global rank table "
+                                   "(src/common/lock_order.h) or mark "
+                                   "`// ranked: <where>` when the rank is "
+                                   "a constructor parameter")
 
         if rel.startswith(os.path.join("src", "runtime") + os.sep):
             for i, raw in enumerate(lines, 1):
@@ -313,6 +521,75 @@ class Linter:
                                "function (body starting at line "
                                f"{start}): route it through ResizeTracked / "
                                "GrowTo / a grow_events counter")
+
+
+ENUM_RANK_RE = re.compile(
+    r"enum class LockRank[^{]*\{(.*?)\}", re.S)
+
+ANCHOR_RE = re.compile(
+    r"inline Mutex (\w+)_anchor"
+    r"(?:\s+SCHEMBLE_ACQUIRED_AFTER\((\w+)_anchor\))?\s*\{\s*"
+    r"LockRank::(k\w+)", re.S)
+
+NUM_RANKS_RE = re.compile(r"kNumLockRanks\s*=\s*(\d+)")
+
+
+def check_rank_table(repo):
+    """Cross-checks the three copies of the global lock-rank table: the
+    LockRank enum (source of truth), the acquired_before/after anchor
+    chain the static analysis reads, and the human-facing DESIGN.md table.
+    Returns a list of error strings; empty means consistent."""
+    enum_path = os.path.join("src", "common", "lock_order.h")
+    chain_path = os.path.join("src", "common", "thread_annotations.h")
+    design_path = "DESIGN.md"
+    errors = []
+
+    def read(rel):
+        try:
+            with open(os.path.join(repo, rel), encoding="utf-8") as f:
+                return f.read()
+        except OSError as e:
+            errors.append(f"{rel}:0: [lock-rank] unreadable: {e}")
+            return ""
+
+    enum_text = read(enum_path)
+    m = ENUM_RANK_RE.search(enum_text)
+    enum_ranks = []
+    if not m:
+        errors.append(f"{enum_path}:0: [lock-rank] LockRank enum not found")
+    else:
+        enum_ranks = re.findall(r"\b(k\w+)\s*=\s*\d+", m.group(1))
+    n = NUM_RANKS_RE.search(enum_text)
+    if n and enum_ranks and int(n.group(1)) != len(enum_ranks):
+        errors.append(
+            f"{enum_path}:0: [lock-rank] kNumLockRanks = {n.group(1)} but "
+            f"the enum lists {len(enum_ranks)} ranks")
+
+    chain_text = read(chain_path)
+    chain = ANCHOR_RE.findall(chain_text)
+    chain_ranks = [rank for _, _, rank in chain]
+    if enum_ranks and chain_ranks != enum_ranks:
+        errors.append(
+            f"{chain_path}:0: [lock-rank] anchor chain order "
+            f"{chain_ranks} != LockRank enum order {enum_ranks}")
+    for idx, (name, after, _) in enumerate(chain):
+        want = chain[idx - 1][0] if idx > 0 else None
+        if (after or None) != want:
+            errors.append(
+                f"{chain_path}:0: [lock-rank] anchor {name}_anchor is "
+                f"ACQUIRED_AFTER({after or 'nothing'}_anchor); the chain "
+                f"must follow the enum, expected "
+                f"{want + '_anchor' if want else 'no predecessor'}")
+
+    design_ranks = [r for line in read(design_path).split("\n")
+                    if line.lstrip().startswith("|")
+                    for r in re.findall(r"LockRank::(k\w+)", line)]
+    if enum_ranks and design_ranks != enum_ranks:
+        errors.append(
+            f"{design_path}:0: [lock-rank] rank-table rows {design_ranks} "
+            f"!= LockRank enum order {enum_ranks}; update the DESIGN.md "
+            "\"Static analysis & lock discipline\" table")
+    return errors
 
 
 def repo_sources(repo, roots=("src", "tests", "bench", "examples")):
@@ -420,6 +697,7 @@ def main():
     linter = Linter(repo)
     for rel in files:
         linter.lint_file(rel)
+    linter.errors.extend(check_rank_table(repo))
 
     tidy_ok = True
     if args.clang_tidy:
