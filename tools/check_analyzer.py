@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Gate compiler-analyzer findings against a committed baseline.
+
+Both analyzer CI lanes (gcc -fanalyzer, clang scan-build) funnel their
+build logs through this script. Findings are keyed by (file, warning-id)
+-- never by line number -- so ordinary code motion does not churn the
+baseline; only a genuinely new (file, diagnostic) pair fails the lane.
+
+    check_analyzer.py LOG --baseline tools/analyzer_baseline_gcc.txt
+    check_analyzer.py LOG --baseline ... --update   # refresh the baseline
+
+A finding counts as an analyzer finding when its bracketed diagnostic id
+is a gcc analyzer group (-Wanalyzer-*) or a clang static-analyzer checker
+(dotted package name, e.g. core.NullDereference). Plain -W warnings are
+ignored here: the regular -Werror builds already gate those.
+
+Exit status: 1 when the log contains findings missing from the baseline
+(or, with --strict, when baseline entries no longer fire); 0 otherwise.
+Entries that no longer fire are reported either way -- refresh with
+--update so the baseline only ever shrinks by an explicit, reviewed step.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# `path:line[:col]: warning: text [id]` -- the shape both gcc -fanalyzer
+# and the clang static analyzer (via scan-build's console output) emit.
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):\d+(?::\d+)?:\s+warning:\s.*"
+    r"\[(?P<id>[-\w.+]+)\]\s*$")
+
+# Directories that anchor a repo-relative path inside whatever absolute or
+# build-relative spelling the compiler used for the file.
+REPO_ROOTS = ("src", "tests", "bench", "examples", "tools")
+
+
+def normalize_path(path):
+    """Rewrite a compiler-reported path to its repo-relative form."""
+    parts = path.replace("\\", "/").split("/")
+    for i, part in enumerate(parts):
+        if part in REPO_ROOTS:
+            return "/".join(parts[i:])
+    return "/".join(p for p in parts if p not in (".", ".."))
+
+
+def is_analyzer_id(diag_id):
+    if diag_id.startswith("-Wanalyzer-"):
+        return True
+    return "." in diag_id and not diag_id.startswith("-W")
+
+
+def parse_findings(log_path):
+    findings = set()
+    with open(log_path, encoding="utf-8", errors="replace") as f:
+        for line in f:
+            m = FINDING_RE.match(line.rstrip())
+            if m and is_analyzer_id(m.group("id")):
+                findings.add((normalize_path(m.group("path")),
+                              m.group("id")))
+    return findings
+
+
+def read_baseline(path):
+    baseline = set()
+    if not os.path.exists(path):
+        return baseline
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 2:
+                sys.exit(f"check_analyzer: malformed baseline line: {line!r}")
+            baseline.add((fields[0], fields[1]))
+    return baseline
+
+
+def write_baseline(path, findings):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# Analyzer baseline: one `<file> <warning-id>` pair per\n"
+                "# line. Maintained by tools/check_analyzer.py --update;\n"
+                "# do not edit by hand.\n")
+        for file_path, diag_id in sorted(findings):
+            f.write(f"{file_path} {diag_id}\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare analyzer findings against a baseline.")
+    parser.add_argument("log", help="build log containing analyzer output")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline file")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this log and exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail when baseline entries no longer fire")
+    args = parser.parse_args()
+
+    findings = parse_findings(args.log)
+
+    if args.update:
+        write_baseline(args.baseline, findings)
+        print(f"check_analyzer: baseline {args.baseline} updated "
+              f"({len(findings)} finding(s))")
+        return 0
+
+    baseline = read_baseline(args.baseline)
+    new = sorted(findings - baseline)
+    fixed = sorted(baseline - findings)
+
+    for file_path, diag_id in new:
+        print(f"NEW  {file_path} {diag_id}")
+    for file_path, diag_id in fixed:
+        print(f"GONE {file_path} {diag_id}")
+
+    print(f"check_analyzer: {len(findings)} finding(s) in log, "
+          f"{len(baseline)} in baseline, {len(new)} new, {len(fixed)} fixed")
+    if new:
+        print(f"check_analyzer: new findings above fail the lane; fix them "
+              f"or (for accepted pre-existing noise) refresh the baseline "
+              f"with --update and commit {args.baseline}")
+        return 1
+    if fixed:
+        print(f"check_analyzer: baseline entries no longer fire -- refresh "
+              f"with --update so {args.baseline} stays tight")
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
