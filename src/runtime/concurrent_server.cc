@@ -37,6 +37,21 @@ ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
   SCHEMBLE_CHECK_GT(options_.speedup, 0.0);
   SCHEMBLE_CHECK_GT(options_.queue_capacity, 0);
   SCHEMBLE_CHECK_GT(options_.inbox_capacity, 0);
+  SCHEMBLE_CHECK_GT(options_.num_arrival_threads, 0)
+      << "at least one arrival pump is required";
+  SCHEMBLE_CHECK_LE(options_.num_arrival_threads, 64)
+      << "arrival pump count capped at 64 (one OS thread each)";
+  SCHEMBLE_CHECK(options_.arrival_pump_weights.empty() ||
+                 options_.arrival_pump_weights.size() ==
+                     static_cast<size_t>(options_.num_arrival_threads))
+      << "arrival_pump_weights must be empty or have one entry per pump";
+  for (const int w : options_.arrival_pump_weights) {
+    SCHEMBLE_CHECK_GT(w, 0) << "arrival pump weights must be positive";
+  }
+  SCHEMBLE_CHECK(options_.router == nullptr ||
+                 options_.num_arrival_threads == 1)
+      << "a custom router is single-caller by contract; built-in routing "
+         "kinds get one instance per arrival pump";
   if (options_.executor_models.empty()) {
     for (int k = 0; k < task_->num_models(); ++k) {
       options_.executor_models.push_back(k);
@@ -82,9 +97,21 @@ ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
     if (options_.router != nullptr) {
       router_ = options_.router;
     } else {
-      owned_router_ = MakeRoutingPolicy(options_.routing);
-      router_ = owned_router_.get();
+      // RoutingPolicy instances are single-caller by contract, so each
+      // pump routes through its own instance — no cross-pump
+      // synchronization exists at all for hash/round-robin, and the
+      // load-aware kinds read the shared board lock-free.
+      for (int p = 0; p < options_.num_arrival_threads; ++p) {
+        pump_routers_.push_back(MakeRoutingPolicy(options_.routing));
+      }
     }
+    std::vector<int> executors_per_domain(static_cast<size_t>(n_domains));
+    for (int d = 0; d < n_domains; ++d) {
+      executors_per_domain[static_cast<size_t>(d)] =
+          static_cast<int>(domain_models[static_cast<size_t>(d)].size());
+    }
+    load_board_ =
+        std::make_unique<DomainLoadBoard>(std::move(executors_per_domain));
   }
 
   for (int d = 0; d < n_domains; ++d) {
@@ -104,6 +131,7 @@ ConcurrentServer::ConcurrentServer(const SyntheticTask& task,
     dom.rebalance_period = options_.rebalance_period;
     dom.batching = options_.batching;
     dom.max_batch = options_.max_batch;
+    dom.load_board = load_board_.get();
     // The explicit cast happens here, inside a member, because the
     // DomainHost base is private (domains are the only callers).
     domains_.push_back(std::make_unique<SchedulerDomain>(
@@ -142,6 +170,7 @@ ConcurrentServer::SchedulerStatsSnapshot ConcurrentServer::scheduler_stats(
   snapshot.plan_commits = s.plan_commits;
   snapshot.plans_invalidated = s.plans_invalidated;
   snapshot.replans = s.replans;
+  snapshot.replans_skipped = s.replans_skipped;
   snapshot.steals = s.steals;
   snapshot.stolen = s.stolen;
   snapshot.rebalances = s.rebalances;
@@ -163,6 +192,7 @@ ConcurrentServer::SchedulerStatsSnapshot ConcurrentServer::scheduler_stats()
     total.plan_commits += s.plan_commits;
     total.plans_invalidated += s.plans_invalidated;
     total.replans += s.replans;
+    total.replans_skipped += s.replans_skipped;
     total.steals += s.steals;
     total.stolen += s.stolen;
     total.rebalances += s.rebalances;
@@ -213,54 +243,68 @@ void ConcurrentServer::FinalizeQuery(int domain, int index,
   }
 }
 
-void ConcurrentServer::BuildDomainLoads(
-    std::vector<DomainLoad>* loads) const {
-  loads->resize(domains_.size());
-  for (size_t d = 0; d < domains_.size(); ++d) {
-    const SchedulerDomain& domain = *domains_[d];
-    DomainLoad& load = (*loads)[d];
-    load.domain = static_cast<int>(d);
-    load.inbox = domain.inbox_depth();
-    load.buffered = domain.buffered_count();
-    load.queued_tasks = domain.queued_tasks();
-    load.executors = domain.num_executors();
-  }
-}
-
-void ConcurrentServer::AdmissionLoop() {
+void ConcurrentServer::ArrivalPumpLoop(int pump) {
   const SimTime processing_delay = policies_[0]->ArrivalProcessingDelay();
   const bool multi = domains_.size() > 1;
+  RoutingPolicy* router = router_ != nullptr
+                              ? router_
+                              : (pump_routers_.empty()
+                                     ? nullptr
+                                     : pump_routers_[static_cast<size_t>(
+                                                         pump)].get());
+  const std::vector<int>& owned = pump_indices_[static_cast<size_t>(pump)];
   // Reused across batches; capacities pin at the largest batch.
   std::vector<std::vector<int>> routed(domains_.size());
   std::vector<DomainLoad> loads;
+  int64_t routed_total = 0;
   size_t i = 0;
-  while (i < trace_->items.size()) {
-    clock_->SleepUntil(trace_->items[i].arrival_time + processing_delay);
+  while (i < owned.size()) {
+    // Each pump paces its own partition: owned indices are ascending, so
+    // per-pump arrival order is the trace order of its slice.
+    const TracedQuery& head = trace_->items[static_cast<size_t>(owned[i])];
+    clock_->SleepUntil(head.arrival_time + processing_delay);
     const SimTime now = clock_->Now();
     for (std::vector<int>& r : routed) r.clear();
-    if (multi) BuildDomainLoads(&loads);
-    // Batched routing: every arrival already due is placed in this pass.
-    while (i < trace_->items.size()) {
-      const TracedQuery& tq = trace_->items[i];
+    // One lock-free board read per batch, not per query; the pump-local
+    // copy is then advanced by in-batch compensation below.
+    if (multi) load_board_->ReadInto(&loads);
+    // Batched routing: every owned arrival already due is placed in this
+    // pass.
+    while (i < owned.size()) {
+      const int index = owned[i];
+      const TracedQuery& tq = trace_->items[static_cast<size_t>(index)];
       if (tq.arrival_time + processing_delay > now) break;
       int d = 0;
       if (multi) {
-        d = router_->Route(tq, now, loads);
+        d = router->Route(tq, now, loads);
         SCHEMBLE_CHECK_GE(d, 0);
         SCHEMBLE_CHECK_LT(d, static_cast<int>(domains_.size()));
         // In-batch compensation: load-aware policies see the queries this
         // batch already placed.
         ++loads[static_cast<size_t>(d)].inbox;
       }
-      routed[static_cast<size_t>(d)].push_back(static_cast<int>(i));
+      routed[static_cast<size_t>(d)].push_back(index);
       ++i;
     }
     for (size_t d = 0; d < domains_.size(); ++d) {
       if (routed[d].empty()) continue;
-      domains_[d]->PushRouted(routed[d]);  // crosses(domain)
+      routed_total += static_cast<int64_t>(routed[d].size());
+      const std::span<const int> batch(routed[d].data(), routed[d].size());
+      const size_t pushed =
+          domains_[d]->TryPushRoutedAll(batch);  // crosses(domain)
+      if (pushed < batch.size()) {
+        // Inbox full: park on the blocking push for the remainder only —
+        // the fast path above never waits on a domain.
+        domains_[d]->PushRouted(batch.subspan(pushed));  // crosses(domain)
+      }
     }
   }
-  for (const auto& domain : domains_) domain->ArrivalsDone();
+  pump_routed_[static_cast<size_t>(pump)] = routed_total;
+  // The last pump to drain its partition broadcasts end-of-arrivals, so
+  // every domain sees ArrivalsDone exactly once, after ALL arrivals.
+  if (pumps_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    for (const auto& domain : domains_) domain->ArrivalsDone();
+  }
 }
 
 ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
@@ -288,9 +332,40 @@ ServingMetrics ConcurrentServer::Run(const QueryTrace& trace) {
   finalized_total_.store(0, std::memory_order_relaxed);
   latency_slots_.assign(n, std::numeric_limits<double>::quiet_NaN());
 
+  // Deterministic pump partition: trace index i belongs to the pump owning
+  // slot (i mod cycle) of the weighted round-robin cycle. Equal weights
+  // (the default) reduce to plain round-robin i % P. The split depends
+  // only on the trace length and the options — never on seeds or timing —
+  // and each pump's slice is ascending, preserving its arrival order.
+  const int n_pumps = options_.num_arrival_threads;
+  if (n > 0) {
+    SCHEMBLE_CHECK_LE(static_cast<size_t>(n_pumps), n)
+        << "more arrival pumps than trace queries: at least one pump "
+           "would replay nothing";
+  }
+  std::vector<int> weights = options_.arrival_pump_weights;
+  if (weights.empty()) weights.assign(static_cast<size_t>(n_pumps), 1);
+  std::vector<int> slot_ends(static_cast<size_t>(n_pumps), 0);
+  int cycle = 0;
+  for (int p = 0; p < n_pumps; ++p) {
+    cycle += weights[static_cast<size_t>(p)];
+    slot_ends[static_cast<size_t>(p)] = cycle;
+  }
+  pump_indices_.assign(static_cast<size_t>(n_pumps), {});
+  for (size_t i = 0; i < n; ++i) {
+    const int slot = static_cast<int>(i % static_cast<size_t>(cycle));
+    int p = 0;
+    while (slot >= slot_ends[static_cast<size_t>(p)]) ++p;
+    pump_indices_[static_cast<size_t>(p)].push_back(static_cast<int>(i));
+  }
+  pump_routed_.assign(static_cast<size_t>(n_pumps), 0);
+  pumps_remaining_.store(n_pumps, std::memory_order_release);
+
   clock_ = std::make_unique<SteadyClock>(options_.speedup);
   for (const auto& domain : domains_) domain->Start();
-  threads_.emplace_back([this] { AdmissionLoop(); });
+  for (int p = 0; p < n_pumps; ++p) {
+    threads_.emplace_back([this, p] { ArrivalPumpLoop(p); });
+  }
 
   {
     MutexLock lock(&done_mu_);

@@ -55,8 +55,24 @@ struct ConcurrentServerOptions {
   /// Admission-side placement across domains (ignored for one domain).
   RoutingPolicyKind routing = RoutingPolicyKind::kLeastLoaded;
   /// Custom routing policy; overrides `routing` when non-null. Borrowed;
-  /// must outlive the server. Called only from the admission thread.
+  /// must outlive the server. RoutingPolicy instances are single-caller by
+  /// contract, so a custom router requires num_arrival_threads == 1
+  /// (CHECK-enforced); the built-in kinds get one instance per pump.
   RoutingPolicy* router = nullptr;
+  /// Arrival pumps replaying the trace concurrently. Each pump owns a
+  /// deterministic partition of the trace (round-robin by trace index, so
+  /// per-pump arrival order is preserved and the split is independent of
+  /// seeds and wall-clock timing), paces its own SleepUntil and routes
+  /// directly into domain inboxes. 1 (the default) reproduces the
+  /// single-admission-thread runtime exactly. Must be in [1, 64] and, for
+  /// non-empty traces, <= the trace size (CHECK-enforced).
+  int num_arrival_threads = 1;
+  /// Optional per-pump partition weights (size num_arrival_threads, each
+  /// > 0): trace index i belongs to the pump owning slot (i mod sum) of
+  /// the weighted round-robin cycle. Empty means equal weights. {4, 1}
+  /// gives pump 0 80% of the trace — the stress harness's skewed-pump
+  /// scenario.
+  std::vector<int> arrival_pump_weights;
   /// Bounded capacity of each domain's routed-arrival inbox.
   int inbox_capacity = 4096;
   /// Max queries moved per work-steal / per rebalance donation round.
@@ -90,10 +106,12 @@ struct ConcurrentServerOptions {
 /// worker pool, its own policy instance, its own mutex and its own
 /// snapshot -> plan -> validate/commit scheduler thread.
 ///
-/// Threading model (see DESIGN.md "Sharded runtime"):
-///  - The admission thread replays trace arrivals and places each query on
-///    a domain via a pluggable RoutingPolicy, pushing batches into bounded
-///    per-domain MPMC inboxes — no domain mutex on the fast path.
+/// Threading model (see DESIGN.md "Sharded runtime" / "Arrival pipeline"):
+///  - num_arrival_threads arrival pumps replay disjoint round-robin
+///    partitions of the trace, each placing its queries on domains via its
+///    own RoutingPolicy instance routed against the lock-free
+///    DomainLoadBoard, pushing batches into bounded per-domain MPMC
+///    inboxes — pumps never touch a domain mutex (lint-enforced).
 ///  - Each domain runs the PR-5 snapshot-planning loop over its shard;
 ///    query-state transitions and the stateful policy calls stay
 ///    serialized under that domain's annotated mutex.
@@ -156,6 +174,9 @@ class ConcurrentServer : private DomainHost {
     int64_t plans_invalidated = 0;
     /// Immediate re-plan rounds triggered by invalidated entries.
     int64_t replans = 0;
+    /// Scheduler rounds elided because the view generation was unchanged
+    /// since the last planned snapshot (see SchedulerDomain).
+    int64_t replans_skipped = 0;
     /// Work-steal rounds that obtained >= 1 query / queries stolen.
     int64_t steals = 0;
     int64_t stolen = 0;
@@ -187,6 +208,14 @@ class ConcurrentServer : private DomainHost {
   /// One domain's counters (bench_runtime's per-domain stats).
   SchedulerStatsSnapshot scheduler_stats(int domain) const;
 
+  int num_arrival_pumps() const { return options_.num_arrival_threads; }
+  /// Queries routed by one arrival pump; valid after Run() returns (each
+  /// slot has a single writer — its pump — and the join is the
+  /// happens-before edge to this read).
+  int64_t pump_routed(int pump) const {
+    return pump_routed_[static_cast<size_t>(pump)];
+  }
+
  private:
   // DomainHost interface (domain threads call these).
   const QueryTrace& trace() const override { return *trace_; }
@@ -196,19 +225,31 @@ class ConcurrentServer : private DomainHost {
                      SimTime completion) override;
   SchedulerDomain& peer(int domain) override { return *domains_[domain]; }
 
-  void AdmissionLoop();
-  /// Assembles the routing policy's per-domain load summary from the
-  /// domains' published atomics.
-  void BuildDomainLoads(std::vector<DomainLoad>* loads) const;
+  /// One arrival pump: replays pump_indices_[pump] with its own SleepUntil
+  /// pacing, routing against lock-free DomainLoadBoard reads and pushing
+  /// into domain inboxes. Never acquires a domain mutex (lint rule
+  /// arrival-pump); the last pump to finish signals ArrivalsDone.
+  void ArrivalPumpLoop(int pump);
 
   const SyntheticTask* task_;
   std::vector<ServingPolicy*> policies_;
   ConcurrentServerOptions options_;
   std::vector<std::unique_ptr<SchedulerDomain>> domains_;
-  /// Routing policy used by the admission thread; points at
-  /// options_.router or at owned_router_.
-  std::unique_ptr<RoutingPolicy> owned_router_;
+  /// Per-domain load rows published by domain threads, read lock-free by
+  /// the arrival pumps. Built only for num_domains > 1.
+  std::unique_ptr<DomainLoadBoard> load_board_;
+  /// Borrowed custom router (options_.router; single pump only), or null.
   RoutingPolicy* router_ = nullptr;
+  /// One built-in router instance per pump (RoutingPolicy instances are
+  /// single-caller); empty when router_ is set or num_domains == 1.
+  std::vector<std::unique_ptr<RoutingPolicy>> pump_routers_;
+  /// pump_indices_[p] = ascending trace indices pump p replays. Built in
+  /// Run() before any thread spawns; const afterwards.
+  std::vector<std::vector<int>> pump_indices_;
+  /// Queries routed per pump; single writer (the pump), read after join.
+  std::vector<int64_t> pump_routed_;
+  /// Last pump to finish flips this to 0 and broadcasts ArrivalsDone.
+  std::atomic<int> pumps_remaining_{0};
 
   /// Query-id -> trace index. Const-after-init: fully built inside Run()
   /// BEFORE any thread is spawned and never mutated afterwards, which is

@@ -74,6 +74,25 @@ class MpmcQueue {
     return pushed;
   }
 
+  /// Non-blocking batched push: transfers a prefix of `items` in order,
+  /// bounded by the free space observed in one lock round-trip. Returns
+  /// the number pushed — 0 when full or closed, items.size() when the
+  /// whole batch fit. The arrival-pump fast path: a pump pushes what fits
+  /// without ever parking on a domain's inbox, and falls back to the
+  /// blocking PushAll only for the remainder.
+  size_t TryPushAll(std::span<const T> items) SCHEMBLE_EXCLUDES(mu_) {
+    size_t pushed = 0;
+    {
+      MutexLock lock(&mu_);
+      if (closed_) return 0;
+      pushed = std::min(items.size(), capacity_ - size_);
+      for (size_t i = 0; i < pushed; ++i) PushLocked(items[i]);
+    }
+    // A batch can satisfy several blocked consumers at once.
+    if (pushed > 0) not_empty_.NotifyAll();
+    return pushed;
+  }
+
   /// Non-blocking push; false when full or closed.
   bool TryPush(T value) SCHEMBLE_EXCLUDES(mu_) {
     {

@@ -1,6 +1,7 @@
 #ifndef SCHEMBLE_RUNTIME_ROUTING_POLICY_H_
 #define SCHEMBLE_RUNTIME_ROUTING_POLICY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -12,8 +13,8 @@
 
 namespace schemble {
 
-/// Lock-free load summary of one scheduler domain, assembled by the
-/// admission thread from the domain's published atomics. All counts are
+/// Lock-free load summary of one scheduler domain, read by an arrival
+/// pump from the DomainLoadBoard's published atomics. All counts are
 /// instantaneous approximations (each atomic is read independently), which
 /// is exactly what a routing heuristic needs — never read them expecting a
 /// consistent cross-field snapshot.
@@ -39,16 +40,73 @@ struct DomainLoad {
   }
 };
 
+/// Epoch-stamped, lock-free board of per-domain load summaries: the TIP-
+/// Search-style fast path between the scheduler domains (publishers) and
+/// the arrival pumps (readers). Each domain periodically publishes its own
+/// row — inbox depth, buffered count, queued tasks — from its admitter/
+/// scheduler/worker threads; pumps read the whole board with plain atomic
+/// loads, never a lock and never a synchronous query into a domain.
+///
+/// Staleness contract: a row is at most one publish interval behind its
+/// domain's true load, and different rows may be from different instants.
+/// Load-aware routing tolerates that by construction (a stale pick is a
+/// slightly worse pick, never an unsafe one); per-pump in-batch
+/// compensation on the local copy keeps a single burst from piling onto
+/// one stale winner. The per-row `epoch` increments on every publish
+/// (release; paired with the readers' acquire), so tests can assert
+/// monotonic progress and readers can detect a never-published row.
+class DomainLoadBoard {
+ public:
+  /// One row per domain; `executors_per_domain[d]` is immutable and copied
+  /// into every ReadInto result.
+  explicit DomainLoadBoard(std::vector<int> executors_per_domain);
+
+  DomainLoadBoard(const DomainLoadBoard&) = delete;
+  DomainLoadBoard& operator=(const DomainLoadBoard&) = delete;
+
+  int num_domains() const { return static_cast<int>(rows_.size()); }
+
+  /// Publishes domain `d`'s current load counters (any domain thread; the
+  /// row's fields are independent atomics, not a sealed snapshot).
+  void Publish(int domain, int64_t inbox, int64_t buffered,
+               int64_t queued_tasks);
+
+  /// Fills `loads` with every row's latest published values (lock-free,
+  /// wait-free; reuses the vector's capacity). Rows never published read
+  /// as zero load — safe, just routing-blind until the first publish.
+  void ReadInto(std::vector<DomainLoad>* loads) const;
+
+  /// Publish count of one row; strictly monotonic across publishes.
+  uint64_t epoch(int domain) const;
+
+ private:
+  /// Cache-line sized so two domains publishing concurrently never
+  /// false-share a row.
+  struct alignas(64) Row {
+    std::atomic<int64_t> inbox{0};
+    std::atomic<int64_t> buffered{0};
+    std::atomic<int64_t> queued_tasks{0};
+    std::atomic<uint64_t> epoch{0};
+    int executors = 0;
+  };
+  /// Sized at construction, never resized (rows hold atomics).
+  std::vector<Row> rows_;
+};
+
 /// Pluggable admission-side query placement: picks the scheduler domain an
 /// arriving query is routed to (the minimal child-picker idiom of the
 /// Pating scheduler xlators — a struct per strategy, one "pick a child"
 /// entry point).
 ///
-/// Threading contract: Route is called by exactly ONE thread (the
-/// admission thread), so implementations may keep unguarded mutable state
-/// (round-robin cursors). Implementations must be deterministic functions
-/// of (query, now, domains) and their own call history — the routing unit
-/// tests replay fixed sequences against a ManualClock.
+/// Threading contract: each INSTANCE is called by exactly one thread (its
+/// owning arrival pump), so implementations may keep unguarded mutable
+/// state (round-robin cursors) — concurrency across pumps comes from one
+/// instance per pump, never from sharing. Implementations must be
+/// deterministic functions of (query, now, domains) and their own call
+/// history — the routing unit tests replay fixed sequences against a
+/// ManualClock. The load span an instance sees is a pump-local copy of a
+/// DomainLoadBoard read: slightly stale by design, mutated only by the
+/// pump's own in-batch compensation.
 class RoutingPolicy {
  public:
   virtual ~RoutingPolicy() = default;

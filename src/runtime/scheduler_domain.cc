@@ -98,6 +98,7 @@ SchedulerDomain::StatsSnapshot SchedulerDomain::stats() const {
   s.plan_commits = plan_commits_.load(std::memory_order_relaxed);
   s.plans_invalidated = plans_invalidated_.load(std::memory_order_relaxed);
   s.replans = replans_.load(std::memory_order_relaxed);
+  s.replans_skipped = replans_skipped_.load(std::memory_order_relaxed);
   s.steals = steals_.load(std::memory_order_relaxed);
   s.stolen = stolen_.load(std::memory_order_relaxed);
   s.rebalances = rebalances_.load(std::memory_order_relaxed);
@@ -167,6 +168,21 @@ bool SchedulerDomain::TryPushRouted(int index) {
   if (!inbox_.TryPush(index)) return false;
   inbox_depth_.fetch_add(1, std::memory_order_acq_rel);
   return true;
+}
+
+size_t SchedulerDomain::TryPushRoutedAll(std::span<const int> indices) {
+  const size_t pushed = inbox_.TryPushAll(indices);
+  if (pushed > 0) {
+    inbox_depth_.fetch_add(static_cast<int64_t>(pushed),
+                           std::memory_order_acq_rel);
+  }
+  return pushed;
+}
+
+void SchedulerDomain::PublishLoad() {
+  if (options_.load_board == nullptr) return;
+  options_.load_board->Publish(options_.domain_id, inbox_depth(),
+                               buffered_count(), queued_tasks());
 }
 
 size_t SchedulerDomain::StealRouted(std::vector<int>* out, size_t max_items) {
@@ -266,6 +282,9 @@ bool SchedulerDomain::ClaimFinalizeLocked(int index) {
     state.buffered = false;
     buffer_.erase(std::find(buffer_.begin(), buffer_.end(), index));
     PublishBufferedLocked();
+    // Buffer membership changed under the planner's feet: the next
+    // scheduler round must re-plan (never skip).
+    ++view_generation_;
   }
   return true;
 }
@@ -372,6 +391,7 @@ SCHEMBLE_HOT void SchedulerDomain::AdmitBatch(const std::vector<int>& indices,
   s->rejects.clear();
   bool pushed_deadlines = false;
   bool notify_scheduler = false;
+  bool view_changed = false;
   {
     MutexLock lock(&mu_);
     if (shutdown_) return;
@@ -444,6 +464,7 @@ SCHEMBLE_HOT void SchedulerDomain::AdmitBatch(const std::vector<int>& indices,
             deadline_heap_.push({tq.deadline, index});
             pushed_deadlines = true;
           }
+          view_changed = true;
           break;
         }
         case ArrivalDecision::Action::kReject:
@@ -459,9 +480,15 @@ SCHEMBLE_HOT void SchedulerDomain::AdmitBatch(const std::vector<int>& indices,
             deadline_heap_.push({tq.deadline, index});
             pushed_deadlines = true;
           }
+          view_changed = true;
           break;
       }
     }
+    // One generation bump per batch that assigned (capacity consumed) or
+    // buffered (planning inputs grew) anything. A pure-reject batch leaves
+    // the planner's world untouched, which is exactly what lets the
+    // scheduler skip the redundant replan it would otherwise be woken for.
+    if (view_changed) ++view_generation_;
     // Scheduler wakeup folded into the admission critical section (same
     // idiom as worker completions): anything buffered deserves a planning
     // round.
@@ -478,7 +505,9 @@ SCHEMBLE_HOT void SchedulerDomain::AdmitBatch(const std::vector<int>& indices,
   if (notify_scheduler) scheduler_cv_.NotifyOne();
 }
 
-bool SchedulerDomain::PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
+bool SchedulerDomain::PlanAndDispatch(bool off_lock, bool allow_skip,
+                                      uint64_t* last_planned_gen,
+                                      PlanWorkspace* plan_ws,
                                       ServerView* view, SchedulerScratch* s) {
   s->commits.clear();
   SimTime overhead = 0;
@@ -489,6 +518,19 @@ bool SchedulerDomain::PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
     MutexLock lock(&mu_);
     if (shutdown_) return false;
     if (buffer_.empty()) return true;
+    // Replan avoidance: when nothing that feeds the planner changed since
+    // the last planned snapshot (no admission assigned or buffered, no
+    // batch completed, no buffered query finalized/donated/re-queued),
+    // re-running PlanOnView could only reproduce the previous answer —
+    // skip the whole snapshot -> plan -> commit round. Tick-driven rounds
+    // (allow_skip false) and the arrivals-done drain tail always plan, so
+    // the force-mode stuck diagnostic below can still fire.
+    if (off_lock && allow_skip && !arrivals_done_ &&
+        view_generation_ == *last_planned_gen) {
+      // relaxed-ok: monotonic telemetry counter
+      replans_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
     BuildViewInto(view);
     bool any_idle = false;
     for (const ExecutorView& ex : view->executors) {
@@ -518,6 +560,10 @@ bool SchedulerDomain::PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
       // snapshot with the mutex RELEASED, so arrivals and completions
       // keep flowing while the DP runs.
       SnapshotBufferLocked(plan_ws);
+      // Remember the snapshot's generation, not the post-commit one: a
+      // foreign bump during the off-lock plan (arrival, completion) must
+      // force the next round to plan against the fresher state.
+      const uint64_t snapshot_gen = view_generation_;
       lock.Release();
       // relaxed-ok: monotonic telemetry counter
       plans_.fetch_add(1, std::memory_order_relaxed);
@@ -566,6 +612,7 @@ bool SchedulerDomain::PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
           replanning = true;
         }
       }
+      *last_planned_gen = snapshot_gen;
     } else {
       // Compatibility path for stateful policies (the baselines): plan
       // under the mutex, exactly the seed behaviour. No validation is
@@ -701,6 +748,9 @@ void SchedulerDomain::MaybeRebalance(SchedulerScratch* s) {
       s->donations.push_back(index);
     }
     PublishBufferedLocked();
+    // Donations shrank the buffer: invalidate any skip decision pending on
+    // the old view.
+    if (!s->donations.empty()) ++view_generation_;
   }
   if (s->donations.empty()) return;
   SchedulerDomain& peer = host_->peer(target);
@@ -742,6 +792,7 @@ void SchedulerDomain::MaybeRebalance(SchedulerScratch* s) {
         readmitted = true;
       }
       PublishBufferedLocked();
+      if (readmitted) ++view_generation_;
     }
     if (readmitted) deadline_cv_.NotifyAll();
   }
@@ -765,6 +816,7 @@ void SchedulerDomain::AdmitterLoop() {
     inbox_depth_.fetch_sub(static_cast<int64_t>(drained),
                            std::memory_order_acq_rel);
     AdmitBatch(scratch.incoming, &view, &scratch);
+    PublishLoad();
   }
 }
 
@@ -777,6 +829,9 @@ void SchedulerDomain::SchedulerLoop() {
   ServerView view;
   SchedulerScratch scratch;
   SimTime last_rebalance = 0;
+  // Generation of the last snapshot actually fed to PlanOnView; the
+  // sentinel guarantees the first signalled round always plans.
+  uint64_t last_planned_gen = ~uint64_t{0};
   while (true) {
     bool tick_fired = false;
     {
@@ -798,7 +853,13 @@ void SchedulerDomain::SchedulerLoop() {
     }
 
     // Snapshot -> plan -> validate/commit over the buffered shard.
-    if (!PlanAndDispatch(off_lock, &plan_ws, &view, &scratch)) return;
+    // Tick-driven rounds never skip: the periodic scan is also the
+    // backstop that re-plans after pure time passage (availability
+    // projections age even when no generation-bumping event fired).
+    if (!PlanAndDispatch(off_lock, !tick_fired, &last_planned_gen, &plan_ws,
+                         &view, &scratch)) {
+      return;
+    }
 
     // Multi-domain: steal when starving, donate when drowning.
     if (multi) {
@@ -809,6 +870,7 @@ void SchedulerDomain::SchedulerLoop() {
         MaybeRebalance(&scratch);
       }
     }
+    PublishLoad();
   }
 }
 
@@ -990,6 +1052,9 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
             stale_tasks_dropped_.fetch_add(1, std::memory_order_relaxed);
           }
         }
+        // A completed batch always frees projected capacity, so any
+        // planning skip pending on the old view is stale.
+        ++view_generation_;
         // Scheduler wakeup folded into the completion critical section:
         // capacity just freed up, so if anything is buffered the planner
         // should look at it. No separate notify lock round-trip.
@@ -1003,6 +1068,7 @@ void SchedulerDomain::WorkerLoop(int executor_id) {
                              done.completion);
       }
       if (notify) scheduler_cv_.NotifyOne();
+      PublishLoad();
     }
   }
 }
@@ -1060,6 +1126,9 @@ void SchedulerDomain::RequeueTasks(const std::vector<Task>& tasks) {
       ++state.generation;
       to_route.push_back(task.query_index);
     }
+    // The wiped assignments freed executor capacity the planner projected
+    // as consumed: never let a pending skip hide the recovery replan.
+    if (!to_route.empty()) ++view_generation_;
   }
   if (to_route.empty()) return;
   requeues_.fetch_add(static_cast<int64_t>(to_route.size()),
@@ -1100,6 +1169,7 @@ void SchedulerDomain::RequeueTasks(const std::vector<Task>& tasks) {
     if (readmitted) {
       PublishBufferedLocked();
       scheduler_signal_ = true;
+      ++view_generation_;
     }
   }
   if (readmitted) {

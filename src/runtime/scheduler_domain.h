@@ -14,6 +14,7 @@
 #include "core/policy.h"
 #include "models/synthetic_task.h"
 #include "runtime/mpmc_queue.h"
+#include "runtime/routing_policy.h"
 #include "simcore/clock.h"
 #include "workload/trace.h"
 
@@ -110,6 +111,10 @@ struct SchedulerDomainOptions {
   /// max_batch). 1 forces unbatched semantics on the batched path — used
   /// by the equivalence tests.
   int max_batch = 0;
+  /// Shared load board this domain publishes its row into (arrival pumps
+  /// route against it lock-free). Borrowed from the owning server; null
+  /// (single-domain runs) disables publishing entirely.
+  DomainLoadBoard* load_board = nullptr;
 };
 
 /// One scheduling domain of the sharded concurrent runtime: a shard of the
@@ -158,6 +163,11 @@ class SchedulerDomain {
   /// Non-blocking single-query variant used by donating peers; false when
   /// the inbox is full or closed.
   bool TryPushRouted(int index);
+  /// Non-blocking batched variant (arrival-pump fast path): pushes a
+  /// prefix of `indices` bounded by the inbox's free space, never parking
+  /// the pump on this domain. Returns the number pushed; the pump falls
+  /// back to the blocking PushRouted for the remainder.
+  size_t TryPushRoutedAll(std::span<const int> indices);
   /// Bulk-steals up to `max_items` routed-but-unadmitted queries without
   /// blocking this domain's threads (thief side of work-stealing). Appends
   /// to `out`; returns the count (0 = empty or momentarily contended).
@@ -186,6 +196,12 @@ class SchedulerDomain {
     int64_t plan_commits = 0;
     int64_t plans_invalidated = 0;
     int64_t replans = 0;
+    /// Scheduler rounds that skipped PlanOnView entirely because the view
+    /// generation was unchanged since the last planned snapshot (no
+    /// arrival, completion, steal, requeue or donation touched the buffer
+    /// or capacity in between, so replanning could only reproduce the
+    /// previous answer).
+    int64_t replans_skipped = 0;
     /// Steal rounds that obtained at least one query / queries stolen in.
     int64_t steals = 0;
     int64_t stolen = 0;
@@ -312,7 +328,12 @@ class SchedulerDomain {
                   SchedulerScratch* s) SCHEMBLE_EXCLUDES(mu_);
   /// One snapshot -> plan -> validate/commit round over the buffered
   /// shard (or the serialized OnIdle fallback). Returns false on shutdown.
-  bool PlanAndDispatch(bool off_lock, PlanWorkspace* plan_ws,
+  /// When `allow_skip` is set and the view generation equals
+  /// `*last_planned_gen`, the off-lock round is elided entirely (counted
+  /// in replans_skipped); the snapshot's generation is written back to
+  /// `*last_planned_gen` after every planned round.
+  bool PlanAndDispatch(bool off_lock, bool allow_skip,
+                       uint64_t* last_planned_gen, PlanWorkspace* plan_ws,
                        ServerView* view, SchedulerScratch* s)
       SCHEMBLE_EXCLUDES(mu_);
   /// Thief side of work-stealing: when this domain has nothing buffered,
@@ -366,6 +387,11 @@ class SchedulerDomain {
   /// lost. Stale tasks (query re-queued by a sibling failure, finalized,
   /// or re-assigned since dispatch) are dropped and counted.
   void RequeueTasks(const std::vector<Task>& tasks) SCHEMBLE_EXCLUDES(mu_);
+  /// Publishes this domain's load row (inbox depth, buffered count, queued
+  /// tasks) into the shared DomainLoadBoard; no-op when no board is wired.
+  /// Called off-lock from the admitter, scheduler and worker loops — the
+  /// counters it reads are the published atomics, never guarded state.
+  void PublishLoad();
   void PublishBufferedLocked() SCHEMBLE_REQUIRES(mu_) {
     buffered_count_.store(static_cast<int64_t>(buffer_.size()),
                           // relaxed-ok: advisory load hint; readers tolerate staleness by design
@@ -418,6 +444,12 @@ class SchedulerDomain {
   bool arrivals_done_ SCHEMBLE_GUARDED_BY(mu_) = false;
   bool scheduler_signal_ SCHEMBLE_GUARDED_BY(mu_) = false;
   bool shutdown_ SCHEMBLE_GUARDED_BY(mu_) = false;
+  /// Bumped whenever the planning inputs change: a batch admits or buffers
+  /// queries, a worker batch completes (capacity freed), a buffered query
+  /// is finalized, donated, or re-queued. The scheduler compares it to the
+  /// generation of its last planned snapshot and skips the whole
+  /// snapshot -> PlanOnView -> commit round when unchanged.
+  uint64_t view_generation_ SCHEMBLE_GUARDED_BY(mu_) = 0;
 
   /// Scheduler wakeup. The signal is FOLDED into critical sections other
   /// threads already hold (worker completions, admitter batches): they set
@@ -433,6 +465,7 @@ class SchedulerDomain {
   std::atomic<int64_t> plan_commits_{0};
   std::atomic<int64_t> plans_invalidated_{0};
   std::atomic<int64_t> replans_{0};
+  std::atomic<int64_t> replans_skipped_{0};
   std::atomic<int64_t> steals_{0};
   std::atomic<int64_t> stolen_{0};
   std::atomic<int64_t> rebalances_{0};

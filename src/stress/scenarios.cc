@@ -595,6 +595,68 @@ void FourDomainGauntlet(ScenarioContext& ctx) {
            std::to_string(sched.batches_executed));
 }
 
+/// The sharded arrival pipeline under deliberately skewed pump ownership:
+/// two arrival pumps with weights {4,1} — pump 0 replays 80% of the trace
+/// — feed a two-domain force-mode deployment through the lock-free load
+/// board. Randomized small inboxes make the TryPushRoutedAll fast path
+/// overflow into the blocking PushRouted fallback while both pumps race
+/// the admitters, and the weighted deal's per-pump routed counters are
+/// asserted exactly (the partition is a pure function of trace length and
+/// weights, never of thread timing).
+void SkewedArrivalPumps(ScenarioContext& ctx) {
+  const uint64_t task_seed = ctx.DrawSeed("task_seed");
+  const SyntheticTask task = MakeTextMatchingTask(task_seed);
+
+  ConcurrentServerOptions options;
+  options.num_domains = 2;
+  options.executor_models = ReplicatedExecutors(task, 2);
+  options.routing = RoutingPolicyKind::kLeastLoaded;
+  options.allow_rejection = false;
+  options.speedup = kSpeedup;
+  options.seed = ctx.DrawSeed("server_seed");
+  options.queue_capacity = ctx.DrawInt("queue_capacity", 4, 16);
+  // Tiny inboxes: the non-blocking batch push runs out of space and the
+  // pumps exercise the blocking fallback on most cycles.
+  options.inbox_capacity = ctx.DrawInt("inbox_capacity", 8, 32);
+  options.steal_batch = 8;
+  options.rebalance_period = 5 * kMillisecond;
+  options.num_arrival_threads = 2;
+  options.arrival_pump_weights = {4, 1};
+
+  const double rate = ctx.DrawDouble("rate_qps", 40.0, 80.0);
+  const SimTime duration = ctx.DrawInt("duration_s", 8, 12) * kSecond;
+  // A deliberately huge relative deadline (the sharded-chaos pattern):
+  // this scenario asserts the deterministic pump partition and force-mode
+  // conservation, and on a loaded small host wall-clock jitter must not
+  // convert scheduling delay into deadline misses.
+  const QueryTrace trace = MakePoissonTrace(
+      task, rate, duration, 3600 * kSecond, ctx.DrawSeed("trace_seed"));
+  ctx.Event("trace queries = " + std::to_string(trace.size()));
+
+  OriginalPolicy policy_a;
+  OriginalPolicy policy_b;
+  ConcurrentServer server(task, {&policy_a, &policy_b}, options);
+  const ServingMetrics metrics = server.Run(trace);
+
+  InvariantOptions inv;
+  inv.allow_rejection = false;
+  CheckServingInvariants(ctx, metrics, trace, inv);
+  const auto sched = server.scheduler_stats();
+  CheckSchedulerCounters(ctx, sched);
+
+  // Weighted round-robin deal: pump 0 owns slots {0..3} of every 5-slot
+  // cycle, so its share of an n-query trace is exact and deterministic.
+  const int64_t n = trace.size();
+  const int64_t pump0_expected = (n / 5) * 4 + std::min<int64_t>(n % 5, 4);
+  ctx.ExpectEq(server.pump_routed(0), pump0_expected,
+               "pump 0 owns 4 of every 5 trace slots");
+  ctx.ExpectEq(server.pump_routed(0) + server.pump_routed(1), n,
+               "every query routed by exactly one pump");
+  // Replan-skip volume is contention-shaped: reported, never asserted.
+  ctx.Note("replans_skipped = " + std::to_string(sched.replans_skipped) +
+           ", replans = " + std::to_string(sched.replans));
+}
+
 }  // namespace
 
 void RegisterBuiltinScenarios() {
@@ -634,6 +696,11 @@ void RegisterBuiltinScenarios() {
                      "lock-interleaving target for the lock-order "
                      "validator",
                      &FourDomainGauntlet});
+  registry.Register({"skewed-arrival-pumps",
+                     "two weighted arrival pumps (pump 0 owns 80% of the "
+                     "trace) race tiny domain inboxes; exact weighted-deal "
+                     "partition, force-mode conservation",
+                     &SkewedArrivalPumps});
 }
 
 }  // namespace schemble

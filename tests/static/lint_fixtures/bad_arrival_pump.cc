@@ -1,0 +1,23 @@
+// lint-path: src/runtime/fixture_arrival_pump.cc
+// lint-expect: arrival-pump
+// lint-expect: arrival-pump
+//
+// An arrival pump touching a domain mutex: every variant — guard
+// construction, a raw Lock() call, and reading guarded state through mu_
+// — fires, and there is no marker escape. Ingest must stay off every
+// domain mutex; locking work belongs in the domain's admitter.
+
+namespace schemble {
+
+struct PumpFixture {
+  void ArrivalPumpLoop(int pump) {
+    MutexLock lock(&mu_);  // fires: guard inside a pump body
+    domain_.mu_.Lock();    // fires: raw lock call inside a pump body
+    domain_.inbox.PushRouted(pump);  // crosses(domain)
+  }
+
+  Mutex mu_{LockRank::kLeaf, "fixture.mu"};
+  Domain domain_;
+};
+
+}  // namespace schemble

@@ -1,0 +1,31 @@
+// lint-path: src/runtime/fixture_arrival_pump_ok.cc
+// lint-expect: none
+//
+// The approved arrival-pump shape: route against a lock-free board read,
+// push through the marked inbox surface (non-blocking first, blocking
+// fallback), publish per-pump counters as plain slots read after join.
+// No mutex primitive appears anywhere in the body.
+
+namespace schemble {
+
+struct PumpOkFixture {
+  void ArrivalPumpLoop(int pump) {
+    board_.ReadInto(&loads_);
+    const int d = router_->Route(pump, loads_);
+    const size_t pushed =
+        domains_[d].TryPushRoutedAll(batch_);  // crosses(domain)
+    if (pushed < batch_.size()) {
+      domains_[d].PushRouted(batch_);  // crosses(domain)
+    }
+    routed_[pump] += 1;
+  }
+
+  DomainLoadBoard board_;
+  RoutingPolicy* router_ = nullptr;
+  std::vector<Domain> domains_;
+  std::vector<int> batch_;
+  std::vector<long> routed_;
+  std::vector<DomainLoad> loads_;
+};
+
+}  // namespace schemble

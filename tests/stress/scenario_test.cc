@@ -105,7 +105,7 @@ TEST(ScenarioContextTest, FormatDoubleRoundTripsDeterministically) {
 TEST(ScenarioRegistryTest, BuiltinFleetRegistersOnceAndIsFindable) {
   RegisterBuiltinScenarios();
   const size_t count = ScenarioRegistry::Instance().scenarios().size();
-  EXPECT_EQ(count, 8u);
+  EXPECT_EQ(count, 9u);
   RegisterBuiltinScenarios();  // idempotent
   EXPECT_EQ(ScenarioRegistry::Instance().scenarios().size(), count);
 
@@ -113,7 +113,8 @@ TEST(ScenarioRegistryTest, BuiltinFleetRegistersOnceAndIsFindable) {
   for (const char* name :
        {"hetero-speeds", "stragglers-diurnal", "fail-stop-recovery",
         "multi-tenant-priorities", "bursty-overlay", "sharded-chaos",
-        "batched-coalescing", "four-domain-gauntlet"}) {
+        "batched-coalescing", "four-domain-gauntlet",
+        "skewed-arrival-pumps"}) {
     const Scenario* scenario = registry.Find(name);
     ASSERT_NE(scenario, nullptr) << name;
     EXPECT_EQ(scenario->name, name);

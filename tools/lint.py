@@ -40,14 +40,26 @@ Rules (see DESIGN.md "Static analysis & lock discipline"):
                         silently.
 
   domain-crossing       Inside src/runtime/, calls into another scheduler
-                        domain's inbox surface (.PushRouted / .TryPushRouted
-                        / .StealRouted on an object) must carry a
-                        `// crosses(domain)` marker on the same or the
-                        preceding line. Domains may interact ONLY through
-                        these inbox entry points and published load atomics,
-                        never through a peer's mutex; the marker makes every
-                        crossing grep-able and forces new cross-domain
-                        traffic through an audited surface.
+                        domain's inbox surface (.PushRouted /
+                        .TryPushRouted / .TryPushRoutedAll / .StealRouted
+                        on an object) must carry a `// crosses(domain)`
+                        marker on the same or the preceding line. Domains
+                        may interact ONLY through these inbox entry points
+                        and published load atomics, never through a peer's
+                        mutex; the marker makes every crossing grep-able
+                        and forces new cross-domain traffic through an
+                        audited surface.
+
+  arrival-pump          Inside src/runtime/, the body of any ArrivalPump*
+                        function may only use the domain inbox surface and
+                        published atomics: every mutex primitive —
+                        MutexLock, Mutex declarations, .Lock()/.Unlock()/
+                        .TryLock(), guard .Acquire()/.Release(), CV waits/
+                        notifies, or touching a `mu_` member — is an error
+                        with NO marker escape. The arrival pipeline's whole
+                        point is that ingest never contends on a domain
+                        mutex; code that needs one belongs in the domain's
+                        admitter, not the pump.
 
   batch-workspace       Inside src/runtime/, constructing a TaskBatch must
                         carry a `// batch-workspace` marker on the same or
@@ -152,9 +164,22 @@ SERIALIZED_OK_RE = re.compile(r"//\s*serialized\(mu_\)")
 # Calls on an object (not declarations/definitions, which use `::` or a
 # bare name) into a scheduler domain's cross-domain inbox surface.
 DOMAIN_CROSSING_RE = re.compile(
-    r"(->|\.)\s*(PushRouted|TryPushRouted|StealRouted)\s*\(")
+    r"(->|\.)\s*(PushRouted|TryPushRoutedAll|TryPushRouted|StealRouted)"
+    r"\s*\(")
 
 CROSSES_OK_RE = re.compile(r"//\s*crosses\(domain\)")
+
+# Signature line of an arrival-pump function (the trace-ingest fast path).
+ARRIVAL_PUMP_SIG_RE = re.compile(r"\bArrivalPump\w*\s*\(")
+
+# Mutex primitives an arrival pump must never touch: guard construction,
+# Mutex declarations, lock/unlock calls, guard re-lock windows, CV
+# wait/notify, or a `mu_` member. Pumps talk to domains exclusively
+# through the inbox surface and published atomics.
+ARRIVAL_PUMP_MUTEX_RE = re.compile(
+    r"\bMutexLock\b|\bMutex\b|\bmu_\b|"
+    r"[.>](Lock|TryLock|Unlock|Acquire|Release|Wait|WaitFor|"
+    r"NotifyOne|NotifyAll)\s*\(")
 
 # A TaskBatch object being constructed (declaration-with-name or a
 # temporary). Pointer/reference parameters (`TaskBatch*`, `TaskBatch&`)
@@ -324,18 +349,21 @@ def find_blocking_under_lock(lines, stripped):
                 pending_requires = None  # declaration only, no inline body
 
 
-def find_hot_function_bodies(text):
-    """Yields (start_line, body_lines) for every SCHEMBLE_HOT function.
-    The body is delimited by the first '{' after the marker and its brace
-    match (code stripped of comments/strings line-by-line)."""
+def find_marked_function_bodies(text, marker_re):
+    """Yields (start_line, body_lines) for every function whose signature
+    line matches `marker_re`. The body is delimited by the first '{' after
+    the marker and its brace match (code stripped of comments/strings
+    line-by-line); a ';' before any '{' means the match was a declaration
+    (or a plain call) with no inline body, which is skipped."""
     lines = text.split("\n")
     stripped = [strip_comments_and_strings(l) for l in lines]
     for idx, raw in enumerate(stripped):
-        if "SCHEMBLE_HOT" not in raw:
+        if not marker_re.search(raw):
             continue
         depth = 0
         body = []
         started = False
+        declaration_only = False
         for j in range(idx, len(lines)):
             for ch in stripped[j]:
                 if ch == "{":
@@ -343,11 +371,24 @@ def find_hot_function_bodies(text):
                     started = True
                 elif ch == "}":
                     depth -= 1
+                elif ch == ";" and not started:
+                    declaration_only = True
+                    break
+            if declaration_only:
+                break
             body.append(j)
             if started and depth <= 0:
                 break
-        if started:
+        if started and not declaration_only:
             yield idx + 1, body
+
+
+HOT_MARKER_RE = re.compile(r"SCHEMBLE_HOT")
+
+
+def find_hot_function_bodies(text):
+    """Yields (start_line, body_lines) for every SCHEMBLE_HOT function."""
+    yield from find_marked_function_bodies(text, HOT_MARKER_RE)
 
 
 class Linter:
@@ -489,6 +530,20 @@ class Linter:
                            "per-worker workspace (reserved to the batch "
                            "cap, growth tracked by grow_events) instead of "
                            "allocating a batch per coalescing drain")
+            for start, body in find_marked_function_bodies(
+                    text, ARRIVAL_PUMP_SIG_RE):
+                for j in body:
+                    code = strip_comments_and_strings(lines[j])
+                    m = ARRIVAL_PUMP_MUTEX_RE.search(code)
+                    if m:
+                        self.error(rel, j + 1, "arrival-pump",
+                                   f"mutex primitive `{m.group(0).strip()}` "
+                                   "inside an arrival-pump body (starting "
+                                   f"at line {start}); pumps may only use "
+                                   "the domain inbox surface and published "
+                                   "atomics — there is no marker escape, "
+                                   "move the locking into the domain's "
+                                   "admitter instead")
 
         if rel.startswith((os.path.join("src", "stress") + os.sep,
                            os.path.join("tests", "stress") + os.sep)):
